@@ -1,0 +1,168 @@
+package copier
+
+// One benchmark per table and figure in the paper's evaluation (§6),
+// each regenerating the corresponding rows via the experiment harness,
+// plus native-hardware benchmarks of the real-time acopy library and
+// the hot data structures. `go test -bench=. -benchmem` runs
+// everything at Quick scale; `go run ./cmd/copierbench -run all -full`
+// prints the full tables.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"copier/internal/acopy"
+	"copier/internal/bench"
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/hw"
+	"copier/internal/mem"
+)
+
+// runExperiment drives one registered experiment per iteration and
+// reports a headline metric parsed from its first table.
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(bench.Quick)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// --- Figures and tables (simulated machine) ---
+
+func BenchmarkFig2aCopyShare(b *testing.B)       { runExperiment(b, "fig2a") }
+func BenchmarkFig2bPhoneCopyShare(b *testing.B)  { runExperiment(b, "fig2b") }
+func BenchmarkFig3CopyUseWindow(b *testing.B)    { runExperiment(b, "fig3") }
+func BenchmarkFig7aUnitThroughput(b *testing.B)  { runExperiment(b, "fig7a") }
+func BenchmarkFig9CopierThroughput(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkFig10Syscalls(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkBinderIPC(b *testing.B)            { runExperiment(b, "binder") }
+func BenchmarkCoWFaults(b *testing.B)            { runExperiment(b, "cow") }
+func BenchmarkFig11Redis(b *testing.B)           { runExperiment(b, "fig11") }
+func BenchmarkFig12aProxy(b *testing.B)          { runExperiment(b, "fig12a") }
+func BenchmarkFig12bScalability(b *testing.B)    { runExperiment(b, "fig12b") }
+func BenchmarkFig12cBreakdown(b *testing.B)      { runExperiment(b, "fig12c") }
+func BenchmarkFig13aProtobuf(b *testing.B)       { runExperiment(b, "fig13a") }
+func BenchmarkFig13bOpenSSL(b *testing.B)        { runExperiment(b, "fig13b") }
+func BenchmarkZlibDeflate(b *testing.B)          { runExperiment(b, "zlib") }
+func BenchmarkFig13cAvcodec(b *testing.B)        { runExperiment(b, "fig13c") }
+func BenchmarkFig14FourCores(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkBreakEven(b *testing.B)            { runExperiment(b, "scope") }
+func BenchmarkCPIStudy(b *testing.B)             { runExperiment(b, "cpi") }
+
+// --- Real-hardware benchmarks: the acopy library (native Go) ---
+
+// BenchmarkACopySyncBaseline is the reference: a plain copy followed
+// by the compute that uses the data.
+func BenchmarkACopySyncBaseline(b *testing.B) {
+	for _, n := range []int{64 << 10, 1 << 20, 8 << 20} {
+		b.Run(fmt.Sprintf("%dKB", n>>10), func(b *testing.B) {
+			src := bytes.Repeat([]byte{7}, n)
+			dst := make([]byte, n)
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			var acc byte
+			for i := 0; i < b.N; i++ {
+				copy(dst, src)
+				acc += consume(dst)
+			}
+			sinkByte = acc
+		})
+	}
+}
+
+// BenchmarkACopyOverlap overlaps the copy with the same compute via
+// the background copier — the Copy-Use window on real hardware.
+func BenchmarkACopyOverlap(b *testing.B) {
+	cp := acopy.New(1)
+	defer cp.Close()
+	for _, n := range []int{64 << 10, 1 << 20, 8 << 20} {
+		b.Run(fmt.Sprintf("%dKB", n>>10), func(b *testing.B) {
+			src := bytes.Repeat([]byte{7}, n)
+			dst := make([]byte, n)
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			var acc byte
+			for i := 0; i < b.N; i++ {
+				h := cp.AMemcpy(dst, src)
+				// Pipeline: consume each chunk as it lands.
+				const chunk = 64 << 10
+				for off := 0; off < n; off += chunk {
+					end := off + chunk
+					if end > n {
+						end = n
+					}
+					h.CSync(off, end-off)
+					acc += consume(dst[off:end])
+				}
+				h.Wait()
+			}
+			sinkByte = acc
+		})
+	}
+}
+
+var sinkByte byte
+
+// consume is the per-byte compute standing in for parsing/decoding.
+func consume(p []byte) byte {
+	var acc byte
+	for i := 0; i < len(p); i += 64 {
+		acc ^= p[i] + p[i]>>3
+	}
+	return acc
+}
+
+// --- Data-structure microbenchmarks ---
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := core.NewRing(1024)
+	t := &core.Task{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(t)
+		r.Pop()
+	}
+}
+
+func BenchmarkDescriptorMarkReady(b *testing.B) {
+	d := core.NewDescriptor(0, 256<<10, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i * 1024) % (256 << 10)
+		d.MarkRange(off, 1024)
+		if !d.Ready(off, 1024) {
+			b.Fatal("not ready")
+		}
+	}
+}
+
+func BenchmarkCopyScatter(b *testing.B) {
+	pm := mem.NewPhysMem(16 << 20)
+	src, _ := pm.AllocFrames(16)
+	dst, _ := pm.AllocFrames(16)
+	sr := []hw.FrameRange{{Frame: src[0], Off: 0, Len: 16 * mem.PageSize}}
+	dr := []hw.FrameRange{{Frame: dst[0], Off: 0, Len: 16 * mem.PageSize}}
+	b.SetBytes(16 * mem.PageSize)
+	for i := 0; i < b.N; i++ {
+		hw.CopyScatter(pm, dr, sr)
+	}
+}
+
+func BenchmarkCostModel(b *testing.B) {
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		acc += int64(cycles.SyncCopyCost(cycles.UnitAVX, i%(1<<20)))
+	}
+	sinkInt = acc
+}
+
+var sinkInt int64

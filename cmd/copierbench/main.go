@@ -1,0 +1,56 @@
+// Command copierbench regenerates the paper's evaluation tables and
+// figures on the simulated machine.
+//
+// Usage:
+//
+//	copierbench -list              # show available experiments
+//	copierbench -run fig11        # one experiment
+//	copierbench -run all -full    # everything at figure scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"copier/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	run := flag.String("run", "all", "experiment id (or comma list, or 'all')")
+	full := flag.Bool("full", false, "full figure-scale sweeps (slower)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiment  reproduces")
+		fmt.Println("---------------------")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s  %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	var ids []string
+	if *run == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, ok := bench.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "copierbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		for _, t := range e.Run(scale) {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command copiergen demonstrates CopierGen (§5.1.3): it ports a
+// mini-IR function — converting memcpy to amemcpy and inserting
+// csyncs per the guidelines — prints the before/after IR, and
+// verifies observational equivalence under adversarial completion.
+package main
+
+import (
+	"fmt"
+
+	"copier/internal/copiergen"
+)
+
+func main() {
+	f := &copiergen.Func{
+		Name: "copyUse",
+		Vars: []copiergen.Var{{Name: "src", Size: 8192}, {Name: "dst", Size: 8192}, {Name: "obj", Size: 1024}},
+		Ops: []copiergen.Op{
+			{Kind: copiergen.OpCopy, Dst: "dst", Src: "src", Len: 8192},
+			{Kind: copiergen.OpCompute},
+			{Kind: copiergen.OpLoad, Src: "dst", SrcOff: 0, Len: 8},
+			{Kind: copiergen.OpCopy, Dst: "obj", Src: "dst", SrcOff: 100, Len: 512},
+			{Kind: copiergen.OpCall, Dst: "obj", Fn: "strchr"},
+			{Kind: copiergen.OpFree, Dst: "src"},
+		},
+	}
+	orig := &copiergen.Func{Name: f.Name, Vars: f.Vars, Ops: append([]copiergen.Op(nil), f.Ops...)}
+
+	fmt.Println("before:")
+	for i, op := range f.Ops {
+		fmt.Printf("  %2d  %v\n", i, op)
+	}
+	if err := copiergen.Port(f, 1024); err != nil {
+		fmt.Println("port failed:", err)
+		return
+	}
+	fmt.Println("\nafter (memcpy>=1KB -> amemcpy, csyncs inserted):")
+	for i, op := range f.Ops {
+		fmt.Printf("  %2d  %v\n", i, op)
+	}
+
+	// Differential check: sync reference vs adversarially-deferred
+	// async execution.
+	a := copiergen.NewInterp(orig)
+	if err := a.Run(orig, false); err != nil {
+		panic(err)
+	}
+	b := copiergen.NewInterp(f)
+	if err := b.Run(f, true); err != nil {
+		panic(err)
+	}
+	same := string(a.Snapshot()) == string(b.Snapshot()) &&
+		string(a.Observed) == string(b.Observed)
+	fmt.Printf("\nobservational equivalence under worst-case completion: %v\n", same)
+}

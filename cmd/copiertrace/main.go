@@ -1,0 +1,100 @@
+// Command copiertrace prints a cycle-accurate timeline of the Copier
+// service handling the paper's proxy pattern (§4.4): a lazy recv copy
+// whose header is promoted by csync, a forwarding send that absorbs
+// the unexecuted remainder straight from the kernel source, and the
+// final abort discarding the dead intermediate copy.
+package main
+
+import (
+	"fmt"
+
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/kernel"
+	"copier/internal/libcopier"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+func main() {
+	m := kernel.NewMachine(kernel.Config{Cores: 3})
+	m.Env.SetTracer(func(t sim.Time, format string, args ...any) {
+		fmt.Printf("%10d  %s\n", t, fmt.Sprintf(format, args...))
+	})
+	m.InstallCopier(core.DefaultConfig(), 1, 2)
+	proxy := m.NewProcess("proxy")
+	attach := m.AttachCopier(proxy)
+
+	const n = 32 << 10
+	kas := m.KernelAS
+	k1 := mustKBuf(kas, n) // incoming message in a kernel buffer
+	fillK(kas, k1, n)
+	u := mustBuf(proxy, n)  // proxy's user buffer
+	k2 := mustKBuf(kas, n)  // outgoing kernel buffer
+
+	th := m.Spawn(proxy, "forward", func(t *kernel.Thread) {
+		lib := attach.Lib
+		t.SimProc().Tracef("recv: submit LAZY copy K1 -> U (%d bytes)", n)
+		desc := core.NewDescriptor(u, n, core.DefaultSegSize)
+		err := lib.AmemcpyOpts(t, u, k1, n, libcopier.Opts{
+			KMode: true, Lazy: true, Desc: desc, LazyDeadline: sim.Infinity,
+			SrcAS: m.KernelAS, DstAS: proxy.AS,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.SimProc().Tracef("csync header (128B) — promotes one segment only")
+		if err := lib.CsyncDesc(t, desc, 0, 128); err != nil {
+			panic(err)
+		}
+		t.Exec(cycles.Mul(128, cycles.ParseByteNum, cycles.ParseByteDen))
+		t.SimProc().Tracef("route decided; send U -> K2 (absorbs the rest from K1)")
+		sendDesc := core.NewDescriptor(k2, n, core.DefaultSegSize)
+		err = lib.AmemcpyOpts(t, k2, u, n, libcopier.Opts{
+			KMode: true, Desc: sendDesc, NoTrack: true,
+			SrcAS: proxy.AS, DstAS: m.KernelAS,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := lib.CsyncDesc(t, sendDesc, 0, n); err != nil {
+			panic(err)
+		}
+		t.SimProc().Tracef("forwarded; abort the dead lazy copy")
+		attach.Client.SubmitAbortDesc(desc, false)
+		t.Exec(5_000)
+	})
+	if err := m.RunApps(th); err != nil {
+		panic(err)
+	}
+	svc := m.Copier()
+	fmt.Printf("\nstats: tasks=%d absorbed=%dB aborted=%d avx=%dB dma=%dB\n",
+		svc.Stats.TasksExecuted, svc.Stats.AbsorbedBytes, svc.Stats.AbortedTasks,
+		svc.Stats.AVXBytes, svc.Stats.DMABytes)
+}
+
+func mustBuf(p *kernel.Process, n int) mem.VA {
+	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+		panic(err)
+	}
+	return va
+}
+
+func mustKBuf(kas *mem.AddrSpace, n int) mem.VA {
+	va := kas.MMap(int64(n), mem.PermRead|mem.PermWrite, "kbuf")
+	if _, err := kas.Populate(va, int64(n), true); err != nil {
+		panic(err)
+	}
+	return va
+}
+
+func fillK(kas *mem.AddrSpace, va mem.VA, n int) {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := kas.WriteAt(va, buf); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package copier is a from-scratch reproduction of "How to Copy
+// Memory? Coordinated Asynchronous Copy as a First-Class OS Service"
+// (SOSP 2025): the Copier OS service, every substrate its evaluation
+// depends on, the toolchain, and a benchmark harness regenerating the
+// paper's tables and figures.
+//
+// Layout:
+//
+//   - internal/core      — the Copier service (CSH queues, segments,
+//     barriers, dependency tracking, piggyback dispatcher, absorption,
+//     CFS-by-copy-length scheduling, cgroup controller, proactive
+//     fault handling).
+//   - internal/libcopier — the client library (amemcpy/csync, Table 2).
+//   - internal/sim, mem, hw, cycles — the deterministic machine
+//     simulator: event kernel, virtual memory, copy engines, cost model.
+//   - internal/kernel    — the simulated OS: CPU scheduler, syscalls,
+//     sockets, Binder IPC, CoW handling, cgroups.
+//   - internal/baseline  — zIO, MSG_ZEROCOPY, Userspace Bypass,
+//     io_uring comparison models.
+//   - internal/apps      — Redis/TinyProxy/Protobuf/OpenSSL/zlib/
+//     Avcodec workload models.
+//   - internal/acopy     — a real-time (non-simulated) async-copy
+//     library for native Go programs.
+//   - internal/sanitizer, copiergen, model — CopierSanitizer,
+//     CopierGen, and the executable refinement checker.
+//   - internal/bench, cmd/copierbench — the experiment harness.
+//
+// Start with examples/quickstart, then see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package copier
+
+// Version of the reproduction.
+const Version = "1.0.0"

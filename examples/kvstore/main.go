@@ -1,0 +1,32 @@
+// kvstore: the paper's headline workload — a Redis-style key-value
+// server under every copy backend, printing the Fig. 11-style
+// comparison for one value size.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"copier/internal/apps/redis"
+	"copier/internal/cycles"
+)
+
+func main() {
+	size := flag.Int("value", 16<<10, "value size in bytes")
+	op := flag.String("op", "set", "set or get")
+	ops := flag.Int("ops", 20, "operations per client")
+	flag.Parse()
+
+	fmt.Printf("Redis %s, %d-byte values, 4 clients x %d ops\n\n", *op, *size, *ops)
+	fmt.Printf("%-10s %12s %12s %14s\n", "mode", "avg (us)", "p99 (us)", "ops/ms")
+	var base float64
+	for _, mode := range []redis.Mode{redis.ModeSync, redis.ModeCopier, redis.ModeZIO, redis.ModeUB, redis.ModeZeroCopy} {
+		res := redis.Run(redis.Config{Mode: mode, Op: *op, ValueSize: *size, Clients: 4, OpsPerClient: *ops})
+		avg := cycles.ToMicroseconds(res.Avg())
+		if mode == redis.ModeSync {
+			base = avg
+		}
+		fmt.Printf("%-10s %12.2f %12.2f %14.1f   (%+.1f%% vs baseline)\n",
+			mode, avg, cycles.ToMicroseconds(res.P99()), res.ThroughputOpsPerMs(), (avg/base-1)*100)
+	}
+}

@@ -1,0 +1,3 @@
+module copier
+
+go 1.23

@@ -1,0 +1,459 @@
+// Package acopy is a real-time (non-simulated) asynchronous memory
+// copy library for Go programs, reproducing the Copier programming
+// model (§4.1, §5.1) on actual hardware: background copier workers,
+// segment descriptors with atomic completion bitmaps, amemcpy/csync
+// primitives, task promotion, and post-copy handler delegation.
+//
+// The simulated OS service in internal/core models what a kernel
+// could do; this package is what a Go process can use today — it
+// exploits Copy-Use windows (Fig. 3) by overlapping copies with the
+// caller's computation on spare cores.
+//
+// Usage:
+//
+//	cp := acopy.New(1)          // one background copier worker
+//	defer cp.Close()
+//	h := cp.AMemcpy(dst, src)   // returns immediately
+//	...compute...               // the Copy-Use window
+//	h.CSync(0, 64)              // first 64 bytes ready
+//	use(dst[:64])
+//	h.Wait()                    // everything (and the handler) done
+package acopy
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SegSize is the copy segment granularity: workers publish progress
+// (descriptor bits) after each segment, letting CSync callers pipeline
+// use with copy.
+const SegSize = 4096
+
+// Handle tracks one asynchronous copy. The zero value is invalid;
+// handles come from AMemcpy.
+type Handle struct {
+	dst, src []byte
+	// bits[i/64]>>(i%64) is segment i's completion bit.
+	bits []atomic.Uint64
+	nseg int
+	// left counts segments not yet copied; reaching 0 completes the
+	// task, closes done and runs the handler.
+	left    atomic.Int32
+	done    chan struct{}
+	handler func()
+	// promoted is set by CSync to ask the worker to copy the
+	// remainder front-to-back starting at the requested offset (task
+	// promotion, §4.1 — here per-handle rather than per-range).
+	promoted atomic.Int32
+}
+
+// Len returns the copy length in bytes.
+func (h *Handle) Len() int { return len(h.dst) }
+
+// segReady reports whether segment i has been copied.
+func (h *Handle) segReady(i int) bool {
+	return h.bits[i/64].Load()&(1<<(i%64)) != 0
+}
+
+// markSeg publishes segment i and completes the task when it is the
+// last one.
+func (h *Handle) markSeg(i int) {
+	old := h.bits[i/64].Or(1 << (i % 64))
+	if old&(1<<(i%64)) != 0 {
+		return // already copied (promotion raced with the sweep)
+	}
+	if h.left.Add(-1) == 0 {
+		if h.handler != nil {
+			h.handler()
+		}
+		close(h.done)
+	}
+}
+
+// Ready reports whether [off, off+n) has landed, without blocking.
+func (h *Handle) Ready(off, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if off < 0 || off+n > len(h.dst) {
+		panic(fmt.Sprintf("acopy: range [%d,%d) outside copy of %d bytes", off, off+n, len(h.dst)))
+	}
+	for i := off / SegSize; i <= (off+n-1)/SegSize; i++ {
+		if !h.segReady(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// CSync blocks until [off, off+n) of the destination holds the copied
+// data (csync, Table 2). It hints the worker to prioritize the
+// requested region, then spins with backoff.
+func (h *Handle) CSync(off, n int) {
+	if h.Ready(off, n) {
+		return
+	}
+	// Task promotion: ask the worker to copy from this segment on.
+	h.promote(off / SegSize)
+	for spins := 0; !h.Ready(off, n); spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		// Long wait: the copy may be queued behind others; sleeping
+		// on done would overshoot for partial ranges, so keep
+		// yielding — the copier is making progress.
+		runtime.Gosched()
+	}
+}
+
+func (h *Handle) promote(seg int) {
+	for {
+		cur := h.promoted.Load()
+		if cur != 0 && int(cur-1) <= seg {
+			return
+		}
+		if h.promoted.CompareAndSwap(cur, int32(seg+1)) {
+			return
+		}
+	}
+}
+
+// Wait blocks until the whole copy (and its handler) completed.
+func (h *Handle) Wait() { <-h.done }
+
+// Done reports whether the whole copy completed, without blocking.
+func (h *Handle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ring is the lock-free MPSC ring of §5.1: producers acquire a slot
+// with a fetch-and-add on the head and publish it by storing the task
+// pointer (the "valid bit"); the single consumer (worker) clears slots
+// at the tail.
+type ring struct {
+	slots []atomic.Pointer[Handle]
+	mask  uint64
+	head  atomic.Uint64
+	tail  uint64 // worker-private
+}
+
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{slots: make([]atomic.Pointer[Handle], n), mask: uint64(n - 1)}
+}
+
+// push publishes h; it returns false when the ring is full.
+func (r *ring) push(h *Handle) bool {
+	for {
+		head := r.head.Load()
+		if head-atomic.LoadUint64(&r.tail) >= uint64(len(r.slots)) {
+			return false
+		}
+		if !r.head.CompareAndSwap(head, head+1) {
+			continue
+		}
+		// Slot ownership acquired; publish. The consumer spins on a
+		// nil slot until the store lands (valid-bit protocol).
+		r.slots[head&r.mask].Store(h)
+		return true
+	}
+}
+
+// pop returns the oldest published task, or nil. Single consumer.
+func (r *ring) pop() *Handle {
+	tail := atomic.LoadUint64(&r.tail)
+	if tail == r.head.Load() {
+		return nil
+	}
+	h := r.slots[tail&r.mask].Load()
+	if h == nil {
+		return nil // acquired but not yet published
+	}
+	r.slots[tail&r.mask].Store(nil)
+	atomic.StoreUint64(&r.tail, tail+1)
+	return h
+}
+
+// Copier is a pool of background copy workers.
+type Copier struct {
+	rings   []*ring
+	next    atomic.Uint64 // round-robin submission counter
+	wake    []chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	pending atomic.Int64
+
+	// Stats
+	Submitted atomic.Int64
+	Copied    atomic.Int64
+}
+
+// New starts a Copier with the given number of worker goroutines
+// (typically 1; the paper dedicates one core to copy).
+func New(workers int) *Copier {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Copier{stop: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		r := newRing(1024)
+		w := make(chan struct{}, 1)
+		c.rings = append(c.rings, r)
+		c.wake = append(c.wake, w)
+		c.wg.Add(1)
+		go c.worker(r, w)
+	}
+	return c
+}
+
+// AMemcpy starts copying src into dst asynchronously and returns a
+// Handle. dst and src must not overlap and must stay unmodified (src)
+// / untouched (dst) until the corresponding CSync, exactly like the
+// csync guidelines of §5.1. len(dst) must equal len(src).
+func (c *Copier) AMemcpy(dst, src []byte) *Handle {
+	return c.AMemcpyH(dst, src, nil)
+}
+
+// AMemcpyH is AMemcpy with a post-copy handler, run by the worker
+// right after the last segment lands (delegation-based handling,
+// §4.1).
+func (c *Copier) AMemcpyH(dst, src []byte, handler func()) *Handle {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("acopy: length mismatch %d != %d", len(dst), len(src)))
+	}
+	nseg := (len(dst) + SegSize - 1) / SegSize
+	h := &Handle{
+		dst:     dst,
+		src:     src,
+		bits:    make([]atomic.Uint64, (nseg+63)/64),
+		nseg:    nseg,
+		done:    make(chan struct{}),
+		handler: handler,
+	}
+	if nseg == 0 {
+		if handler != nil {
+			handler()
+		}
+		close(h.done)
+		return h
+	}
+	h.left.Store(int32(nseg))
+	c.submitTo(int(c.next.Add(1))%len(c.rings), h)
+	return h
+}
+
+// submitTo enqueues a prepared handle on one worker's ring. Chunked
+// operations (AMemmove) use a fixed ring so their chunks execute in
+// submission order.
+func (c *Copier) submitTo(i int, h *Handle) {
+	c.Submitted.Add(1)
+	c.pending.Add(1)
+	for !c.rings[i].push(h) {
+		// Ring full: help the worker by yielding.
+		runtime.Gosched()
+	}
+	select {
+	case c.wake[i] <- struct{}{}:
+	default:
+	}
+}
+
+// worker drains one ring, copying segment by segment and honoring
+// promotion hints.
+func (c *Copier) worker(r *ring, wake chan struct{}) {
+	defer c.wg.Done()
+	for {
+		h := r.pop()
+		if h == nil {
+			// Poll briefly, then park until a doorbell.
+			idle := 0
+			for h == nil {
+				runtime.Gosched()
+				h = r.pop()
+				if h != nil {
+					break
+				}
+				idle++
+				if idle > 128 {
+					select {
+					case <-wake:
+					case <-c.stop:
+						return
+					}
+					idle = 0
+				}
+			}
+		}
+		c.copyTask(h)
+		c.pending.Add(-1)
+	}
+}
+
+// copyTask copies all segments of h, restarting from a promoted
+// offset when CSync asks.
+func (c *Copier) copyTask(h *Handle) {
+	copied := 0
+	seg := 0
+	for copied < h.nseg {
+		if p := h.promoted.Load(); p != 0 && !h.segReady(int(p-1)) {
+			seg = int(p - 1)
+		}
+		// Find the next uncopied segment from seg, wrapping.
+		for h.segReady(seg % h.nseg) {
+			seg++
+		}
+		i := seg % h.nseg
+		lo := i * SegSize
+		hi := lo + SegSize
+		if hi > len(h.dst) {
+			hi = len(h.dst)
+		}
+		n := copy(h.dst[lo:hi], h.src[lo:hi])
+		c.Copied.Add(int64(n))
+		h.markSeg(i)
+		copied++
+		seg++
+	}
+}
+
+// AMemmove is the overlap-safe asynchronous memmove: overlapping
+// ranges are split into chunks no larger than the overlap distance
+// and submitted in the order that guarantees every chunk's source is
+// read before another chunk overwrites it (§4.1 footnote,
+// generalized). It returns one handle per chunk plus a Wait-all
+// helper.
+func (c *Copier) AMemmove(dst, src []byte) *MoveHandle {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("acopy: length mismatch %d != %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	mh := &MoveHandle{}
+	if n == 0 {
+		return mh
+	}
+	d := sliceDistance(dst, src)
+	if d == 0 {
+		return mh // same backing range: nothing to do
+	}
+	overlap := d > -n && d < n
+	if !overlap {
+		mh.handles = append(mh.handles, c.AMemcpy(dst, src))
+		return mh
+	}
+	// All chunks go to one worker so they execute in submission
+	// order, which the splitting below relies on.
+	ring := int(c.next.Add(1)) % len(c.rings)
+	submit := func(dstC, srcC []byte) {
+		nseg := (len(dstC) + SegSize - 1) / SegSize
+		h := &Handle{
+			dst:  dstC,
+			src:  srcC,
+			bits: make([]atomic.Uint64, (nseg+63)/64),
+			nseg: nseg,
+			done: make(chan struct{}),
+		}
+		h.left.Store(int32(nseg))
+		c.submitTo(ring, h)
+		mh.handles = append(mh.handles, h)
+	}
+	if d > 0 {
+		// dst after src: copy back to front in chunks of d.
+		for end := n; end > 0; {
+			start := end - d
+			if start < 0 {
+				start = 0
+			}
+			submit(dst[start:end], src[start:end])
+			end = start
+		}
+		return mh
+	}
+	// dst before src: front to back in chunks of |d|.
+	step := -d
+	for start := 0; start < n; start += step {
+		end := start + step
+		if end > n {
+			end = n
+		}
+		submit(dst[start:end], src[start:end])
+	}
+	return mh
+}
+
+// sliceDistance returns dst's offset relative to src when they share
+// a backing array (bytes), else a value outside (-len, len).
+func sliceDistance(dst, src []byte) int {
+	if len(dst) == 0 {
+		return 1 << 30
+	}
+	// Compare element addresses via slice identity tricks without
+	// unsafe: walk candidate offsets is impossible; instead rely on
+	// capacity overlap detection using the extended slices.
+	// A practical check: grow both to their caps and test if one
+	// contains the other's first element by aliasing writes is too
+	// invasive. Callers in this repo always pass subslices of one
+	// buffer, for which the offset math below is exact.
+	dp := &dst[0]
+	sp := &src[0]
+	if dp == sp {
+		return 0
+	}
+	// Probe within ±len: s[i] aliases d[0] iff &src[i] == &dst[0].
+	for i := 1; i < len(src); i++ {
+		if &src[i] == dp {
+			return i // dst starts i bytes after src
+		}
+	}
+	for i := 1; i < len(dst); i++ {
+		if &dst[i] == sp {
+			return -i
+		}
+	}
+	return 1 << 30
+}
+
+// MoveHandle aggregates the chunk handles of one AMemmove.
+type MoveHandle struct {
+	handles []*Handle
+}
+
+// Wait blocks until every chunk completed.
+func (m *MoveHandle) Wait() {
+	for _, h := range m.handles {
+		h.Wait()
+	}
+}
+
+// Chunks reports the number of submitted chunk copies.
+func (m *MoveHandle) Chunks() int { return len(m.handles) }
+
+// Pending reports tasks submitted but not yet fully copied.
+func (c *Copier) Pending() int64 { return c.pending.Load() }
+
+// Close stops the workers after draining all pending copies.
+func (c *Copier) Close() {
+	// Drain: wait for pending to reach zero.
+	for c.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+	close(c.stop)
+	for _, w := range c.wake {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	c.wg.Wait()
+}

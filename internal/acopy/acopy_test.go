@@ -1,0 +1,310 @@
+package acopy
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAMemcpyBasic(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	src := bytes.Repeat([]byte{0xAB}, 64<<10)
+	dst := make([]byte, len(src))
+	h := cp.AMemcpy(dst, src)
+	h.Wait()
+	if !bytes.Equal(dst, src) {
+		t.Fatal("copy wrong")
+	}
+	if !h.Done() || !h.Ready(0, len(dst)) {
+		t.Fatal("completion state wrong")
+	}
+}
+
+func TestCSyncPartial(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	dst := make([]byte, len(src))
+	h := cp.AMemcpy(dst, src)
+	// Sync only the first segment and use it immediately.
+	h.CSync(0, 100)
+	if !bytes.Equal(dst[:100], src[:100]) {
+		t.Fatal("first bytes not synced")
+	}
+	// Sync a tail range (exercises promotion).
+	off := len(src) - 5000
+	h.CSync(off, 5000)
+	if !bytes.Equal(dst[off:], src[off:]) {
+		t.Fatal("tail not synced")
+	}
+	h.Wait()
+	if !bytes.Equal(dst, src) {
+		t.Fatal("full copy wrong")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	ran := false
+	h := cp.AMemcpyH(nil, nil, func() { ran = true })
+	h.Wait()
+	if !ran {
+		t.Fatal("handler for empty copy not run")
+	}
+}
+
+func TestHandlerRunsAfterCompletion(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	src := bytes.Repeat([]byte{1}, 256<<10)
+	dst := make([]byte, len(src))
+	var got []byte
+	done := make(chan struct{})
+	h := cp.AMemcpyH(dst, src, func() {
+		// The handler must observe the finished copy.
+		got = append([]byte(nil), dst[len(dst)-10:]...)
+		close(done)
+	})
+	<-done
+	h.Wait()
+	if !bytes.Equal(got, src[:10]) {
+		t.Fatal("handler saw incomplete copy")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	cp.AMemcpy(make([]byte, 10), make([]byte, 11))
+}
+
+func TestReadyOutOfRangePanics(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	h := cp.AMemcpy(make([]byte, 10), make([]byte, 10))
+	h.Wait()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	h.Ready(5, 10)
+}
+
+func TestManyConcurrentSubmitters(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+	const per = 50
+	const gor = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, gor*per)
+	for g := 0; g < gor; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				n := 1 + rnd.Intn(64<<10)
+				src := make([]byte, n)
+				rnd.Read(src)
+				dst := make([]byte, n)
+				h := cp.AMemcpy(dst, src)
+				h.CSync(0, min(n, 64))
+				if !bytes.Equal(dst[:min(n, 64)], src[:min(n, 64)]) {
+					errs <- "head mismatch"
+				}
+				h.Wait()
+				if !bytes.Equal(dst, src) {
+					errs <- "full mismatch"
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if cp.Submitted.Load() != gor*per {
+		t.Fatalf("submitted = %d", cp.Submitted.Load())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: for any size and sync offsets, the bytes csynced are
+// already correct while the copy may still be in flight.
+func TestCSyncProperty(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	f := func(data []byte, offRaw, nRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		dst := make([]byte, len(data))
+		h := cp.AMemcpy(dst, data)
+		off := int(offRaw) % len(data)
+		n := int(nRaw) % (len(data) - off)
+		h.CSync(off, n)
+		if !bytes.Equal(dst[off:off+n], data[off:off+n]) {
+			return false
+		}
+		h.Wait()
+		return bytes.Equal(dst, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Copy-Use pipeline: consuming the buffer front-to-back with
+// per-chunk CSync yields exactly the source data.
+func TestPipelineConsumption(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	src := make([]byte, 4<<20)
+	rand.New(rand.NewSource(42)).Read(src)
+	dst := make([]byte, len(src))
+	h := cp.AMemcpy(dst, src)
+	sum := sha256.New()
+	const chunk = 8 << 10
+	for off := 0; off < len(dst); off += chunk {
+		end := off + chunk
+		if end > len(dst) {
+			end = len(dst)
+		}
+		h.CSync(off, end-off)
+		sum.Write(dst[off:end])
+	}
+	want := sha256.Sum256(src)
+	if !bytes.Equal(sum.Sum(nil), want[:]) {
+		t.Fatal("pipelined consumption corrupted data")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	cp := New(1)
+	src := bytes.Repeat([]byte{9}, 1<<20)
+	dsts := make([][]byte, 10)
+	handles := make([]*Handle, 10)
+	for i := range dsts {
+		dsts[i] = make([]byte, len(src))
+		handles[i] = cp.AMemcpy(dsts[i], src)
+	}
+	cp.Close()
+	for i, h := range handles {
+		if !h.Done() {
+			t.Fatalf("handle %d not done after Close", i)
+		}
+		if !bytes.Equal(dsts[i], src) {
+			t.Fatalf("dst %d wrong after Close", i)
+		}
+	}
+}
+
+func TestRingWrapStress(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	src := make([]byte, 128)
+	dst := make([]byte, 128)
+	for i := 0; i < 5000; i++ {
+		src[0] = byte(i)
+		h := cp.AMemcpy(dst, src)
+		h.Wait()
+		if dst[0] != byte(i) {
+			t.Fatalf("iteration %d lost", i)
+		}
+	}
+}
+
+func TestAMemmoveForwardOverlap(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	want := append([]byte(nil), buf[:1<<20-3000]...)
+	mh := cp.AMemmove(buf[3000:], buf[:1<<20-3000])
+	mh.Wait()
+	if !bytes.Equal(buf[3000:], want) {
+		t.Fatal("forward memmove corrupted data")
+	}
+	if mh.Chunks() < 2 {
+		t.Fatalf("expected chunked move, got %d", mh.Chunks())
+	}
+}
+
+func TestAMemmoveBackwardOverlap(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i * 13)
+	}
+	want := append([]byte(nil), buf[5000:]...)
+	mh := cp.AMemmove(buf[:1<<20-5000], buf[5000:])
+	mh.Wait()
+	if !bytes.Equal(buf[:1<<20-5000], want) {
+		t.Fatal("backward memmove corrupted data")
+	}
+}
+
+func TestAMemmoveDisjointAndSelf(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	a := bytes.Repeat([]byte{3}, 4096)
+	b := make([]byte, 4096)
+	cp.AMemmove(b, a).Wait()
+	if !bytes.Equal(a, b) {
+		t.Fatal("disjoint move wrong")
+	}
+	// Self move is a no-op.
+	mh := cp.AMemmove(a, a)
+	mh.Wait()
+	if mh.Chunks() != 0 {
+		t.Fatalf("self move submitted %d chunks", mh.Chunks())
+	}
+}
+
+func TestAMemmoveProperty(t *testing.T) {
+	cp := New(1)
+	defer cp.Close()
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rnd.Intn(256<<10)
+		shift := 1 + rnd.Intn(n)
+		buf := make([]byte, n+shift)
+		rnd.Read(buf)
+		ref := append([]byte(nil), buf...)
+		if trial%2 == 0 {
+			copy(ref[shift:], ref[:n])
+			cp.AMemmove(buf[shift:], buf[:n]).Wait()
+		} else {
+			copy(ref[:n], ref[shift:])
+			cp.AMemmove(buf[:n], buf[shift:]).Wait()
+		}
+		if !bytes.Equal(buf, ref) {
+			t.Fatalf("trial %d (n=%d shift=%d): memmove diverges from copy", trial, n, shift)
+		}
+	}
+}

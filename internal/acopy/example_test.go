@@ -1,0 +1,57 @@
+package acopy_test
+
+import (
+	"fmt"
+
+	"copier/internal/acopy"
+)
+
+// The canonical copy-use pipeline: start an asynchronous copy, then
+// consume the destination chunk by chunk as the data lands.
+func ExampleCopier() {
+	cp := acopy.New(1)
+	defer cp.Close()
+
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+
+	h := cp.AMemcpy(dst, src) // returns immediately
+
+	var sum int
+	const chunk = 64 << 10
+	for off := 0; off < len(dst); off += chunk {
+		h.CSync(off, chunk) // wait only for this chunk
+		for _, b := range dst[off : off+chunk] {
+			sum += int(b)
+		}
+	}
+	h.Wait()
+	fmt.Println(sum == sumOf(src))
+	// Output: true
+}
+
+// Post-copy handlers run as soon as the last segment lands —
+// delegation-based handling for buffer reclamation.
+func ExampleCopier_AMemcpyH() {
+	cp := acopy.New(1)
+	defer cp.Close()
+
+	src := make([]byte, 256<<10)
+	dst := make([]byte, len(src))
+	done := make(chan string, 1)
+	h := cp.AMemcpyH(dst, src, func() { done <- "buffer reclaimed" })
+	h.Wait()
+	fmt.Println(<-done)
+	// Output: buffer reclaimed
+}
+
+func sumOf(p []byte) int {
+	s := 0
+	for _, b := range p {
+		s += int(b)
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package avcodec
+
+import "testing"
+
+func TestPlaybackCompletes(t *testing.T) {
+	for _, copier := range []bool{false, true} {
+		res := Run(Config{FrameSize: 256 << 10, Frames: 32, Copier: copier})
+		if res.Frames != 32 || res.AvgFrameLatency <= 0 || res.Energy <= 0 {
+			t.Fatalf("copier=%v: %+v", copier, res)
+		}
+	}
+}
+
+func TestCopierReducesLatencyAndDrops(t *testing.T) {
+	// Fig. 13-c: 3-10% lower frame latency, fewer drops, near-equal
+	// energy.
+	base := Run(Config{FrameSize: 512 << 10, Frames: 64})
+	cop := Run(Config{FrameSize: 512 << 10, Frames: 64, Copier: true})
+	if cop.AvgFrameLatency >= base.AvgFrameLatency {
+		t.Fatalf("copier frame latency %d !< baseline %d", cop.AvgFrameLatency, base.AvgFrameLatency)
+	}
+	imp := 1 - float64(cop.AvgFrameLatency)/float64(base.AvgFrameLatency)
+	if imp > 0.2 {
+		t.Errorf("latency reduction %.0f%% implausibly high", imp*100)
+	}
+	if cop.Drops >= base.Drops {
+		t.Errorf("drops: copier %d !< baseline %d", cop.Drops, base.Drops)
+	}
+	// Scenario-driven polling keeps the energy overhead tiny
+	// (paper: +0.07%-0.29%).
+	ratio := cop.Energy / base.Energy
+	if ratio > 1.05 {
+		t.Errorf("energy overhead %.1f%% too high", (ratio-1)*100)
+	}
+}

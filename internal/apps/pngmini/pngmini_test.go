@@ -1,0 +1,36 @@
+package pngmini
+
+import "testing"
+
+func TestDecodeCompletes(t *testing.T) {
+	for _, copier := range []bool{false, true} {
+		res := Run(Config{ImageSize: 16 << 10, Images: 4, Copier: copier})
+		if res.AvgLatency <= 0 || res.Busy <= 0 {
+			t.Fatalf("copier=%v: %+v", copier, res)
+		}
+	}
+}
+
+func TestCopierHidesReadCopy(t *testing.T) {
+	for _, n := range []int{16 << 10, 64 << 10} {
+		base := Run(Config{ImageSize: n, Images: 6})
+		cop := Run(Config{ImageSize: n, Images: 6, Copier: true})
+		if cop.AvgLatency >= base.AvgLatency {
+			t.Errorf("n=%d: copier %d !< baseline %d", n, cop.AvgLatency, base.AvgLatency)
+		}
+		imp := 1 - float64(cop.AvgLatency)/float64(base.AvgLatency)
+		if imp > 0.35 {
+			t.Errorf("n=%d: improvement %.0f%% implausibly high", n, imp*100)
+		}
+	}
+}
+
+func TestCopyShareReasonable(t *testing.T) {
+	res := Run(Config{ImageSize: 16 << 10, Images: 4})
+	share := float64(res.CopyCycles) / float64(res.Busy)
+	// read()'s ERMS copy plus the row-buffer copies, against decode
+	// work — Fig. 2-a reports 8-17% for libpng.
+	if share < 0.02 || share > 0.5 {
+		t.Fatalf("copy share = %.2f implausible", share)
+	}
+}

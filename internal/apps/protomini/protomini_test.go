@@ -1,0 +1,28 @@
+package protomini
+
+import "testing"
+
+func TestDeserializeCompletes(t *testing.T) {
+	for _, copier := range []bool{false, true} {
+		res := Run(Config{MsgSize: 16 << 10, Messages: 6, Copier: copier})
+		if res.Messages != 6 || res.Fields == 0 || res.AvgLatency <= 0 {
+			t.Fatalf("copier=%v: %+v", copier, res)
+		}
+	}
+}
+
+func TestCopierOverlapHelps(t *testing.T) {
+	// Fig. 13-a: 4-33% latency reduction.
+	for _, n := range []int{16 << 10, 64 << 10} {
+		base := Run(Config{MsgSize: n, Messages: 8})
+		cop := Run(Config{MsgSize: n, Messages: 8, Copier: true})
+		if cop.AvgLatency >= base.AvgLatency {
+			t.Errorf("n=%d: copier %d !< baseline %d", n, cop.AvgLatency, base.AvgLatency)
+			continue
+		}
+		imp := 1 - float64(cop.AvgLatency)/float64(base.AvgLatency)
+		if imp > 0.5 {
+			t.Errorf("n=%d: improvement %.0f%% implausibly high", n, imp*100)
+		}
+	}
+}

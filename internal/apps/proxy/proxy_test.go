@@ -1,0 +1,67 @@
+package proxy
+
+import "testing"
+
+func TestAllModesForwardCorrectly(t *testing.T) {
+	for _, mode := range []Mode{ModeSync, ModeCopier, ModeZIO} {
+		res := Run(Config{Mode: mode, MsgSize: 32 << 10, Flows: 2, MsgsPerFlow: 8})
+		if res.Messages != 16 {
+			t.Fatalf("%v: messages = %d", mode, res.Messages)
+		}
+		if res.MPS() <= 0 {
+			t.Fatalf("%v: no throughput", mode)
+		}
+	}
+}
+
+func TestCopierImprovesThroughput(t *testing.T) {
+	const n = 64 << 10
+	base := Run(Config{Mode: ModeSync, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	cop := Run(Config{Mode: ModeCopier, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	if cop.MPS() <= base.MPS() {
+		t.Fatalf("copier MPS %.0f !> baseline %.0f", cop.MPS(), base.MPS())
+	}
+	// Copy absorption must have fired: the proxy's forwarding copies
+	// short-circuit kernel→kernel.
+	if cop.Stats.AbsorbedBytes == 0 {
+		t.Fatal("no absorption on the Copier proxy path")
+	}
+	if cop.Stats.AbortedTasks == 0 {
+		t.Fatal("lazy recv tasks never aborted")
+	}
+}
+
+func TestZIOBetweenBaselineAndCopier(t *testing.T) {
+	// Fig. 12-a: zIO helps (one user copy gone) but less than Copier
+	// (which folds all three copies).
+	const n = 64 << 10
+	base := Run(Config{Mode: ModeSync, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	zio := Run(Config{Mode: ModeZIO, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	cop := Run(Config{Mode: ModeCopier, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	if zio.MPS() <= base.MPS() {
+		t.Errorf("zIO MPS %.0f !> baseline %.0f at 64KB", zio.MPS(), base.MPS())
+	}
+	if cop.MPS() <= zio.MPS() {
+		t.Errorf("copier MPS %.0f !> zIO %.0f", cop.MPS(), zio.MPS())
+	}
+}
+
+func TestZIOSmallMessagesNoGain(t *testing.T) {
+	// zIO "is effective only for messages of >=16KB" (§6.2.2).
+	const n = 4 << 10
+	base := Run(Config{Mode: ModeSync, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	zio := Run(Config{Mode: ModeZIO, MsgSize: n, Flows: 2, MsgsPerFlow: 10})
+	if zio.MPS() > base.MPS()*105/100 {
+		t.Errorf("zIO gained on 4KB messages: %.0f vs %.0f", zio.MPS(), base.MPS())
+	}
+}
+
+func TestMultiThreadScaling(t *testing.T) {
+	// Fig. 12-b: more proxy threads → more throughput (uncontended
+	// cores).
+	one := Run(Config{Mode: ModeCopier, MsgSize: 16 << 10, Flows: 4, MsgsPerFlow: 10, Threads: 1})
+	four := Run(Config{Mode: ModeCopier, MsgSize: 16 << 10, Flows: 4, MsgsPerFlow: 10, Threads: 4})
+	if four.MPS() < one.MPS() {
+		t.Fatalf("4 threads (%.0f MPS) slower than 1 (%.0f MPS)", four.MPS(), one.MPS())
+	}
+}

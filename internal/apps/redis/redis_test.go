@@ -1,0 +1,104 @@
+package redis
+
+import (
+	"testing"
+
+	"copier/internal/sim"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if cfg.OpsPerClient == 0 {
+		cfg.OpsPerClient = 15
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	return Run(cfg)
+}
+
+func TestSetGetAllModesComplete(t *testing.T) {
+	for _, op := range []string{"set", "get"} {
+		for _, mode := range []Mode{ModeSync, ModeCopier, ModeZIO, ModeUB, ModeZeroCopy} {
+			res := run(t, Config{Mode: mode, Op: op, ValueSize: 8 << 10})
+			if res.Ops != 60 || len(res.Latencies) != 60 {
+				t.Fatalf("%s/%s: ops=%d lat=%d", op, mode, res.Ops, len(res.Latencies))
+			}
+			if res.Avg() <= 0 || res.P99() < res.Avg() {
+				t.Fatalf("%s/%s: avg=%d p99=%d", op, mode, res.Avg(), res.P99())
+			}
+		}
+	}
+}
+
+func TestCopierBeatsBaselineMediumValues(t *testing.T) {
+	for _, op := range []string{"set", "get"} {
+		base := run(t, Config{Mode: ModeSync, Op: op, ValueSize: 16 << 10})
+		cop := run(t, Config{Mode: ModeCopier, Op: op, ValueSize: 16 << 10})
+		if cop.Avg() >= base.Avg() {
+			t.Errorf("%s 16KB: copier %d !< baseline %d", op, cop.Avg(), base.Avg())
+		}
+		imp := 1 - float64(cop.Avg())/float64(base.Avg())
+		// Paper: 2.7%-43.4% SET / 4.2%-42.5% GET reductions across
+		// sizes; mid-size should sit well inside.
+		if imp < 0.03 || imp > 0.6 {
+			t.Errorf("%s 16KB: improvement %.1f%% outside band", op, imp*100)
+		}
+	}
+}
+
+func TestCopierUsesServiceOnlyInCopierMode(t *testing.T) {
+	base := run(t, Config{Mode: ModeSync, Op: "set", ValueSize: 4 << 10})
+	if base.CopierStats.TasksExecuted != 0 {
+		t.Fatal("baseline run used the Copier service")
+	}
+	cop := run(t, Config{Mode: ModeCopier, Op: "set", ValueSize: 4 << 10})
+	if cop.CopierStats.TasksExecuted == 0 {
+		t.Fatal("copier run never used the service")
+	}
+}
+
+func TestZeroCopyOnlyHelpsLargeGETs(t *testing.T) {
+	// Fig. 11: zero-copy send is "only efficient when the value
+	// length is >=32KB"; for small values its remap + ownership
+	// costs make it no better (or worse) than baseline.
+	small := 4 << 10
+	base := run(t, Config{Mode: ModeSync, Op: "get", ValueSize: small})
+	zc := run(t, Config{Mode: ModeZeroCopy, Op: "get", ValueSize: small})
+	if zc.Avg() < base.Avg()*95/100 {
+		t.Errorf("small zero-copy GET unexpectedly fast: %d vs %d", zc.Avg(), base.Avg())
+	}
+}
+
+func TestUBHelpsOnlySmall(t *testing.T) {
+	// UB saves trap costs but slows compute: good at 1KB, fading by
+	// 32KB (Fig. 11: "UB can only optimize SETs and GETs of <=4KB").
+	// Measured single-client: multi-client queueing noise swamps the
+	// small absolute trap savings.
+	sm, lg := 1<<10, 32<<10
+	cfg := func(mode Mode, n int) Config {
+		return Config{Mode: mode, Op: "get", ValueSize: n, Clients: 1, OpsPerClient: 40}
+	}
+	baseSm := Run(cfg(ModeSync, sm))
+	ubSm := Run(cfg(ModeUB, sm))
+	if ubSm.Avg() >= baseSm.Avg() {
+		t.Errorf("UB 1KB GET: %d !< %d", ubSm.Avg(), baseSm.Avg())
+	}
+	baseLg := Run(cfg(ModeSync, lg))
+	ubLg := Run(cfg(ModeUB, lg))
+	gainSm := 1 - float64(ubSm.Avg())/float64(baseSm.Avg())
+	gainLg := 1 - float64(ubLg.Avg())/float64(baseLg.Avg())
+	if gainLg >= gainSm {
+		t.Errorf("UB gain should fade with size: small %.2f%% large %.2f%%", gainSm*100, gainLg*100)
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	res := run(t, Config{Mode: ModeCopier, Op: "set", ValueSize: 4 << 10})
+	if res.ThroughputOpsPerMs() <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.Elapsed <= 0 || res.Elapsed == sim.Infinity {
+		t.Fatal("elapsed bogus")
+	}
+}

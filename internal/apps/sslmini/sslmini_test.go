@@ -1,0 +1,36 @@
+package sslmini
+
+import "testing"
+
+func TestSSLReadCompletes(t *testing.T) {
+	for _, copier := range []bool{false, true} {
+		res := Run(Config{MsgSize: 16 << 10, Messages: 5, Copier: copier})
+		if res.Records != 1 || res.AvgLatency <= 0 {
+			t.Fatalf("copier=%v: %+v", copier, res)
+		}
+	}
+	if r := Run(Config{MsgSize: 48 << 10, Messages: 3}); r.Records != 3 {
+		t.Fatalf("48KB should be 3 records, got %d", r.Records)
+	}
+}
+
+func TestCopierSpeedupModestAndFlatBeyond16K(t *testing.T) {
+	// Fig. 13-b: 1.4%-8.4% reduction, stable for sizes >= 16KB.
+	speedup := func(n int) float64 {
+		base := Run(Config{MsgSize: n, Messages: 6})
+		cop := Run(Config{MsgSize: n, Messages: 6, Copier: true})
+		return 1 - float64(cop.AvgLatency)/float64(base.AvgLatency)
+	}
+	s16 := speedup(16 << 10)
+	s64 := speedup(64 << 10)
+	if s16 <= 0 {
+		t.Errorf("no speedup at 16KB: %.2f%%", s16*100)
+	}
+	if s16 > 0.25 {
+		t.Errorf("16KB speedup %.0f%% implausibly high", s16*100)
+	}
+	// Flat beyond the record size: within a few points of each other.
+	if diff := s64 - s16; diff > 0.06 || diff < -0.06 {
+		t.Errorf("speedup not flat: 16KB %.1f%%, 64KB %.1f%%", s16*100, s64*100)
+	}
+}

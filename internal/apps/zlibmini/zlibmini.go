@@ -1,0 +1,132 @@
+// Package zlibmini models the zlib workload of §6.2.3: deflate_fast
+// compression whose sliding window advances by data copy. With Copier,
+// the copy of the next window block runs in parallel with pattern
+// matching over the current block (up to 18.8% speedup under 256KB).
+package zlibmini
+
+import (
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/kernel"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// WindowBlock is the sliding-window advance unit.
+const WindowBlock = 32 << 10
+
+// Config parameterizes one run.
+type Config struct {
+	// InputSize is the uncompressed input length.
+	InputSize  int
+	Iterations int
+	Copier     bool
+}
+
+// Result reports the average deflate latency per input.
+type Result struct {
+	AvgLatency sim.Time
+	Iterations int
+}
+
+// Run executes the experiment entirely in user space: the input is
+// consumed block by block; each block is first copied into the
+// sliding window, then pattern-matched.
+func Run(cfg Config) Result {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 5
+	}
+	m := kernel.NewMachine(kernel.Config{Cores: 3, MemBytes: 64 << 20})
+	m.InstallCopier(core.DefaultConfig(), 1, 2)
+	app := m.NewProcess("zlib")
+	var attach *kernel.CopierAttachment
+	if cfg.Copier {
+		attach = m.AttachCopier(app)
+	}
+	input := mustBuf(app.AS, cfg.InputSize)
+	fill(app.AS, input, cfg.InputSize)
+	// The sliding window holds 32KB of history plus the current
+	// block; advancing it copies the history down (zlib's fill_window
+	// memcpy) and the next input block in.
+	window := mustBuf(app.AS, 2*WindowBlock)
+
+	blocks := (cfg.InputSize + WindowBlock - 1) / WindowBlock
+	var total sim.Time
+	th := m.Spawn(app, "deflate", func(t *kernel.Thread) {
+		for it := 0; it < cfg.Iterations; it++ {
+			start := t.Now()
+			for b := 0; b < blocks; b++ {
+				off := b * WindowBlock
+				n := WindowBlock
+				if off+n > cfg.InputSize {
+					n = cfg.InputSize - off
+				}
+				if cfg.Copier {
+					// Both window copies run asynchronously; pattern
+					// matching proceeds chunk by chunk behind csyncs,
+					// overlapping match of chunk k with copy of k+1.
+					if b > 0 {
+						if err := attach.Lib.Amemmove(t, window, window+WindowBlock, WindowBlock); err != nil {
+							panic(err)
+						}
+					}
+					if err := attach.Lib.Amemcpy(t, window+WindowBlock, input+mem.VA(off), n); err != nil {
+						panic(err)
+					}
+					const chunk = 4096
+					for c := 0; c < n; c += chunk {
+						ln := chunk
+						if c+ln > n {
+							ln = n - c
+						}
+						if err := attach.Lib.Csync(t, window+WindowBlock+mem.VA(c), ln); err != nil {
+							panic(err)
+						}
+						t.Exec(cycles.Mul(ln, cycles.CompressByteNum, cycles.CompressByteDen))
+					}
+				} else {
+					// fill_window: slide history, then copy the next
+					// input block.
+					if b > 0 {
+						if err := t.UserCopy(window, window+WindowBlock, WindowBlock); err != nil {
+							panic(err)
+						}
+					}
+					if err := t.UserCopy(window+WindowBlock, input+mem.VA(off), n); err != nil {
+						panic(err)
+					}
+					t.Exec(cycles.Mul(n, cycles.CompressByteNum, cycles.CompressByteDen))
+				}
+			}
+			// Drain async copies before reusing buffers next iteration.
+			if cfg.Copier {
+				if err := attach.Lib.CsyncAll(t); err != nil {
+					panic(err)
+				}
+			}
+			total += t.Now() - start
+		}
+	})
+	if err := m.RunApps(th); err != nil {
+		panic(err)
+	}
+	return Result{AvgLatency: total / sim.Time(cfg.Iterations), Iterations: cfg.Iterations}
+}
+
+func mustBuf(as *mem.AddrSpace, n int) mem.VA {
+	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, int64(n), true); err != nil {
+		panic(err)
+	}
+	return va
+}
+
+func fill(as *mem.AddrSpace, va mem.VA, n int) {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i % 97)
+	}
+	if err := as.WriteAt(va, buf); err != nil {
+		panic(err)
+	}
+}

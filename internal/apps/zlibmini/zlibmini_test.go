@@ -1,0 +1,28 @@
+package zlibmini
+
+import "testing"
+
+func TestDeflateCompletes(t *testing.T) {
+	for _, copier := range []bool{false, true} {
+		res := Run(Config{InputSize: 128 << 10, Iterations: 3, Copier: copier})
+		if res.AvgLatency <= 0 {
+			t.Fatalf("copier=%v: no latency", copier)
+		}
+	}
+}
+
+func TestCopierPipelineSpeedup(t *testing.T) {
+	// §6.2.3: up to 18.8% speedup under 256KB.
+	for _, n := range []int{64 << 10, 256 << 10} {
+		base := Run(Config{InputSize: n, Iterations: 3})
+		cop := Run(Config{InputSize: n, Iterations: 3, Copier: true})
+		if cop.AvgLatency >= base.AvgLatency {
+			t.Errorf("n=%d: copier %d !< baseline %d", n, cop.AvgLatency, base.AvgLatency)
+			continue
+		}
+		imp := 1 - float64(cop.AvgLatency)/float64(base.AvgLatency)
+		if imp > 0.30 {
+			t.Errorf("n=%d: speedup %.0f%% implausibly high (paper <=18.8%%)", n, imp*100)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"copier/internal/cycles"
+	"copier/internal/kernel"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// UB models Userspace Bypass (OSDI '23): syscall-adjacent user code is
+// lifted into the kernel, eliminating trap/return crossings, at the
+// price of slowed memory accesses in the bypassed code (binary
+// translation + SFI checks). Fig. 10/11: "UB's effect diminishes as
+// data size increases since copy dominates the costs" and "UB can only
+// optimize SETs and GETs of <=4KB because it slows down the program's
+// memory access".
+type UB struct {
+	m *kernel.Machine
+	// SlowdownNum/Den is the memory-access multiplier of bypassed
+	// user code (~1.3x).
+	SlowdownNum, SlowdownDen int64
+}
+
+// NewUB returns the Userspace Bypass model.
+func NewUB(m *kernel.Machine) *UB {
+	return &UB{m: m, SlowdownNum: 13, SlowdownDen: 10}
+}
+
+// Slow scales a bypassed compute cost by the slowdown factor.
+func (u *UB) Slow(d sim.Time) sim.Time {
+	return sim.Time(int64(d) * u.SlowdownNum / u.SlowdownDen)
+}
+
+// SendNT is send(2) under UB: no trap/return (the caller already runs
+// in kernel context), same kernel work.
+func (u *UB) SendNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error {
+	var err error
+	// Same path as Socket.Send minus the privilege crossings.
+	t.Exec(cycles.SocketBookkeeping)
+	skb := u.m.Net().AllocSkb(t, n)
+	if err = t.KernelCopy(u.m.KernelAS, skb.VA, t.Proc.AS, buf, n); err != nil {
+		u.m.Net().FreeSkb(skb)
+		return err
+	}
+	t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+	s.DeliverSkb(skb)
+	return nil
+}
+
+// RecvNT is recv(2) under UB.
+func (u *UB) RecvNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) (int, error) {
+	t.Exec(cycles.SocketBookkeeping)
+	skb := s.WaitSkb(t)
+	if skb == nil {
+		return 0, kernel.ErrClosed
+	}
+	got := skb.Len
+	if got > n {
+		got = n
+	}
+	if err := t.KernelCopy(t.Proc.AS, buf, u.m.KernelAS, skb.VA, got); err != nil {
+		return 0, err
+	}
+	t.Exec(200)
+	u.m.Net().FreeSkb(skb)
+	return got, nil
+}
+
+// IOUring models io_uring with an SQPOLL kernel thread: applications
+// submit SQEs without trapping; the kthread executes the socket
+// operation in kernel context and posts a CQE. Batching amortizes the
+// submit/reap bookkeeping and wakeups (Fig. 10's IOR-b).
+type IOUring struct {
+	m  *kernel.Machine
+	sq []*SQE
+	// completions signal per-SQE completion.
+	work *sim.Signal
+	done *sim.Signal
+	// UseCopier makes the kthread use the Copier-integrated socket
+	// paths (Fig. 10's Copier+batch series).
+	UseCopier bool
+
+	kthread *kernel.Thread
+	stopped bool
+}
+
+// SQE is one submission-queue entry.
+type SQE struct {
+	Send  bool
+	Sock  *kernel.Socket
+	Proc  *kernel.Process
+	Buf   mem.VA
+	Len   int
+	Done  bool
+	Got   int
+	Err   error
+	owner *IOUring
+}
+
+// NewIOUring starts an io_uring instance with its SQPOLL kthread.
+func NewIOUring(m *kernel.Machine, useCopier bool) *IOUring {
+	u := &IOUring{
+		m:         m,
+		work:      sim.NewSignal("iouring-work"),
+		done:      sim.NewSignal("iouring-done"),
+		UseCopier: useCopier,
+	}
+	u.kthread = m.Spawn(nil, "iou-sqpoll", func(t *kernel.Thread) {
+		for !u.stopped {
+			if len(u.sq) == 0 {
+				t.Block(u.work)
+				continue
+			}
+			sqe := u.sq[0]
+			u.sq = u.sq[1:]
+			u.exec(t, sqe)
+			sqe.Done = true
+			u.done.Broadcast(m.Env)
+		}
+	})
+	return u
+}
+
+// Stop terminates the SQPOLL thread.
+func (u *IOUring) Stop() {
+	u.stopped = true
+	u.work.Broadcast(u.m.Env)
+}
+
+// KThread exposes the SQPOLL thread (for RunApps bookkeeping).
+func (u *IOUring) KThread() *kernel.Thread { return u.kthread }
+
+func (u *IOUring) exec(t *kernel.Thread, sqe *SQE) {
+	// The kthread performs the op in kernel context: no trap/return,
+	// but all other socket costs apply. With UseCopier it takes the
+	// Copier-integrated path (the copy is submitted async and synced
+	// by the NIC driver / app respectively).
+	net := u.m.Net()
+	if sqe.Send {
+		t.Exec(cycles.SocketBookkeeping)
+		skb := net.AllocSkb(t, sqe.Len)
+		a := u.m.Attachment(sqe.Proc)
+		if u.UseCopier && a != nil {
+			sqe.Err = sqe.Sock.SendSkbCopier(t, a, skb, sqe.Proc.AS, sqe.Buf, sqe.Len)
+		} else {
+			sqe.Err = t.KernelCopy(u.m.KernelAS, skb.VA, sqe.Proc.AS, sqe.Buf, sqe.Len)
+			if sqe.Err == nil {
+				t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+				sqe.Sock.DeliverSkb(skb)
+			}
+		}
+		return
+	}
+	t.Exec(cycles.SocketBookkeeping)
+	skb := sqe.Sock.WaitSkb(t)
+	if skb == nil {
+		sqe.Err = kernel.ErrClosed
+		return
+	}
+	sqe.Got = skb.Len
+	if sqe.Got > sqe.Len {
+		sqe.Got = sqe.Len
+	}
+	a := u.m.Attachment(sqe.Proc)
+	if u.UseCopier && a != nil {
+		sqe.Err = sqe.Sock.RecvSkbCopier(t, a, skb, sqe.Proc.AS, sqe.Buf, sqe.Got)
+	} else {
+		sqe.Err = t.KernelCopy(sqe.Proc.AS, sqe.Buf, u.m.KernelAS, skb.VA, sqe.Got)
+		t.Exec(200)
+		net.FreeSkb(skb)
+	}
+}
+
+// Submit enqueues entries without trapping (shared-memory SQ write +
+// doorbell check).
+func (u *IOUring) Submit(t *kernel.Thread, sqes ...*SQE) {
+	for _, s := range sqes {
+		s.owner = u
+		t.Exec(cycles.SubmitTask)
+		u.sq = append(u.sq, s)
+	}
+	u.work.Broadcast(u.m.Env)
+}
+
+// WaitAll blocks until every given SQE completed, reaping CQEs.
+func (u *IOUring) WaitAll(t *kernel.Thread, sqes ...*SQE) {
+	for {
+		all := true
+		for _, s := range sqes {
+			if !s.Done {
+				all = false
+				break
+			}
+		}
+		if all {
+			t.Exec(sim.Time(len(sqes)) * 20) // CQE reap
+			return
+		}
+		t.Block(u.done)
+	}
+}

@@ -1,0 +1,313 @@
+// Package baseline implements cost-faithful models of the systems the
+// paper compares against (Table 1, §6): zIO's transparent zero-copy,
+// Userspace Bypass, and io_uring (with and without batching).
+// MSG_ZEROCOPY lives in internal/kernel's socket layer.
+package baseline
+
+import (
+	"copier/internal/cycles"
+	"copier/internal/kernel"
+	"copier/internal/mem"
+)
+
+// ZIO models zIO (OSDI '22): it transparently intercepts large
+// user-space copies and replaces them with page remapping plus
+// copy-on-write — or, when the buffers' page offsets are not
+// congruent, with library-level indirection (an alias record) that
+// later I/O interposition resolves — materializing data only if
+// touched. Costs follow §2.2: per-page remap + TLB work, a minimum
+// profitable size (>=16KB per the paper; the evaluation configures
+// 4KB), alignment limitations, and page faults when the source buffer
+// is reused (§6.2.1: "Redis always reuses the input buffer and causes
+// page faults").
+type ZIO struct {
+	m *kernel.Machine
+	// Threshold is the smallest copy zIO intercepts (§6:
+	// "We set zIO's threshold to 4KB").
+	Threshold int
+
+	// aliases records intercepted copies deferred by indirection:
+	// the destination logically holds the source's data but no bytes
+	// moved yet.
+	aliases []zioAlias
+
+	// Stats
+	Intercepted  int64
+	FellBack     int64
+	PagesShared  int64
+	Materialized int64
+	SendsGather  int64
+}
+
+// zioAlias is one deferred copy.
+type zioAlias struct {
+	dst, src mem.VA
+	n        int
+}
+
+// NewZIO wraps a machine with a zIO interceptor for one process.
+func NewZIO(m *kernel.Machine, threshold int) *ZIO {
+	if threshold <= 0 {
+		threshold = 16 << 10
+	}
+	return &ZIO{m: m, Threshold: threshold}
+}
+
+// Memcpy performs dst←src in t's process, using zero-copy remapping
+// when profitable, library indirection for large copies with
+// incongruent offsets, and falling back to a real copy otherwise.
+func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n int) error {
+	as := t.Proc.AS
+	if n < z.Threshold {
+		z.FellBack++
+		return t.UserCopy(dst, src, n)
+	}
+	// Reading an aliased (not yet materialized) range as a copy
+	// source forces materialization first.
+	if err := z.materializeOverlapping(t, src, n, true); err != nil {
+		return err
+	}
+	// Writing over an alias's source also forces it out first.
+	if err := z.materializeOverlapping(t, dst, n, false); err != nil {
+		return err
+	}
+	// A new copy onto an aliased destination supersedes the alias.
+	z.dropAliasesOnto(dst, n)
+	if dst.Offset() != src.Offset() {
+		// Offsets not congruent: no page sharing possible. Record an
+		// alias; interposed I/O functions resolve it and unintercepted
+		// accesses materialize it on fault.
+		z.Intercepted++
+		z.aliases = append(z.aliases, zioAlias{dst: dst, src: src, n: n})
+		t.Exec(400) // copy-set bookkeeping
+		return nil
+	}
+	headLen := 0
+	if !src.PageAligned() {
+		headLen = mem.PageSize - src.Offset()
+	}
+	midLen := (n - headLen) &^ (mem.PageSize - 1)
+	tailLen := n - headLen - midLen
+	if midLen < z.Threshold/2 {
+		z.FellBack++
+		return t.UserCopy(dst, src, n)
+	}
+	z.Intercepted++
+	// Copy the unaligned head and tail.
+	if headLen > 0 {
+		if err := t.UserCopy(dst, src, headLen); err != nil {
+			return err
+		}
+	}
+	if tailLen > 0 {
+		off := mem.VA(headLen + midLen)
+		if err := t.UserCopy(dst+off, src+off, tailLen); err != nil {
+			return err
+		}
+	}
+	// Remap the middle: dst pages alias src frames, both sides CoW.
+	// Page-table updates and TLB invalidation are the price (§2.2:
+	// "it still requires page table remapping, leading to non-trivial
+	// overheads"). Costs are calibrated so that remap + the later
+	// re-own of the donated pages breaks even against a plain copy at
+	// zIO's published ~16KB threshold: 4 pages ≈ 300+4*(120+100) ≈
+	// 1200 cycles vs a 16KB AVX copy ≈ 1700.
+	const (
+		remapFixed   = 300 // mmap_lock fast path, deferred shootdown share
+		remapPerPage = 120 // batched PTE update + local invalidation
+	)
+	pages := midLen / mem.PageSize
+	mid := mem.VA(headLen)
+	t.Exec(remapFixed)
+	for p := 0; p < pages; p++ {
+		sva := src + mid + mem.VA(p*mem.PageSize)
+		dva := dst + mid + mem.VA(p*mem.PageSize)
+		// Fault source in if needed (kernel-context cost).
+		if as.Classify(sva, false) != mem.FaultNone {
+			t.Exec(cycles.PageFault + cycles.PageAllocZero)
+			if _, _, err := as.HandleFault(sva, false); err != nil {
+				return err
+			}
+		}
+		f, _, err := as.Translate(sva)
+		if err != nil {
+			return err
+		}
+		if err := as.ReplacePage(dva, f); err != nil {
+			return err
+		}
+		if err := as.MapCoW(dva); err != nil {
+			return err
+		}
+		if err := as.MapCoW(sva); err != nil {
+			return err
+		}
+		t.Exec(remapPerPage)
+		z.PagesShared++
+	}
+	return nil
+}
+
+// dropAliasesOnto removes aliases whose destination is fully covered
+// by a new write of [dst, dst+n): the deferred data is superseded
+// before anyone observed it.
+func (z *ZIO) dropAliasesOnto(dst mem.VA, n int) {
+	out := z.aliases[:0]
+	for _, a := range z.aliases {
+		if a.dst >= dst && a.dst+mem.VA(a.n) <= dst+mem.VA(n) {
+			continue
+		}
+		out = append(out, a)
+	}
+	z.aliases = out
+}
+
+// materializeOverlapping performs the deferred copies of aliases whose
+// source (or, with dstSide, destination) overlaps [va, va+n), charging
+// the interception fault plus the real copy.
+func (z *ZIO) materializeOverlapping(t *kernel.Thread, va mem.VA, n int, dstSide bool) error {
+	out := z.aliases[:0]
+	var pendingErr error
+	for _, a := range z.aliases {
+		region, rn := a.src, a.n
+		if dstSide {
+			region = a.dst
+		}
+		if pendingErr == nil && region < va+mem.VA(n) && va < region+mem.VA(rn) {
+			t.Exec(cycles.PageFault)
+			if err := t.UserCopy(a.dst, a.src, a.n); err != nil {
+				pendingErr = err
+			}
+			z.Materialized++
+			continue
+		}
+		out = append(out, a)
+	}
+	z.aliases = out
+	return pendingErr
+}
+
+// InvalidateSource materializes aliases sourced inside [va, va+n)
+// before the caller overwrites the region — the interposed recv()
+// path calls this on buffer reuse (the Redis input-buffer problem,
+// §6.2.1).
+func (z *ZIO) InvalidateSource(t *kernel.Thread, va mem.VA, n int) error {
+	return z.materializeOverlapping(t, va, n, false)
+}
+
+// Send transmits [buf, buf+n), resolving aliases by gathering directly
+// from their sources — the deferred user copy never happens (zIO's
+// I/O interposition win).
+func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error {
+	// Build the outgoing bytes from alias sources where applicable.
+	type piece struct {
+		from mem.VA
+		off  int // offset in the message
+		n    int
+	}
+	pieces := []piece{{buf, 0, n}}
+	for _, a := range z.aliases {
+		if !(a.dst < buf+mem.VA(n) && buf < a.dst+mem.VA(a.n)) {
+			continue
+		}
+		z.SendsGather++
+		var next []piece
+		for _, p := range pieces {
+			lo, hi := p.from, p.from+mem.VA(p.n)
+			alo, ahi := a.dst, a.dst+mem.VA(a.n)
+			if ahi <= lo || hi <= alo || p.from != buf+mem.VA(p.off) {
+				next = append(next, p)
+				continue
+			}
+			// Split p into [lo, alo) [max(lo,alo), min(hi,ahi)) [ahi, hi).
+			if alo > lo {
+				next = append(next, piece{p.from, p.off, int(alo - lo)})
+			}
+			clo, chi := alo, ahi
+			if lo > clo {
+				clo = lo
+			}
+			if hi < chi {
+				chi = hi
+			}
+			next = append(next, piece{a.src + (clo - a.dst), p.off + int(clo-lo), int(chi - clo)})
+			if hi > ahi {
+				next = append(next, piece{p.from + (ahi - lo), p.off + int(ahi-lo), int(hi - ahi)})
+			}
+		}
+		pieces = next
+	}
+	t.Exec(200) // interposition dispatch
+	var err error
+	t.Syscall("send-zio", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		net := t.Machine().Net()
+		skb := net.AllocSkb(t, n)
+		for _, p := range pieces {
+			if err = t.KernelCopy(t.Machine().KernelAS, skb.VA+mem.VA(p.off), t.Proc.AS, p.from, p.n); err != nil {
+				net.FreeSkb(skb)
+				return
+			}
+		}
+		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+		s.DeliverSkb(skb)
+	})
+	return err
+}
+
+// PrepareOverwrite re-owns shared CoW pages fully covered by an
+// imminent overwrite of [va, va+n) WITHOUT copying their old contents
+// (the overwrite replaces everything) — what zIO's recv interposition
+// does before reusing a donated buffer.
+func (z *ZIO) PrepareOverwrite(t *kernel.Thread, va mem.VA, n int) error {
+	as := t.Proc.AS
+	for pva := va & ^mem.VA(mem.PageSize-1); pva < va+mem.VA(n); pva += mem.PageSize {
+		if pva < va || pva+mem.PageSize > va+mem.VA(n) {
+			continue // partial pages fault normally
+		}
+		pte := as.PTEOf(pva)
+		if pte == nil || !pte.Present || !pte.CoW {
+			continue
+		}
+		old, _, err := as.PrepareCoWBreak(pva)
+		if err != nil {
+			return err
+		}
+		t.Exec(100) // per-cpu free-list frame + batched PTE store, no copy
+		if old != mem.NoFrame {
+			t.Machine().Phys.DecRef(old)
+		}
+	}
+	return nil
+}
+
+// Aliases reports unresolved deferred copies.
+func (z *ZIO) Aliases() int { return len(z.aliases) }
+
+// TouchRead models the process reading an aliased destination: the
+// access faults (zIO protects unmaterialized ranges) and the deferred
+// copy materializes on demand.
+func (z *ZIO) TouchRead(t *kernel.Thread, va mem.VA, n int) error {
+	return z.materializeOverlapping(t, va, n, true)
+}
+
+// TouchWrite models the process writing to a zIO-shared buffer: CoW
+// faults materialize the deferred copy, page by page (the on-demand
+// copy path).
+func (z *ZIO) TouchWrite(t *kernel.Thread, va mem.VA, n int) error {
+	as := t.Proc.AS
+	for pva := va & ^mem.VA(mem.PageSize-1); pva < va+mem.VA(n); pva += mem.PageSize {
+		if as.Classify(pva, true) != mem.FaultCoW {
+			continue
+		}
+		t.Exec(cycles.PageFault + cycles.PageAllocCoW)
+		_, copied, err := as.HandleFault(pva, true)
+		if err != nil {
+			return err
+		}
+		if copied > 0 {
+			t.Exec(cycles.SyncCopyCost(cycles.UnitERMS, copied))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must have a driver.
+	want := []string{
+		"fig2a", "fig2b", "fig3", "fig7a", "fig9", "fig10",
+		"binder", "cow", "fig11", "fig12a", "fig12b", "fig12c",
+		"fig13a", "fig13b", "zlib", "fig13c", "fig14", "tbl3",
+		"cpi", "scope", "sendfile", "isolation",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Experiments()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(Experiments()), len(want))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Note("hello %d", 5)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a    bb", "333  4", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if kb(4096) != "4KB" || kb(1<<20) != "1MB" || kb(100) != "100B" {
+		t.Fatal("kb formatting wrong")
+	}
+	if pct(110, 100) != "+10.0%" || pct(90, 100) != "-10.0%" || pct(1, 0) != "n/a" {
+		t.Fatal("pct formatting wrong")
+	}
+	if speedup(200, 100) != "2.00x" {
+		t.Fatal("speedup formatting wrong")
+	}
+}
+
+// Cheap analytic experiments must always produce well-formed tables.
+func TestAnalyticExperimentsProduceRows(t *testing.T) {
+	for _, id := range []string{"fig7a", "scope", "fig3", "cpi", "tbl3"} {
+		e, _ := ByID(id)
+		tables := e.Run(Quick)
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+		for _, tbl := range tables {
+			if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s: row width %d != %d cols", id, len(row), len(tbl.Columns))
+				}
+			}
+		}
+	}
+}
+
+// A representative simulated experiment end to end (kept small).
+func TestCoWExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated experiment")
+	}
+	e, _ := ByID("cow")
+	tables := e.Run(Quick)
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("rows = %d", len(tables[0].Rows))
+	}
+	// 2MB row must show a substantial reduction.
+	twoMB := tables[0].Rows[1]
+	if !strings.HasPrefix(twoMB[3], "-") {
+		t.Fatalf("2MB CoW reduction missing: %v", twoMB)
+	}
+}

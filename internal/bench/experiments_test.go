@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Simulated experiments run end to end at Quick scale. The heavier
+// sweeps (fig9/fig10/fig11/fig12/fig14) are exercised by
+// cmd/copierbench and the root benchmarks; this keeps `go test` fast
+// while covering each driver family.
+func TestSimulatedExperimentsSmoke(t *testing.T) {
+	ids := []string{"binder", "cow", "sendfile", "isolation", "fig13b", "zlib", "fig13c"}
+	if testing.Short() {
+		ids = ids[:2]
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown %q", id)
+			}
+			for _, tbl := range e.Run(Quick) {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s: empty table", id)
+				}
+				var buf strings.Builder
+				tbl.Fprint(&buf)
+				if !strings.Contains(buf.String(), tbl.ID) {
+					t.Fatalf("%s: render missing id", id)
+				}
+			}
+		})
+	}
+}
+
+// The isolation experiment's ratios must track the share ratios.
+func TestIsolationProportional(t *testing.T) {
+	a, b := isolationRun(300, 100)
+	if a == 0 || b == 0 {
+		t.Fatal("starvation under shares")
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Fatalf("3:1 shares gave ratio %.2f", ratio)
+	}
+}
+
+// The CoW experiment's 2MB row must show a substantial reduction and
+// the 4KB row must be near-neutral (paper: -71.8% / -8.0%).
+func TestCoWNumbers(t *testing.T) {
+	base2M := cowBlocked(512, false)
+	cop2M := cowBlocked(512, true)
+	if red := 1 - float64(cop2M)/float64(base2M); red < 0.4 {
+		t.Fatalf("2MB reduction %.2f", red)
+	}
+	base4K := cowBlocked(1, false)
+	cop4K := cowBlocked(1, true)
+	if r := float64(cop4K) / float64(base4K); r < 0.5 || r > 1.5 {
+		t.Fatalf("4KB ratio %.2f", r)
+	}
+}
+
+// Sendfile ordering: read+send > sendfile > sendfile+Copier.
+func TestSendfileOrdering(t *testing.T) {
+	n := 64 << 10
+	rs := fileSendLatency(n, 0)
+	sf := fileSendLatency(n, 1)
+	sfc := fileSendLatency(n, 2)
+	if !(rs > sf && sf > sfc) {
+		t.Fatalf("ordering violated: read+send=%d sendfile=%d +copier=%d", rs, sf, sfc)
+	}
+}

@@ -1,0 +1,191 @@
+package copiergen
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func basicFunc() *Func {
+	return &Func{
+		Name: "copyUse",
+		Vars: []Var{{"src", 8192}, {"dst", 8192}, {"obj", 1024}},
+		Ops: []Op{
+			{Kind: OpCopy, Dst: "dst", Src: "src", Len: 8192},
+			{Kind: OpCompute},
+			{Kind: OpLoad, Src: "dst", SrcOff: 0, Len: 8},
+			{Kind: OpCopy, Dst: "obj", Src: "dst", SrcOff: 100, Len: 512},
+			{Kind: OpFree, Dst: "src"},
+		},
+	}
+}
+
+func TestConvertCopies(t *testing.T) {
+	f := basicFunc()
+	if err := ConvertCopies(f, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// The 8KB copy converts; the 512B one stays sync (below minSize).
+	if CountKind(f, OpACopy) != 1 || CountKind(f, OpCopy) != 1 {
+		t.Fatalf("acopy=%d copy=%d", CountKind(f, OpACopy), CountKind(f, OpCopy))
+	}
+}
+
+func TestEscapeRejected(t *testing.T) {
+	f := &Func{
+		Vars: []Var{{"b", 4096}},
+		Ops:  []Op{{Kind: OpEscape, Dst: "b"}, {Kind: OpCopy, Dst: "b", Src: "b", Len: 0}},
+	}
+	if err := ConvertCopies(f, 1); !errors.Is(err, ErrPointerEscape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInsertCsyncBeforeLoadAndFree(t *testing.T) {
+	f := basicFunc()
+	if err := Port(f, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Expect csyncs: before the dst load, before the dst-sourced
+	// copy, and before freeing src (the source of a pending copy).
+	if got := CountKind(f, OpCsync); got < 2 {
+		t.Fatalf("csyncs = %d, want >= 2\n%v", got, f.Ops)
+	}
+	// The first csync must precede the first load.
+	for _, op := range f.Ops {
+		if op.Kind == OpLoad {
+			t.Fatal("load reached before any csync")
+		}
+		if op.Kind == OpCsync {
+			break
+		}
+	}
+}
+
+func TestPortedProgramObservationallyEqual(t *testing.T) {
+	orig := basicFunc()
+	ported := basicFunc()
+	if err := Port(ported, 1024); err != nil {
+		t.Fatal(err)
+	}
+	a := NewInterp(orig)
+	if err := a.Run(orig, false); err != nil {
+		t.Fatal(err)
+	}
+	b := NewInterp(ported)
+	if err := b.Run(ported, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Observed, b.Observed) {
+		t.Fatal("observations differ")
+	}
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("final memory differs")
+	}
+}
+
+// Omitting the pass (no csyncs) must be observable under adversarial
+// completion — proving the interpreter actually defers.
+func TestUnportedAsyncDiverges(t *testing.T) {
+	f := basicFunc()
+	f.Ops[0].Kind = OpACopy // convert without inserting csyncs
+	f.Ops[3].Kind = OpACopy
+	a := NewInterp(basicFunc())
+	if err := a.Run(basicFunc(), false); err != nil {
+		t.Fatal(err)
+	}
+	b := NewInterp(f)
+	if err := b.Run(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Observed, b.Observed) {
+		t.Fatal("deferred semantics were not adversarial — bug in the interpreter")
+	}
+}
+
+// Property: random straight-line programs, once ported, behave
+// identically under sync and adversarial-async semantics.
+func TestPortRefinementProperty(t *testing.T) {
+	vars := []Var{{"a", 4096}, {"b", 4096}, {"c", 4096}, {"d", 2048}}
+	gen := func(rnd *rand.Rand) *Func {
+		f := &Func{Name: "rand", Vars: vars}
+		nOps := 4 + rnd.Intn(12)
+		for i := 0; i < nOps; i++ {
+			pick := func() (string, int) {
+				v := vars[rnd.Intn(len(vars))]
+				return v.Name, v.Size
+			}
+			switch rnd.Intn(6) {
+			case 0, 1: // copy between distinct vars
+				dn, dsz := pick()
+				sn, ssz := pick()
+				if dn == sn {
+					continue
+				}
+				max := dsz
+				if ssz < max {
+					max = ssz
+				}
+				n := 256 + rnd.Intn(max-256)
+				off := rnd.Intn(max - n + 1)
+				f.Ops = append(f.Ops, Op{Kind: OpCopy, Dst: dn, DstOff: off % (dsz - n + 1), Src: sn, SrcOff: off % (ssz - n + 1), Len: n})
+			case 2: // load
+				vn, sz := pick()
+				n := 1 + rnd.Intn(64)
+				f.Ops = append(f.Ops, Op{Kind: OpLoad, Src: vn, SrcOff: rnd.Intn(sz - n), Len: n})
+			case 3: // store
+				vn, sz := pick()
+				n := 1 + rnd.Intn(64)
+				f.Ops = append(f.Ops, Op{Kind: OpStore, Dst: vn, DstOff: rnd.Intn(sz - n), Len: n})
+			case 4: // call
+				vn, _ := pick()
+				f.Ops = append(f.Ops, Op{Kind: OpCall, Dst: vn, Fn: "ext"})
+			case 5:
+				f.Ops = append(f.Ops, Op{Kind: OpCompute})
+			}
+		}
+		return f
+	}
+	for trial := 0; trial < 200; trial++ {
+		rnd := rand.New(rand.NewSource(int64(trial)))
+		f := gen(rnd)
+		orig := &Func{Name: f.Name, Vars: f.Vars, Ops: append([]Op(nil), f.Ops...)}
+		if err := Port(f, 512); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		a := NewInterp(orig)
+		if err := a.Run(orig, false); err != nil {
+			t.Fatalf("trial %d sync: %v", trial, err)
+		}
+		b := NewInterp(f)
+		if err := b.Run(f, true); err != nil {
+			t.Fatalf("trial %d async: %v", trial, err)
+		}
+		if !bytes.Equal(a.Observed, b.Observed) {
+			t.Fatalf("trial %d: observations diverge\nops: %v", trial, f.Ops)
+		}
+		if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("trial %d: memory diverges\nops: %v", trial, f.Ops)
+		}
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	f := &Func{Vars: []Var{{"a", 128}}, Ops: []Op{{Kind: OpLoad, Src: "zzz", Len: 1}}}
+	if err := f.Validate(); err == nil {
+		t.Fatal("unknown var accepted")
+	}
+	f = &Func{Vars: []Var{{"a", 128}}, Ops: []Op{{Kind: OpStore, Dst: "a", DstOff: 120, Len: 64}}}
+	if err := f.Validate(); err == nil {
+		t.Fatal("out-of-bounds accepted")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for k := OpLoad; k <= OpCompute; k++ {
+		if k.String() == "op?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package copiergen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interp executes a mini-IR function on concrete memory, under either
+// synchronous semantics (memcpy runs immediately) or asynchronous
+// semantics (amemcpy is deferred until a covering csync arrives, or
+// until the end of the program — modelling the service completing
+// lazily and adversarially late). Comparing the two validates
+// CopierGen's csync insertion: a correctly ported program must be
+// observationally equal to the original under the *worst-case*
+// completion schedule.
+type Interp struct {
+	mem   map[string][]byte
+	freed map[string]bool
+	// deferred amemcpys not yet performed, in program order.
+	deferred []deferredCopy
+	// Loads observed (the program's outputs).
+	Observed []byte
+}
+
+type deferredCopy struct {
+	dst, src   string
+	dOff, sOff int
+	n          int
+	// data snapshot is NOT taken: the async service reads the source
+	// at copy time; correct programs must not modify it before csync.
+	done bool
+}
+
+// NewInterp allocates memory for the function's variables with a
+// deterministic fill.
+func NewInterp(f *Func) *Interp {
+	in := &Interp{mem: make(map[string][]byte), freed: make(map[string]bool)}
+	for vi, v := range f.Vars {
+		buf := make([]byte, v.Size)
+		for i := range buf {
+			buf[i] = byte(i*7 + vi*31 + 3)
+		}
+		in.mem[v.Name] = buf
+	}
+	return in
+}
+
+// Run executes the function. async selects deferred-copy semantics.
+func (in *Interp) Run(f *Func, async bool) error {
+	for i, op := range f.Ops {
+		if err := in.step(op, async); err != nil {
+			return fmt.Errorf("op %d (%v): %w", i, op, err)
+		}
+	}
+	// Program end: the service eventually completes everything.
+	in.flush(nil, 0, 0)
+	return nil
+}
+
+func (in *Interp) step(op Op, async bool) error {
+	switch op.Kind {
+	case OpCopy:
+		in.copyNow(op.Dst, op.DstOff, op.Src, op.SrcOff, op.Len)
+	case OpACopy:
+		if !async {
+			in.copyNow(op.Dst, op.DstOff, op.Src, op.SrcOff, op.Len)
+			return nil
+		}
+		in.deferred = append(in.deferred, deferredCopy{
+			dst: op.Dst, src: op.Src, dOff: op.DstOff, sOff: op.SrcOff, n: op.Len,
+		})
+	case OpCsync:
+		in.flush(&op.Dst, op.DstOff, op.Len)
+	case OpLoad:
+		if in.freed[op.Src] {
+			return fmt.Errorf("load of freed %q", op.Src)
+		}
+		in.Observed = append(in.Observed, in.mem[op.Src][op.SrcOff:op.SrcOff+op.Len]...)
+	case OpStore:
+		if in.freed[op.Dst] {
+			return fmt.Errorf("store to freed %q", op.Dst)
+		}
+		buf := in.mem[op.Dst]
+		for i := 0; i < op.Len; i++ {
+			buf[op.DstOff+i] = byte(op.DstOff + i + 101)
+		}
+	case OpCall:
+		// The external function reads the whole buffer.
+		if in.freed[op.Dst] {
+			return fmt.Errorf("call with freed %q", op.Dst)
+		}
+		in.Observed = append(in.Observed, in.mem[op.Dst]...)
+	case OpFree:
+		in.freed[op.Dst] = true
+	case OpCompute:
+	}
+	return nil
+}
+
+// copyNow moves bytes immediately, resolving any deferred copies the
+// read depends on first (the service's dependency tracking).
+func (in *Interp) copyNow(dst string, dOff int, src string, sOff, n int) {
+	// Reads of a deferred destination see stale bytes; the service
+	// would order them — model by flushing copies targeting the
+	// source range first.
+	in.flush(&src, sOff, n)
+	copy(in.mem[dst][dOff:dOff+n], in.mem[src][sOff:sOff+n])
+}
+
+// flush performs deferred copies covering the given range (nil = all),
+// in order, cascading dependencies.
+func (in *Interp) flush(v *string, off, n int) {
+	for i := range in.deferred {
+		dc := &in.deferred[i]
+		if dc.done {
+			continue
+		}
+		if v != nil {
+			lo := off
+			hi := off + n
+			dlo, dhi := dc.dOff, dc.dOff+dc.n
+			if dc.dst != *v || dhi <= lo || hi <= dlo {
+				continue
+			}
+		}
+		in.exec(i)
+	}
+}
+
+// exec performs deferred copy i after its dependencies: earlier
+// copies writing its source (flow) and earlier copies reading its
+// destination (anti-dependency — the service's §4.2.2 rule when a
+// Sync Task promotes a later task).
+func (in *Interp) exec(idx int) {
+	dc := &in.deferred[idx]
+	if dc.done {
+		return
+	}
+	// Guard against (impossible in valid programs) cycles.
+	dc.done = true
+	for i := 0; i < idx; i++ {
+		e := &in.deferred[i]
+		if e.done {
+			continue
+		}
+		writesOurSrc := e.dst == dc.src && e.dOff < dc.sOff+dc.n && dc.sOff < e.dOff+e.n
+		readsOurDst := e.src == dc.dst && e.sOff < dc.dOff+dc.n && dc.dOff < e.sOff+e.n
+		writesOurDst := e.dst == dc.dst && e.dOff < dc.dOff+dc.n && dc.dOff < e.dOff+e.n
+		if writesOurSrc || readsOurDst || writesOurDst {
+			in.exec(i)
+		}
+	}
+	copy(in.mem[dc.dst][dc.dOff:dc.dOff+dc.n], in.mem[dc.src][dc.sOff:dc.sOff+dc.n])
+}
+
+// Snapshot returns a stable dump of all live memory.
+func (in *Interp) Snapshot() []byte {
+	var names []string
+	for name := range in.mem {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []byte
+	for _, name := range names {
+		if in.freed[name] {
+			continue
+		}
+		out = append(out, in.mem[name]...)
+	}
+	return out
+}

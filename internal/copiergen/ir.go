@@ -1,0 +1,164 @@
+// Package copiergen implements CopierGen (§5.1.3): compiler passes
+// that automate porting programs to Copier by replacing memcpy calls
+// with amemcpy and inserting csync before the first access to
+// affected memory.
+//
+// The real system works on LLVM/MLIR IR; this package defines a small
+// SSA-flavored mini-IR with the properties the paper relies on —
+// variables are explicit and data access is constrained to a few
+// operations (load/store/copy/call) — and implements the same two
+// passes. Like the paper, it handles the basic cases (arrays, direct
+// buffer access) and rejects programs where pointers escape, which
+// remains future work.
+package copiergen
+
+import "fmt"
+
+// OpKind enumerates mini-IR operations.
+type OpKind int
+
+const (
+	// OpLoad reads Len bytes from Src+SrcOff into a register.
+	OpLoad OpKind = iota
+	// OpStore writes Len bytes to Dst+DstOff.
+	OpStore
+	// OpCopy is memcpy(Dst+DstOff, Src+SrcOff, Len).
+	OpCopy
+	// OpACopy is amemcpy(...) — produced by the ConvertCopies pass.
+	OpACopy
+	// OpCsync is csync(Dst+DstOff, Len) — produced by InsertCsyncs.
+	OpCsync
+	// OpCall passes a buffer to an external function (opaque access
+	// to the whole variable, §5.1 guideline 3).
+	OpCall
+	// OpFree releases a buffer (guideline 2).
+	OpFree
+	// OpEscape takes the address of a buffer into a pointer the IR
+	// cannot track — programs containing it are rejected (paper:
+	// "leave handling complex issues (e.g., pointer passing) as
+	// future work").
+	OpEscape
+	// OpCompute is opaque computation touching no tracked memory.
+	OpCompute
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCopy:
+		return "memcpy"
+	case OpACopy:
+		return "amemcpy"
+	case OpCsync:
+		return "csync"
+	case OpCall:
+		return "call"
+	case OpFree:
+		return "free"
+	case OpEscape:
+		return "escape"
+	case OpCompute:
+		return "compute"
+	}
+	return "op?"
+}
+
+// Var is a tracked buffer variable.
+type Var struct {
+	Name string
+	Size int
+}
+
+// Op is one mini-IR operation.
+type Op struct {
+	Kind   OpKind
+	Dst    string // variable name (dst side)
+	Src    string // variable name (src side)
+	DstOff int
+	SrcOff int
+	Len    int
+	// Fn names the external function for OpCall.
+	Fn string
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpCopy, OpACopy:
+		return fmt.Sprintf("%v %s+%d <- %s+%d, %d", o.Kind, o.Dst, o.DstOff, o.Src, o.SrcOff, o.Len)
+	case OpLoad:
+		return fmt.Sprintf("load %s+%d, %d", o.Src, o.SrcOff, o.Len)
+	case OpStore:
+		return fmt.Sprintf("store %s+%d, %d", o.Dst, o.DstOff, o.Len)
+	case OpCsync:
+		return fmt.Sprintf("csync %s+%d, %d", o.Dst, o.DstOff, o.Len)
+	case OpCall:
+		return fmt.Sprintf("call %s(%s)", o.Fn, o.Dst)
+	case OpFree:
+		return fmt.Sprintf("free %s", o.Dst)
+	case OpEscape:
+		return fmt.Sprintf("escape %s", o.Dst)
+	}
+	return o.Kind.String()
+}
+
+// Func is a straight-line mini-IR function (the paper's passes also
+// work per basic block).
+type Func struct {
+	Name string
+	Vars []Var
+	Ops  []Op
+}
+
+// VarSize returns a variable's size, or -1 if unknown.
+func (f *Func) VarSize(name string) int {
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v.Size
+		}
+	}
+	return -1
+}
+
+// Validate checks variable references and bounds.
+func (f *Func) Validate() error {
+	for i, op := range f.Ops {
+		check := func(name string, off, n int) error {
+			if name == "" {
+				return nil
+			}
+			sz := f.VarSize(name)
+			if sz < 0 {
+				return fmt.Errorf("op %d: unknown variable %q", i, name)
+			}
+			if off < 0 || n < 0 || off+n > sz {
+				return fmt.Errorf("op %d: range [%d,%d) outside %q (%d bytes)", i, off, off+n, name, sz)
+			}
+			return nil
+		}
+		switch op.Kind {
+		case OpCopy, OpACopy:
+			if err := check(op.Dst, op.DstOff, op.Len); err != nil {
+				return err
+			}
+			if err := check(op.Src, op.SrcOff, op.Len); err != nil {
+				return err
+			}
+		case OpLoad:
+			if err := check(op.Src, op.SrcOff, op.Len); err != nil {
+				return err
+			}
+		case OpStore, OpCsync:
+			if err := check(op.Dst, op.DstOff, op.Len); err != nil {
+				return err
+			}
+		case OpCall, OpFree, OpEscape:
+			if f.VarSize(op.Dst) < 0 {
+				return fmt.Errorf("op %d: unknown variable %q", i, op.Dst)
+			}
+		}
+	}
+	return nil
+}

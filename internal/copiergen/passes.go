@@ -1,0 +1,173 @@
+package copiergen
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPointerEscape marks programs CopierGen cannot port (§5.1.3:
+// pointer passing is future work).
+var ErrPointerEscape = errors.New("copiergen: buffer address escapes analysis")
+
+// ConvertCopies replaces every memcpy at or above minSize with
+// amemcpy — the first CopierGen pass. It rejects functions where a
+// tracked buffer's address escapes.
+func ConvertCopies(f *Func, minSize int) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	for _, op := range f.Ops {
+		if op.Kind == OpEscape {
+			return fmt.Errorf("%w: %q", ErrPointerEscape, op.Dst)
+		}
+	}
+	for i := range f.Ops {
+		if f.Ops[i].Kind == OpCopy && f.Ops[i].Len >= minSize {
+			f.Ops[i].Kind = OpACopy
+		}
+	}
+	return nil
+}
+
+// pendingCopy tracks an un-synced amemcpy during the dataflow walk.
+type pendingCopy struct {
+	opIdx int
+	dst   string
+	src   string
+	dOff  int
+	sOff  int
+	n     int
+	// synced marks byte offsets (relative to dOff) already covered
+	// by an inserted csync. Tracking is interval-free: we record the
+	// covered prefix plus full-sync, which suffices for the
+	// straight-line pass.
+	fullySynced bool
+}
+
+// InsertCsyncs inserts csync before the first access to memory
+// affected by a prior amemcpy, following the §5.1 guidelines:
+// (1) before reading/writing the destination and before writing the
+// source, (2) before frees, (3) before passing the buffer to an
+// external function. The inserted csync covers exactly the
+// overlapping range (reads/writes) or the whole pending copy (calls,
+// frees, source writes).
+func InsertCsyncs(f *Func) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	var pending []pendingCopy
+	var out []Op
+
+	overlap := func(aOff, aLen, bOff, bLen int) (int, int, bool) {
+		lo := aOff
+		if bOff > lo {
+			lo = bOff
+		}
+		hi := aOff + aLen
+		if e := bOff + bLen; e < hi {
+			hi = e
+		}
+		if hi <= lo {
+			return 0, 0, false
+		}
+		return lo, hi - lo, true
+	}
+
+	// syncFor emits csyncs needed before accessing [off, off+n) of
+	// variable v with the given intent.
+	syncFor := func(v string, off, n int, write, wholeVar bool) {
+		remaining := pending[:0]
+		for _, pc := range pending {
+			emit := false
+			var csOff, csLen int
+			if pc.dst == v {
+				if wholeVar {
+					emit, csOff, csLen = true, pc.dOff, pc.n
+				} else if lo, ln, ok := overlap(pc.dOff, pc.n, off, n); ok {
+					emit, csOff, csLen = true, lo, ln
+				}
+			}
+			if !emit && write && pc.src == v {
+				// Writing the source: sync the corresponding dst
+				// range (appendix transformation rule 4).
+				if wholeVar {
+					emit, csOff, csLen = true, pc.dOff, pc.n
+				} else if lo, ln, ok := overlap(pc.sOff, pc.n, off, n); ok {
+					emit = true
+					csOff = pc.dOff + (lo - pc.sOff)
+					csLen = ln
+				}
+			}
+			if emit {
+				out = append(out, Op{Kind: OpCsync, Dst: pc.dst, DstOff: csOff, Len: csLen})
+				if csOff <= pc.dOff && csLen >= pc.n {
+					pc.fullySynced = true
+				}
+			}
+			if !pc.fullySynced {
+				remaining = append(remaining, pc)
+			}
+		}
+		pending = remaining
+	}
+
+	for i, op := range f.Ops {
+		switch op.Kind {
+		case OpACopy:
+			// The async copy itself does not count as an access
+			// (appendix: "amemcpy does not count as a read or write
+			// access") — but overlapping an EARLIER pending copy's
+			// ranges is handled by the service's dependency tracking,
+			// so no csync is needed here.
+			pending = append(pending, pendingCopy{
+				opIdx: i, dst: op.Dst, src: op.Src,
+				dOff: op.DstOff, sOff: op.SrcOff, n: op.Len,
+			})
+			out = append(out, op)
+		case OpLoad:
+			syncFor(op.Src, op.SrcOff, op.Len, false, false)
+			out = append(out, op)
+		case OpStore:
+			syncFor(op.Dst, op.DstOff, op.Len, true, false)
+			out = append(out, op)
+		case OpCopy:
+			// A residual sync memcpy reads its source and writes its
+			// destination.
+			syncFor(op.Src, op.SrcOff, op.Len, false, false)
+			syncFor(op.Dst, op.DstOff, op.Len, true, false)
+			out = append(out, op)
+		case OpCall:
+			// External functions may touch the whole buffer
+			// (guideline 3).
+			syncFor(op.Dst, 0, 0, true, true)
+			out = append(out, op)
+		case OpFree:
+			// Guideline 2: sync before dst/src buffers are freed.
+			syncFor(op.Dst, 0, 0, true, true)
+			out = append(out, op)
+		default:
+			out = append(out, op)
+		}
+	}
+	f.Ops = out
+	return nil
+}
+
+// Port runs both passes: convert + insert.
+func Port(f *Func, minSize int) error {
+	if err := ConvertCopies(f, minSize); err != nil {
+		return err
+	}
+	return InsertCsyncs(f)
+}
+
+// CountKind tallies operations of one kind (test/reporting helper).
+func CountKind(f *Func, k OpKind) int {
+	n := 0
+	for _, op := range f.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"copier/internal/mem"
+)
+
+func TestATCacheHitMiss(t *testing.T) {
+	pm := mem.NewPhysMem(1 << 20)
+	as := mem.NewAddrSpace(pm)
+	c := NewATCache(4)
+	c.Attach(as)
+	if _, ok := c.Lookup(as, 5); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(as, 5, 42)
+	f, ok := c.Lookup(as, 5)
+	if !ok || f != 42 {
+		t.Fatalf("lookup = %v %v", f, ok)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("h=%d m=%d", c.Hits, c.Misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("rate = %f", c.HitRate())
+	}
+}
+
+func TestATCacheLRUEviction(t *testing.T) {
+	pm := mem.NewPhysMem(1 << 20)
+	as := mem.NewAddrSpace(pm)
+	c := NewATCache(2)
+	c.Insert(as, 1, 10)
+	c.Insert(as, 2, 20)
+	c.Lookup(as, 1) // make vpn 2 the LRU
+	c.Insert(as, 3, 30)
+	if _, ok := c.Lookup(as, 2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Lookup(as, 1); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestATCacheInvalidationOnMappingChange(t *testing.T) {
+	pm := mem.NewPhysMem(1 << 20)
+	as := mem.NewAddrSpace(pm)
+	c := NewATCache(16)
+	c.Attach(as)
+	va := as.MMap(mem.PageSize, mem.PermRead|mem.PermWrite, "b")
+	if err := as.WriteAt(va, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	f, _, _ := as.Translate(va)
+	c.Insert(as, va.Page(), f)
+	// Remap the page: the cache must drop the entry (§4.3).
+	nf, _ := pm.AllocFrame()
+	if err := as.ReplacePage(va, nf); err != nil {
+		t.Fatal(err)
+	}
+	pm.DecRef(nf)
+	if _, ok := c.Lookup(as, va.Page()); ok {
+		t.Fatal("stale translation survived remap")
+	}
+	if c.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", c.Invalidations)
+	}
+}
+
+func TestATCacheSeparateAddressSpaces(t *testing.T) {
+	pm := mem.NewPhysMem(1 << 20)
+	a := mem.NewAddrSpace(pm)
+	b := mem.NewAddrSpace(pm)
+	c := NewATCache(16)
+	c.Insert(a, 7, 70)
+	if _, ok := c.Lookup(b, 7); ok {
+		t.Fatal("translation leaked across address spaces")
+	}
+}

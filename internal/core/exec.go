@@ -1,0 +1,781 @@
+package core
+
+import (
+	"fmt"
+
+	"copier/internal/cycles"
+	"copier/internal/hw"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// srcPart is one resolved source piece of a Copy Task, in destination
+// order. Layered absorption (§4.4) may redirect a piece to a deeper
+// source than the task's nominal Src.
+type srcPart struct {
+	as  *mem.AddrSpace
+	va  mem.VA
+	len int
+	// absorbed marks pieces redirected past a pending intermediate
+	// copy.
+	absorbed bool
+}
+
+// resolveSources computes where each byte of t must be read from,
+// looking through pending (unexecuted) earlier copies onto t's source
+// range. For ranges whose intermediate-buffer segments are marked in
+// the earlier task's descriptor, the intermediate holds current data
+// (it was copied, and may have been legally modified after csync) —
+// read from it. Unmarked ranges are read from the earlier task's own
+// source, resolved recursively (§4.4 layered absorption, Fig. 8-b).
+func (s *Service) resolveSourcesRange(ctx Ctx, c *Client, t *Task, off, n int) []srcPart {
+	if !s.cfg.EnableAbsorption {
+		return []srcPart{{as: t.SrcAS, va: t.Src + mem.VA(off), len: n}}
+	}
+	ctx.Exec(cycles.AbsorptionCheck)
+	parts := s.resolveRange(ctx, c, t.SrcAS, t.Src+mem.VA(off), n, t.orderIdx, 0)
+	return coalesceParts(parts)
+}
+
+// coalesceParts merges adjacent pieces with the same source stream —
+// per-segment resolution produces many 1-segment parts, and merging
+// them yields larger subtasks (better DMA eligibility, §4.3).
+func coalesceParts(parts []srcPart) []srcPart {
+	if len(parts) < 2 {
+		return parts
+	}
+	out := parts[:1]
+	for _, p := range parts[1:] {
+		last := &out[len(out)-1]
+		if p.as == last.as && p.absorbed == last.absorbed && last.va+mem.VA(last.len) == p.va {
+			last.len += p.len
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+const maxAbsorbDepth = 8
+
+func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA, n int, before uint64, depth int) []srcPart {
+	if n <= 0 {
+		return nil
+	}
+	if depth >= maxAbsorbDepth {
+		return []srcPart{{as: as, va: va, len: n}}
+	}
+	// Find the latest earlier pending task writing into [va, va+n).
+	var latest *Task
+	for i := len(c.pending) - 1; i >= 0; i-- {
+		p := c.pending[i]
+		ctx.Exec(cycles.DependencyCheck)
+		if p.orderIdx >= before || p.executed || p.aborted || p.Kind != KindCopy {
+			continue
+		}
+		if p.dstOverlap(as, va, n) {
+			latest = p
+			break
+		}
+	}
+	if latest == nil {
+		return []srcPart{{as: as, va: va, len: n, absorbed: depth > 0}}
+	}
+	var out []srcPart
+	// Piece before the overlap.
+	if va < latest.Dst {
+		pre := int(latest.Dst - va)
+		if pre > n {
+			pre = n
+		}
+		out = append(out, s.resolveRange(ctx, c, as, va, pre, latest.orderIdx, depth)...)
+		va += mem.VA(pre)
+		n -= pre
+	}
+	// Overlapping piece: consult the earlier task's descriptor
+	// segment by segment.
+	if n > 0 && va < latest.Dst+mem.VA(latest.Len) {
+		end := latest.Dst + mem.VA(latest.Len)
+		mid := n
+		if int(end-va) < mid {
+			mid = int(end - va)
+		}
+		off := int(va - latest.Dst) // offset within latest's dst
+		remaining := mid
+		cur := off
+		for remaining > 0 {
+			segEnd := (cur/latest.SegSize + 1) * latest.SegSize
+			chunk := segEnd - cur
+			if chunk > remaining {
+				chunk = remaining
+			}
+			marked := latest.Desc != nil && latest.Desc.Ready(cur, chunk)
+			if marked {
+				// Data already landed in the intermediate buffer (and
+				// may have been modified there) — read it directly.
+				out = append(out, srcPart{as: as, va: latest.Dst + mem.VA(cur), len: chunk})
+			} else {
+				// Absorb: read from the earlier task's source.
+				deeper := s.resolveRange(ctx, c, latest.SrcAS, latest.Src+mem.VA(cur), chunk, latest.orderIdx, depth+1)
+				for i := range deeper {
+					deeper[i].absorbed = true
+				}
+				out = append(out, deeper...)
+			}
+			cur += chunk
+			remaining -= chunk
+		}
+		va += mem.VA(mid)
+		n -= mid
+	}
+	// Piece after the overlap.
+	if n > 0 {
+		out = append(out, s.resolveRange(ctx, c, as, va, n, latest.orderIdx, depth)...)
+	}
+	return out
+}
+
+// executeWithDeps executes the [lo, hi) window of t after first
+// executing every earlier pending task t truly depends on: tasks
+// whose source t's destination would overwrite, and tasks writing the
+// same destination bytes (§4.2.2). Chains onto t's *source* are not
+// dependencies — absorption reads through them. Dependency analysis
+// is whole-task (conservative); execution honors the window, which is
+// how Sync Tasks raise the priority of individual segments (§4.1).
+func (s *Service) executeWithDeps(ctx Ctx, c *Client, t *Task, lo, hi, depth int) {
+	if t.executed || t.aborted || t.Kind != KindCopy {
+		return
+	}
+	if depth > 64 {
+		panic("core: dependency chain too deep")
+	}
+	// Snapshot dependencies first: executing them compacts c.pending.
+	var deps []*Task
+	for _, p := range c.pending {
+		if p.orderIdx >= t.orderIdx || p.executed || p.aborted || p.Kind != KindCopy {
+			continue
+		}
+		ctx.Exec(cycles.DependencyCheck)
+		if s.dependsOn(p, t) {
+			deps = append(deps, p)
+		}
+	}
+	for _, p := range deps {
+		s.executeWithDeps(ctx, c, p, 0, p.Len, depth+1)
+		// Our write must not race an outstanding DMA of the dep.
+		s.awaitInFlight(ctx, p)
+	}
+	s.executeBatch(ctx, c, []execReq{{t, lo, hi}})
+}
+
+// dependsOn reports whether t must wait for earlier pending task p:
+// p's source would be overwritten by t, or both write the same bytes.
+// A chain onto t's source is normally resolved by absorption (§4.4)
+// rather than ordering; with absorption disabled it becomes a hard
+// dependency.
+func (s *Service) dependsOn(p, t *Task) bool {
+	if p.srcOverlap(t.DstAS, t.Dst, t.Len) || p.dstOverlap(t.DstAS, t.Dst, t.Len) {
+		return true
+	}
+	if !s.cfg.EnableAbsorption && p.dstOverlap(t.SrcAS, t.Src, t.Len) {
+		return true
+	}
+	return false
+}
+
+// execReq is one task window submitted to a dispatcher round.
+type execReq struct {
+	t      *Task
+	lo, hi int // dst-offset window; clamped to segment boundaries
+}
+
+// plan is one task's execution plan inside a dispatcher round.
+type plan struct {
+	task   *Task
+	chunks []chunk
+}
+
+// chunk is a copy piece not crossing a segment boundary of its task,
+// with resolved physical scatter lists. A chunk is DMA-eligible when
+// both sides are single contiguous runs of sufficient size.
+type chunk struct {
+	task     *Task
+	dstOff   int // offset within task dst
+	length   int
+	dst, src []hw.FrameRange
+	absorbed bool
+}
+
+func (ch *chunk) dmaEligible(minLen int) bool {
+	return len(ch.dst) == 1 && len(ch.src) == 1 && ch.length >= minLen
+}
+
+// executeBatch runs one dispatcher round over the given tasks
+// (i-piggyback when a single large task, e-piggyback when several
+// adjacent small tasks were fused by the caller, §4.3).
+func (s *Service) executeBatch(ctx Ctx, c *Client, reqs []execReq) {
+	var plans []plan
+	for _, r := range reqs {
+		if r.t.executed || r.t.aborted {
+			continue
+		}
+		pl, err := s.prepare(ctx, c, r.t, r.lo, r.hi)
+		if err != nil {
+			s.failTask(ctx, c, r.t, err)
+			continue
+		}
+		plans = append(plans, pl)
+	}
+	if len(plans) == 0 {
+		return
+	}
+	s.dispatch(ctx, c, plans)
+	for _, pl := range plans {
+		if pl.task.segDone >= pl.task.Len {
+			s.finishTask(ctx, c, pl.task)
+		}
+	}
+	c.removeExecuted()
+}
+
+// awaitInFlight spins until every issued segment of t has completed
+// (outstanding DMA landed). Needed before a later task may overwrite
+// t's destination or before t is finalized.
+func (s *Service) awaitInFlight(ctx Ctx, t *Task) {
+	if t.issued == nil || t.Desc == nil {
+		return
+	}
+	watch := t.Desc.Watch()
+	for t.Desc.nset < t.issued.nset {
+		ctx.Exec(cycles.DMACompletionCheck)
+		if t.Desc.nset >= t.issued.nset {
+			return
+		}
+		ctx.SpinUntil(watch)
+	}
+}
+
+// prepare resolves sources, proactively handles faults, pins pages and
+// splits the [lo, hi) window of the task into chunks, skipping
+// segments that already completed in a prior (promoted) round
+// (§4.5.4, §4.3, §4.1).
+func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi int) (plan, error) {
+	if t.phys() {
+		return s.preparePhys(t)
+	}
+	// Security checks: user-mode tasks may only address the client's
+	// own user address space (§4.5.4: "illegal kernel addresses").
+	if !t.KMode && (t.SrcAS != c.UAS || t.DstAS != c.UAS) {
+		return plan{}, fmt.Errorf("core: u-mode task %d references foreign address space", t.ID)
+	}
+	// Clamp the window to segment boundaries.
+	if lo < 0 {
+		lo = 0
+	}
+	lo = lo / t.SegSize * t.SegSize
+	if hi > t.Len || hi <= 0 {
+		hi = t.Len
+	} else {
+		hi = (hi + t.SegSize - 1) / t.SegSize * t.SegSize
+		if hi > t.Len {
+			hi = t.Len
+		}
+	}
+	if t.issued == nil {
+		t.issued = NewDescriptor(t.Dst, t.Len, t.SegSize)
+	}
+	pl := plan{task: t}
+	// Walk maximal runs of not-yet-issued segments inside the window.
+	for runLo := lo; runLo < hi; {
+		segLen := t.SegSize
+		if runLo+segLen > t.Len {
+			segLen = t.Len - runLo
+		}
+		if t.issued.Ready(runLo, segLen) {
+			runLo += segLen
+			continue
+		}
+		runHi := runLo
+		for runHi < hi {
+			sl := t.SegSize
+			if runHi+sl > t.Len {
+				sl = t.Len - runHi
+			}
+			if t.issued.Ready(runHi, sl) {
+				break
+			}
+			runHi += sl
+		}
+		if runHi > t.Len {
+			runHi = t.Len
+		}
+		if err := s.prepareRun(ctx, c, t, runLo, runHi, &pl); err != nil {
+			s.unpinAll(ctx, t.pins)
+			t.pins = nil
+			return plan{}, err
+		}
+		runLo = runHi
+	}
+	return pl, nil
+}
+
+// prepareRun resolves, pins and chunks one contiguous unmarked run
+// [lo, hi) of task t.
+func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi int, pl *plan) error {
+	runLen := hi - lo
+	parts := s.resolveSourcesRange(ctx, c, t, lo, runLen)
+	if err := s.faultAndPin(ctx, t.DstAS, t.Dst+mem.VA(lo), runLen, true); err != nil {
+		return err
+	}
+	t.pins = append(t.pins, pinRec{t.DstAS, t.Dst + mem.VA(lo), runLen})
+	for _, p := range parts {
+		if err := s.faultAndPin(ctx, p.as, p.va, p.len, false); err != nil {
+			return err
+		}
+		t.pins = append(t.pins, pinRec{p.as, p.va, p.len})
+	}
+
+	// Build chunks: walk the destination, consuming source parts,
+	// splitting at physical-contiguity breaks on either side and
+	// capping pieces at dmaPieceMax so the dispatcher can balance
+	// work between units at piece granularity.
+	dstOff := lo
+	pi := 0
+	pOff := 0
+	for dstOff < hi {
+		if pi >= len(parts) {
+			panic("core: source parts shorter than run")
+		}
+		p := parts[pi]
+		n := hi - dstOff
+		if rem := p.len - pOff; rem < n {
+			n = rem
+		}
+		if n > dmaPieceMax {
+			n = dmaPieceMax
+		}
+		// Split by physical contiguity of both sides.
+		if run := s.contig(t.DstAS, t.Dst+mem.VA(dstOff), n); run < n {
+			n = run
+		}
+		if run := s.contig(p.as, p.va+mem.VA(pOff), n); run < n {
+			n = run
+		}
+		dfr := s.frameRange(t.DstAS, t.Dst+mem.VA(dstOff), n)
+		sfr := s.frameRange(p.as, p.va+mem.VA(pOff), n)
+		pl.chunks = append(pl.chunks, chunk{
+			task:     t,
+			dstOff:   dstOff,
+			length:   n,
+			dst:      []hw.FrameRange{dfr},
+			src:      []hw.FrameRange{sfr},
+			absorbed: p.absorbed,
+		})
+		if p.absorbed {
+			s.Stats.AbsorbedBytes += int64(n)
+			s.trace("absorb %d bytes of %s task %d (read-through to %#x)",
+				n, t.Client.Name, t.ID, uint64(p.va)+uint64(pOff))
+		}
+		dstOff += n
+		pOff += n
+		if pOff == p.len {
+			pi++
+			pOff = 0
+		}
+	}
+	return nil
+}
+
+// dmaPieceMax caps chunk size so DMA/AVX balancing works at piece
+// granularity (subtasks larger than this are cut).
+const dmaPieceMax = 8 << 10
+
+// preparePhys builds the execution plan of a physically-addressed
+// kernel task: no translation, faults or pinning — just zip the
+// source and destination scatter lists into dispatch pieces.
+func (s *Service) preparePhys(t *Task) (plan, error) {
+	if !t.KMode {
+		return plan{}, fmt.Errorf("core: physically-addressed task %d from user mode", t.ID)
+	}
+	if hw.TotalLen(t.PhysDst) != t.Len || hw.TotalLen(t.PhysSrc) != t.Len {
+		return plan{}, fmt.Errorf("core: phys task %d scatter lists disagree with length %d", t.ID, t.Len)
+	}
+	if t.issued == nil {
+		t.issued = NewDescriptor(0, t.Len, t.SegSize)
+	}
+	pl := plan{task: t}
+	di, si := 0, 0
+	dOff, sOff := 0, 0
+	dstOff := 0
+	for dstOff < t.Len {
+		d, sr := t.PhysDst[di], t.PhysSrc[si]
+		n := d.Len - dOff
+		if r := sr.Len - sOff; r < n {
+			n = r
+		}
+		if n > dmaPieceMax {
+			n = dmaPieceMax
+		}
+		pl.chunks = append(pl.chunks, chunk{
+			task:   t,
+			dstOff: dstOff,
+			length: n,
+			dst:    []hw.FrameRange{subRange(d, dOff, n)},
+			src:    []hw.FrameRange{subRange(sr, sOff, n)},
+		})
+		dstOff += n
+		dOff += n
+		sOff += n
+		if dOff == d.Len {
+			di++
+			dOff = 0
+		}
+		if sOff == sr.Len {
+			si++
+			sOff = 0
+		}
+	}
+	return pl, nil
+}
+
+type pinRec struct {
+	as *mem.AddrSpace
+	va mem.VA
+	n  int
+}
+
+// contig returns the physically contiguous run length at va (pages are
+// present — prepare faulted them in).
+func (s *Service) contig(as *mem.AddrSpace, va mem.VA, max int) int {
+	r := as.ContigRun(va, max)
+	if r <= 0 {
+		panic(fmt.Sprintf("core: contig on non-present page %#x", uint64(va)))
+	}
+	return r
+}
+
+// frameRange translates a physically contiguous VA run.
+func (s *Service) frameRange(as *mem.AddrSpace, va mem.VA, n int) hw.FrameRange {
+	f, off, err := as.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return hw.FrameRange{Frame: f, Off: off, Len: n}
+}
+
+// faultAndPin walks the pages of [va, va+n), translating through the
+// ATCache, proactively resolving faults in Copier's own context, and
+// pinning the mappings (§4.5.4). Costs: ATCacheHit on hits; PageWalk +
+// fault handling on misses; batched get_user_pages-style pinning
+// (kernel pages are unswappable and are not pinned).
+func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n int, write bool) error {
+	if n <= 0 {
+		return nil
+	}
+	pinning := as != s.kernelAS
+	npinned := 0
+	start := va & ^mem.VA(mem.PageSize-1)
+	rollback := func(upto mem.VA) {
+		if !pinning {
+			return
+		}
+		for pva := start; pva < upto; pva += mem.PageSize {
+			as.Unpin(pva, 1)
+		}
+	}
+	pinCost := func() sim.Time {
+		npinned++
+		if npinned == 1 {
+			return cycles.PinPage
+		}
+		return cycles.PinPageBatch
+	}
+	for pva := start; pva < va+mem.VA(n); pva += mem.PageSize {
+		vpn := pva.Page()
+		if s.cfg.EnableATCache {
+			// A cached translation skips the walk and fault
+			// classification entirely; write hits require a
+			// writable entry (CoW/read-only pages never cache as
+			// writable, and mapping changes invalidate).
+			if _, ok := s.at.lookup(as, vpn, write); ok {
+				ctx.Exec(cycles.ATCacheHit)
+				if pinning {
+					if err := as.Pin(pva, 1); err != nil {
+						rollback(pva)
+						return err
+					}
+					ctx.Exec(pinCost())
+				}
+				continue
+			}
+		}
+		ctx.Exec(cycles.PageWalk)
+		kind := as.Classify(pva, write)
+		switch kind {
+		case mem.FaultNone:
+		case mem.FaultBadAddress, mem.FaultPermission:
+			_, _, err := as.HandleFault(pva, write)
+			s.Stats.DroppedTasks++
+			rollback(pva)
+			return err
+		default:
+			// Construct exception parameters and invoke the fault
+			// handler in Copier's context (§4.5.4).
+			ctx.Exec(cycles.PageFault)
+			kind, copied, err := as.HandleFault(pva, write)
+			if err != nil {
+				rollback(pva)
+				return err
+			}
+			if kind == mem.FaultDemandZero {
+				ctx.Exec(cycles.PageAllocZero)
+			}
+			if copied > 0 {
+				// CoW break inside proactive handling: the handler
+				// copies with Copier's AVX engine.
+				ctx.Exec(cycles.PageAllocZero + cycles.SyncCopyCost(cycles.UnitAVX, copied))
+			}
+			s.Stats.ProactiveFaults++
+		}
+		if pinning {
+			if err := as.Pin(pva, 1); err != nil {
+				rollback(pva)
+				return err
+			}
+			ctx.Exec(pinCost())
+		}
+		if s.cfg.EnableATCache {
+			if f, _, err := as.Translate(pva); err == nil {
+				pte := as.PTEOf(pva)
+				s.at.InsertW(as, vpn, f, pte != nil && pte.Writable)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Service) unpinAll(ctx Ctx, pins []pinRec) {
+	for _, p := range pins {
+		if p.as == s.kernelAS {
+			continue
+		}
+		pages := int((p.va+mem.VA(p.n)-1)>>mem.PageShift) - int(p.va>>mem.PageShift) + 1
+		p.as.Unpin(p.va, p.n)
+		ctx.Exec(cycles.UnpinPage + sim.Time(pages-1)*cycles.UnpinPageBatch)
+	}
+}
+
+// dispatch runs one piggyback round: DMA candidates from the latter
+// part of the batch go to the DMA channel (they have the longest
+// remaining Copy-Use windows), everything else runs on AVX in
+// parallel; the round ends when both finish (§4.3, Fig. 7-c).
+func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
+	// Flatten chunks in batch order.
+	var all []chunk
+	for _, pl := range plans {
+		all = append(all, pl.chunks...)
+	}
+	total := 0
+	for _, ch := range all {
+		total += ch.length
+	}
+
+	dmaSet := map[int]bool{}
+	if s.cfg.EnableDMA && total >= s.cfg.PiggybackThreshold {
+		// Walk from the back, greedily moving DMA-eligible chunks to
+		// the DMA engine while its estimated finish time stays below
+		// the AVX time for the remainder.
+		dmaBytes := 0
+		avxBytes := total
+		for i := len(all) - 1; i >= 0; i-- {
+			ch := all[i]
+			if !ch.dmaEligible(s.cfg.DMACandidateMin) {
+				continue
+			}
+			ndma := dmaBytes + ch.length
+			navx := avxBytes - ch.length
+			dmaTime := cycles.CopyCost(cycles.UnitDMA, ndma)
+			avxTime := cycles.CopyCost(cycles.UnitAVX, navx)
+			if dmaTime > avxTime {
+				break
+			}
+			dmaSet[i] = true
+			dmaBytes = ndma
+			avxBytes = navx
+		}
+	}
+
+	// Submit the DMA batch first (§4.3 parallel execution). The round
+	// does NOT wait for DMA completion: segments are marked "issued"
+	// now and complete asynchronously; the service keeps polling
+	// while transfers are outstanding and finishes tasks as their
+	// descriptors fill in.
+	var dmaPairs [][2]hw.FrameRange
+	var dmaChunks []chunk
+	for i, ch := range all {
+		if dmaSet[i] {
+			dmaPairs = append(dmaPairs, [2]hw.FrameRange{ch.dst[0], ch.src[0]})
+			dmaChunks = append(dmaChunks, ch)
+		}
+	}
+	if len(dmaPairs) > 0 {
+		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(dmaPairs)-1)*cycles.DMASubmit/4
+		ctx.Exec(cost)
+		env := ctx.Env()
+		for i, pr := range dmaPairs {
+			ch := dmaChunks[i]
+			ch.task.issued.MarkRange(ch.dstOff, ch.length)
+			req := s.dma.Enqueue(pr[0], pr[1])
+			s.inflightDMA++
+			// Mark segments at completion time.
+			env.Schedule(req.CompleteAt-env.Now(), func() {
+				s.inflightDMA--
+				s.account(ch.task.Client, ch.length)
+				s.markChunk(ch)
+				ch.task.Client.Progress.Broadcast(env)
+				if ch.task.Desc != nil {
+					ch.task.Desc.NotifyProgress(env)
+				}
+			})
+			s.Stats.DMABytes += int64(ch.length)
+		}
+	}
+
+	// Execute the CPU side inline, segment by segment, updating
+	// descriptors as data lands so clients pipeline (§4.1).
+	if s.cfg.UseERMSEngine {
+		ctx.Exec(cycles.ERMSStartup)
+	} else {
+		ctx.Exec(cycles.AVXStartup)
+	}
+	for i, ch := range all {
+		if dmaSet[i] {
+			continue
+		}
+		// Progress in segment-aligned pieces so csync waiters wake as
+		// early as their data is ready.
+		off := 0
+		for off < ch.length {
+			taskOff := ch.dstOff + off
+			segEnd := (taskOff/ch.task.SegSize + 1) * ch.task.SegSize
+			piece := segEnd - taskOff
+			if piece > ch.length-off {
+				piece = ch.length - off
+			}
+			ctx.Exec(cycles.CopyCost(s.cpuUnit(), piece) + cycles.SegmentUpdate)
+			hw.CopyScatter(s.pm,
+				[]hw.FrameRange{subRange(ch.dst[0], off, piece)},
+				[]hw.FrameRange{subRange(ch.src[0], off, piece)})
+			s.avxBytes(piece)
+			s.account(ch.task.Client, piece)
+			ch.task.issued.MarkRange(taskOff, piece)
+			if ch.task.Desc != nil {
+				ch.task.Desc.MarkRange(taskOff, piece)
+			}
+			ch.task.segDone += piece
+			ch.task.Client.Progress.Broadcast(ctx.Env())
+			if ch.task.Desc != nil {
+				ch.task.Desc.NotifyProgress(ctx.Env())
+			}
+			off += piece
+		}
+	}
+
+}
+
+// subRange offsets a contiguous frame range by delta bytes and
+// truncates it to n bytes.
+func subRange(fr hw.FrameRange, delta, n int) hw.FrameRange {
+	abs := fr.Off + delta
+	return hw.FrameRange{
+		Frame: fr.Frame + mem.Frame(abs/mem.PageSize),
+		Off:   abs % mem.PageSize,
+		Len:   n,
+	}
+}
+
+// account charges n copied bytes to the client's CFS key (§4.5.3).
+func (s *Service) account(c *Client, n int) {
+	c.TotalCopied += int64(n)
+	shares := int64(100)
+	if c.Group != nil {
+		shares = c.Group.Shares
+	}
+	delta := float64(n) / float64(shares)
+	c.vruntime += delta
+	if c.Group != nil {
+		c.Group.vruntime += delta
+	}
+}
+
+func (s *Service) avxBytes(n int) {
+	s.Stats.AVXBytes += int64(n)
+	if s.cache != nil {
+		s.cache.Stream(int64(n))
+	}
+}
+
+// markChunk sets the descriptor bits covered by a completed chunk.
+func (s *Service) markChunk(ch chunk) {
+	t := ch.task
+	if t.Desc != nil {
+		t.Desc.MarkRange(ch.dstOff, ch.length)
+	}
+	t.segDone += ch.length
+}
+
+// finishTask finalizes a fully-copied task: handler delegation and
+// accounting.
+func (s *Service) finishTask(ctx Ctx, c *Client, t *Task) {
+	if t.executed || t.aborted {
+		return
+	}
+	if t.segDone < t.Len {
+		panic(fmt.Sprintf("core: finishTask with %d/%d bytes done", t.segDone, t.Len))
+	}
+	// All completion state must change before the first yield
+	// (ctx.Exec): a csync_all caller observing executed==true must
+	// also find the FUNC already delegated.
+	t.executed = true
+	s.trace("finish %s task %d (%d bytes)", c.Name, t.ID, t.Len)
+	c.backlogBytes -= int64(t.Len)
+	s.backlogBytes -= int64(t.Len)
+	s.Stats.TasksExecuted++
+	var deferredCost sim.Time
+	if h := t.Handler; h != nil {
+		if h.Kernel {
+			if h.Fn != nil {
+				h.Fn()
+			}
+			s.Stats.KFuncsRun++
+			deferredCost += cycles.HandlerDispatch + h.Cost
+		} else {
+			c.U.handlers = append(c.U.handlers, h)
+			s.Stats.UFuncsQueued++
+		}
+	}
+	c.Progress.Broadcast(ctx.Env())
+	ctx.Exec(deferredCost)
+	s.unpinAll(ctx, t.pins)
+	t.pins = nil
+}
+
+// failTask drops a task that failed security checks or faulted
+// unresolvably, recording the error on its descriptor so csync
+// callers observe it (§4.5.4).
+func (s *Service) failTask(ctx Ctx, c *Client, t *Task, err error) {
+	t.executed = true
+	t.err = err
+	s.awaitInFlight(ctx, t)
+	s.unpinAll(ctx, t.pins)
+	t.pins = nil
+	if t.Desc != nil {
+		t.Desc.Err = err
+		t.Desc.NotifyProgress(ctx.Env())
+	}
+	c.backlogBytes -= int64(t.Len)
+	s.backlogBytes -= int64(t.Len)
+	s.Stats.FailedTasks++
+	c.Progress.Broadcast(ctx.Env())
+	c.removeExecuted()
+}

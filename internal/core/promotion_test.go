@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// The proxy pattern (§4.4): a lazy copy whose header is promoted by a
+// Sync Task executes only the covering segments; a later copy of the
+// whole buffer absorbs the unexecuted remainder straight from the
+// original source; the lazy task is finally aborted, still running
+// its cleanup handler.
+func TestSegmentPromotionAndLazyAbsorption(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 16 << 10
+	const seg = 1024
+	k1 := h.alloc(t, h.kas, n, 0xD7) // "message in kernel buffer"
+	u := h.alloc(t, h.uas, n, 0)     // proxy's user buffer
+	k2 := h.alloc(t, h.kas, n, 0)    // outgoing kernel buffer
+
+	cleaned := false
+	lazy := &Task{Src: k1, Dst: u, SrcAS: h.kas, DstAS: h.uas, Len: n, SegSize: seg,
+		Lazy: true, LazyDeadline: sim.Infinity,
+		Handler: &Handler{Kernel: true, Fn: func() { cleaned = true }}}
+	h.c.SubmitCopy(lazy, true)
+	// The proxy reads only the header: promote its first segment.
+	h.c.SubmitSync(u, 64, false)
+	h.start()
+	if err := h.env.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.Desc.Ready(0, seg) {
+		t.Fatal("promoted header segment not ready")
+	}
+	if lazy.Desc.Done() || lazy.Executed() {
+		t.Fatal("promotion executed the whole lazy task")
+	}
+	hdr := h.read(t, h.uas, u, 64)
+	if !bytes.Equal(hdr, bytes.Repeat([]byte{0xD7}, 64)) {
+		t.Fatal("header data wrong")
+	}
+	// Forward the message: U→K2 absorbs the unexecuted remainder
+	// directly from K1 (short-circuit copy).
+	before := h.svc.Stats.AbsorbedBytes
+	fwd := &Task{Src: u, Dst: k2, SrcAS: h.uas, DstAS: h.kas, Len: n, SegSize: seg}
+	h.c.SubmitCopy(fwd, true)
+	if err := h.env.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Executed() {
+		t.Fatal("forward copy not executed")
+	}
+	if h.svc.Stats.AbsorbedBytes-before < int64(n-seg) {
+		t.Fatalf("absorbed only %d bytes, want >= %d",
+			h.svc.Stats.AbsorbedBytes-before, n-seg)
+	}
+	if !bytes.Equal(h.read(t, h.kas, k2, n), bytes.Repeat([]byte{0xD7}, n)) {
+		t.Fatal("forwarded data wrong")
+	}
+	// Discard the rest of the lazy copy; its cleanup still runs.
+	h.c.SubmitAbort(u, n, false)
+	h.run(t, 20_000_000)
+	if !lazy.Aborted() {
+		t.Fatal("lazy task not aborted")
+	}
+	if !cleaned {
+		t.Fatal("abort skipped the cleanup handler")
+	}
+	// The untouched middle of U was never copied.
+	mid := h.read(t, h.uas, u+8192, 1024)
+	if !bytes.Equal(mid, make([]byte, 1024)) {
+		t.Fatal("absorption still wrote the intermediate buffer")
+	}
+}
+
+// Partial promotion then FIFO completion: the remaining segments of a
+// partially-promoted task are copied exactly once.
+func TestPartialPromotionThenFullExecution(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 8 << 10
+	src := h.alloc(t, h.uas, n, 0x3E)
+	dst := h.alloc(t, h.uas, n, 0)
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+	h.c.SubmitCopy(task, false)
+	// Promote the tail only.
+	h.c.SubmitSync(dst+mem.VA(n-512), 512, false)
+	h.start()
+	h.run(t, 20_000_000)
+	if !task.Executed() {
+		t.Fatal("task never completed")
+	}
+	if !bytes.Equal(h.read(t, h.uas, dst, n), bytes.Repeat([]byte{0x3E}, n)) {
+		t.Fatal("data wrong after partial promotion + completion")
+	}
+	// Exactly n bytes moved for this task (no double copy).
+	moved := h.svc.Stats.AVXBytes + h.svc.Stats.DMABytes
+	if moved != n {
+		t.Fatalf("moved %d bytes, want %d", moved, n)
+	}
+}

@@ -1,0 +1,110 @@
+// Package core implements Copier, the paper's primary contribution: a
+// first-class OS service for coordinated asynchronous memory copy.
+//
+// Clients interact with the service through per-client CSH queues
+// (Copy / Sync / Handler, §4.1) mapped into their address spaces. The
+// service runs on dedicated threads, merges user- and kernel-mode
+// submissions with cross-queue barriers (§4.2.1), tracks data
+// dependencies (§4.2.2), dispatches subtasks across AVX and DMA with
+// the piggyback mechanism (§4.3), absorbs redundant copies (§4.4), and
+// schedules clients fairly by copy length under a cgroup controller
+// (§4.5).
+//
+// The package depends only on the simulation substrate (sim, mem, hw,
+// cycles); the OS integration lives in internal/kernel and the client
+// library in internal/libcopier.
+package core
+
+import "fmt"
+
+// Ring is the lock-free ring buffer underlying the CSH queues
+// (§5.1 "Multithreading and concurrency"): producers acquire a slot by
+// advancing the head (fetch-and-add in the real system), fill the
+// task, then set the slot's valid bit; the single consumer (a Copier
+// thread) takes valid tasks from the tail. Task order follows acquire
+// order.
+//
+// Inside the discrete-event simulation only one process runs at a
+// time, so plain fields model the protocol faithfully; the natively
+// concurrent implementation of the same protocol lives in
+// internal/acopy and is exercised with real goroutines there.
+type Ring struct {
+	slots []ringSlot
+	mask  uint64
+	head  uint64 // acquire counter (next free slot)
+	tail  uint64 // consume counter
+}
+
+type ringSlot struct {
+	valid bool
+	task  *Task
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two.
+func NewRing(capacity int) *Ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{slots: make([]ringSlot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the number of acquired-but-unconsumed slots (including
+// slots acquired but not yet published).
+func (r *Ring) Len() int { return int(r.head - r.tail) }
+
+// Full reports whether no slot can be acquired.
+func (r *Ring) Full() bool { return r.head-r.tail >= uint64(len(r.slots)) }
+
+// AcquirePos returns the producer position (total tasks ever acquired)
+// — barrier tasks snapshot this (§4.2.1: "recording current position
+// of user Copy Queue").
+func (r *Ring) AcquirePos() uint64 { return r.head }
+
+// Push acquires a slot, fills it and publishes it in one step,
+// returning false if the ring is full.
+func (r *Ring) Push(t *Task) bool {
+	if r.Full() {
+		return false
+	}
+	idx := r.head & r.mask
+	r.head++
+	if r.slots[idx].valid {
+		panic(fmt.Sprintf("core: ring slot %d reused while valid", idx))
+	}
+	r.slots[idx] = ringSlot{valid: true, task: t}
+	return true
+}
+
+// Pop consumes the oldest published task, or returns nil if the tail
+// slot is empty or not yet published.
+func (r *Ring) Pop() *Task {
+	if r.tail == r.head {
+		return nil
+	}
+	idx := r.tail & r.mask
+	s := &r.slots[idx]
+	if !s.valid {
+		return nil
+	}
+	t := s.task
+	s.valid = false
+	s.task = nil
+	r.tail++
+	return t
+}
+
+// Peek returns the oldest published task without consuming it.
+func (r *Ring) Peek() *Task {
+	if r.tail == r.head {
+		return nil
+	}
+	s := &r.slots[r.tail&r.mask]
+	if !s.valid {
+		return nil
+	}
+	return s.task
+}

@@ -1,0 +1,781 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"copier/internal/cycles"
+	"copier/internal/hw"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// PollMode selects how Copier threads wait for work (§4.5.1).
+type PollMode int
+
+const (
+	// PollNAPI busy-polls for a budget of empty iterations, then
+	// sleeps until a doorbell (the default; balances performance and
+	// polling overhead).
+	PollNAPI PollMode = iota
+	// PollScenario sleeps unless a target scenario explicitly
+	// activates the service — the smartphone mode (§5.3).
+	PollScenario
+)
+
+// Config tunes the service. Zero values select defaults. The Enable*
+// switches exist for the paper's ablations (Fig. 12-c: async only vs
+// +hardware vs +absorption).
+type Config struct {
+	// QueueLen is the per-ring capacity.
+	QueueLen int
+	// SegSize is the default segment granularity.
+	SegSize int
+	// CopySlice caps bytes served per scheduling decision (§4.5.3:
+	// "administrators can adjust Copier's copy slice").
+	CopySlice int64
+	// PiggybackThreshold is the task size at/above which i-piggyback
+	// engages DMA (§4.3: ">=12KB").
+	PiggybackThreshold int
+	// EPiggybackFuse is the max bytes of adjacent small tasks fused
+	// into one e-piggyback round.
+	EPiggybackFuse int
+	// DMACandidateMin is the smallest subtask worth a DMA descriptor.
+	DMACandidateMin int
+	// LazyPeriod is how long a Lazy Task may linger before forced
+	// execution (§4.4).
+	LazyPeriod sim.Time
+
+	EnableDMA        bool
+	EnableAbsorption bool
+	EnableATCache    bool
+	// UseERMSEngine replaces the service's AVX2 CPU engine with ERMS
+	// — Fig. 9's kernel-method baseline.
+	UseERMSEngine bool
+
+	Mode PollMode
+	// NAPIBudget is empty poll sweeps before sleeping.
+	NAPIBudget int
+	// SleepPeriod bounds a NAPI sleep (the thread re-checks queues on
+	// wake).
+	SleepPeriod sim.Time
+
+	// Auto-scaling (§4.5.1): keep backlog between LowLoad and
+	// HighLoad bytes per active thread.
+	LowLoad    int64
+	HighLoad   int64
+	MaxThreads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueLen == 0 {
+		c.QueueLen = 4096
+	}
+	if c.SegSize == 0 {
+		c.SegSize = DefaultSegSize
+	}
+	if c.CopySlice == 0 {
+		c.CopySlice = 256 << 10
+	}
+	if c.PiggybackThreshold == 0 {
+		c.PiggybackThreshold = 12 << 10
+	}
+	if c.EPiggybackFuse == 0 {
+		c.EPiggybackFuse = 24 << 10
+	}
+	if c.DMACandidateMin == 0 {
+		c.DMACandidateMin = 2 << 10
+	}
+	if c.LazyPeriod == 0 {
+		c.LazyPeriod = 2 * cycles.CyclesPerMicrosecond * 1000 // 2ms
+	}
+	if c.NAPIBudget == 0 {
+		// ~100us of busy polling before sleeping, like io_uring
+		// SQPOLL's sq_thread_idle.
+		c.NAPIBudget = 5000
+	}
+	if c.SleepPeriod == 0 {
+		c.SleepPeriod = 100 * cycles.CyclesPerMicrosecond
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 1
+	}
+	if c.HighLoad == 0 {
+		c.HighLoad = 1 << 20
+	}
+	if c.LowLoad == 0 {
+		c.LowLoad = 64 << 10
+	}
+	return c
+}
+
+// DefaultConfig returns the full-featured configuration used by the
+// end-to-end experiments.
+func DefaultConfig() Config {
+	return Config{EnableDMA: true, EnableAbsorption: true, EnableATCache: true}
+}
+
+// Stats aggregates service counters for the experiment reports.
+type Stats struct {
+	TasksExecuted   int64
+	FailedTasks     int64
+	DroppedTasks    int64
+	AbortedTasks    int64
+	SyncsServed     int64
+	Promotions      int64
+	AVXBytes        int64
+	DMABytes        int64
+	AbsorbedBytes   int64
+	ProactiveFaults int64
+	KFuncsRun       int64
+	UFuncsQueued    int64
+	PollSweeps      int64
+	Sleeps          int64
+	Wakeups         int64
+	LazyExpired     int64
+}
+
+// Service is the Copier OS service instance.
+type Service struct {
+	env *sim.Env
+	pm  *mem.PhysMem
+	dma *hw.DMAChannel
+	at  *ATCache
+	cfg Config
+
+	clients []*Client
+	nextCID int
+	groups  map[string]*CGroupAccount
+
+	// workSig wakes sleeping service threads on submission.
+	workSig *sim.Signal
+	// activateSig wakes scenario-mode threads on activation.
+	activateSig    *sim.Signal
+	scenarioActive bool
+	sleeping       int
+
+	backlogBytes int64
+	// inflightDMA counts outstanding DMA chunk transfers; the service
+	// keeps polling (and does not sleep) while any are pending so
+	// completions are finalized promptly.
+	inflightDMA int
+
+	// threads active (for auto-scaling and client partitioning).
+	activeThreads int
+	// spawnThread, when set, lets auto-scaling start another service
+	// thread (the kernel integration supplies it).
+	spawnThread func(slot int)
+	parkSig     *sim.Signal
+	parked      int
+
+	// cache, when set, observes service-side CPU copy traffic (CPI
+	// study).
+	cache *hw.Cache
+
+	// kernelAS, when set, identifies the kernel address space: its
+	// pages are unswappable and need no pinning.
+	kernelAS *mem.AddrSpace
+
+	stopped bool
+
+	Stats Stats
+}
+
+// NewService creates a Copier service over the given physical memory
+// and simulation environment.
+func NewService(env *sim.Env, pm *mem.PhysMem, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		env:         env,
+		pm:          pm,
+		dma:         hw.NewDMAChannel(env, pm),
+		at:          NewATCache(0),
+		cfg:         cfg,
+		groups:      make(map[string]*CGroupAccount),
+		workSig:     sim.NewSignal("copier-work"),
+		activateSig: sim.NewSignal("copier-activate"),
+		parkSig:     sim.NewSignal("copier-park"),
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// ATCacheStats exposes the address-transfer cache for reporting.
+func (s *Service) ATCacheStats() *ATCache { return s.at }
+
+// DMA exposes the DMA channel (benchmarks inspect byte counters).
+func (s *Service) DMA() *hw.DMAChannel { return s.dma }
+
+// SetCache attaches a cache model observing service-side copies.
+func (s *Service) SetCache(c *hw.Cache) { s.cache = c }
+
+// SetKernelAS identifies the kernel address space (no pinning needed).
+func (s *Service) SetKernelAS(as *mem.AddrSpace) { s.kernelAS = as }
+
+// cpuUnit returns the service's CPU engine cost model.
+func (s *Service) cpuUnit() cycles.Unit {
+	if s.cfg.UseERMSEngine {
+		return cycles.UnitERMS
+	}
+	return cycles.UnitAVX
+}
+
+// SetSpawnThread installs the auto-scaling hook that starts a new
+// service thread at the given slot.
+func (s *Service) SetSpawnThread(fn func(slot int)) { s.spawnThread = fn }
+
+// Backlog returns admitted-but-unexecuted bytes across clients.
+func (s *Service) Backlog() int64 { return s.backlogBytes }
+
+// ActiveThreads reports currently running (unparked) service threads.
+func (s *Service) ActiveThreads() int { return s.activeThreads }
+
+// Stop makes all service threads exit their loops.
+func (s *Service) Stop() {
+	s.stopped = true
+	s.workSig.Broadcast(s.env)
+	s.activateSig.Broadcast(s.env)
+	s.parkSig.Broadcast(s.env)
+}
+
+// Activate enables scenario-driven threads (§5.3); Deactivate puts
+// them back to sleep once queues drain.
+func (s *Service) Activate() {
+	s.scenarioActive = true
+	s.activateSig.Broadcast(s.env)
+}
+
+// Deactivate ends the scenario.
+func (s *Service) Deactivate() { s.scenarioActive = false }
+
+func (s *Service) now() sim.Time { return s.env.Now() }
+
+// trace emits a service event through the environment tracer, if one
+// is installed (sim.Env.SetTracer) — the timeline cmd/copiertrace
+// prints.
+func (s *Service) trace(format string, args ...any) {
+	if tr := s.env.Tracer(); tr != nil {
+		tr(s.env.Now(), "[copier] "+format, args...)
+	}
+}
+
+// Group returns (creating if needed) the cgroup account with the
+// given copier.shares (§4.5.2).
+func (s *Service) Group(name string, shares int64) *CGroupAccount {
+	if g, ok := s.groups[name]; ok {
+		return g
+	}
+	if shares <= 0 {
+		shares = 100
+	}
+	g := &CGroupAccount{Name: name, Shares: shares}
+	s.groups[name] = g
+	return g
+}
+
+// NewClient registers a client with paired user/kernel queue sets
+// (copier_create_queue, Table 2). group may be nil (a default group
+// is used).
+func (s *Service) NewClient(name string, uas, kas *mem.AddrSpace, group *CGroupAccount) *Client {
+	if group == nil {
+		group = s.Group("default", 100)
+	}
+	c := &Client{
+		ID:       s.nextCID,
+		Name:     name,
+		UAS:      uas,
+		KAS:      kas,
+		U:        newQueueSet(s.cfg.QueueLen),
+		K:        newQueueSet(s.cfg.QueueLen),
+		Group:    group,
+		Progress: sim.NewSignal("progress:" + name),
+		svc:      s,
+	}
+	s.nextCID++
+	s.clients = append(s.clients, c)
+	group.clients = append(group.clients, c)
+	if s.cfg.EnableATCache {
+		s.at.Attach(uas)
+		if kas != nil && kas != uas {
+			s.at.Attach(kas)
+		}
+	}
+	return c
+}
+
+// CloseClient unregisters a client.
+func (s *Service) CloseClient(c *Client) {
+	c.closed = true
+	for i, x := range s.clients {
+		if x == c {
+			s.clients = append(s.clients[:i], s.clients[i+1:]...)
+			break
+		}
+	}
+	if c.Group != nil {
+		for i, x := range c.Group.clients {
+			if x == c {
+				c.Group.clients = append(c.Group.clients[:i], c.Group.clients[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// doorbell notifies service threads of new work.
+func (s *Service) doorbell(c *Client) {
+	if s.sleeping > 0 {
+		s.workSig.Broadcast(s.env)
+	}
+}
+
+// ThreadMain is a Copier thread's body (§4.5.1). The integration
+// layer runs it on a dedicated kernel thread; slot identifies the
+// thread for client partitioning.
+func (s *Service) ThreadMain(ctx Ctx, slot int) {
+	s.activeThreads++
+	// Save AVX state once per activation instead of per copy (§4.3).
+	ctx.Exec(cycles.XSave)
+	idle := 0
+	for !s.stopped {
+		if s.cfg.Mode == PollScenario && !s.scenarioActive {
+			s.Stats.Sleeps++
+			ctx.Block(s.activateSig)
+			continue
+		}
+		if slot >= s.activeThreads && slot != 0 {
+			// Parked by auto-scaling.
+			s.parked++
+			ctx.Block(s.parkSig)
+			s.parked--
+			continue
+		}
+		worked := s.serveOnce(ctx, slot)
+		if worked {
+			idle = 0
+			if slot == 0 {
+				s.autoscale()
+			}
+			continue
+		}
+		idle++
+		s.Stats.PollSweeps++
+		ctx.Exec(cycles.PollIteration)
+		if s.cfg.Mode == PollScenario {
+			// Scenario-driven threads sleep as soon as queues drain
+			// ("sleeps when queues are empty", §6.2.4), woken by the
+			// submission doorbell.
+			if idle >= 32 {
+				s.sleeping++
+				s.Stats.Sleeps++
+				fired := ctx.BlockTimeout(s.workSig, s.cfg.SleepPeriod)
+				s.sleeping--
+				s.Stats.Wakeups++
+				if fired {
+					ctx.Exec(cycles.WakeThread)
+					idle = 0
+				} else {
+					idle = 32
+				}
+			}
+			continue
+		}
+		if s.cfg.Mode == PollNAPI && idle >= s.cfg.NAPIBudget {
+			// Save SIMD state and sleep until a doorbell (§4.5.1).
+			ctx.Exec(cycles.XSave)
+			s.sleeping++
+			s.Stats.Sleeps++
+			fired := ctx.BlockTimeout(s.workSig, s.cfg.SleepPeriod)
+			s.sleeping--
+			s.Stats.Wakeups++
+			if fired {
+				// Doorbell wake (copier_awaken-style IPI).
+				ctx.Exec(cycles.WakeThread)
+				idle = 0
+			} else {
+				// Timeout wake: peek once, then go straight back to
+				// sleep if still idle.
+				idle = s.cfg.NAPIBudget
+			}
+			ctx.Exec(cycles.XSave)
+		}
+	}
+	s.activeThreads--
+}
+
+// autoscale adjusts the active thread count to keep per-thread backlog
+// between LowLoad and HighLoad (§4.5.1).
+func (s *Service) autoscale() {
+	if s.cfg.MaxThreads <= 1 {
+		return
+	}
+	perThread := s.backlogBytes / int64(s.activeThreads)
+	switch {
+	case perThread > s.cfg.HighLoad && s.activeThreads < s.cfg.MaxThreads:
+		if s.parked > 0 {
+			s.activeThreads++
+			s.parkSig.Broadcast(s.env)
+		} else if s.spawnThread != nil {
+			slot := s.activeThreads
+			s.spawnThread(slot)
+		}
+	case perThread < s.cfg.LowLoad && s.activeThreads > 1:
+		// Threads with slot >= activeThreads park themselves at the
+		// next loop iteration.
+		s.activeThreads--
+	}
+}
+
+// clientsOf partitions clients across active threads.
+func (s *Service) clientsOf(slot int) []*Client {
+	n := s.activeThreads
+	if n <= 0 {
+		n = 1
+	}
+	if n == 1 {
+		return s.clients
+	}
+	var out []*Client
+	for i, c := range s.clients {
+		if i%n == slot {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// serveOnce admits new tasks, serves Sync Queues, expires lazy tasks
+// and executes one CFS-picked client's slice. Reports whether any work
+// was done.
+func (s *Service) serveOnce(ctx Ctx, slot int) bool {
+	mine := s.clientsOf(slot)
+	worked := false
+	for _, c := range mine {
+		if c.closed {
+			continue
+		}
+		before := len(c.pending)
+		c.admit(ctx, s)
+		if len(c.pending) != before {
+			worked = true
+		}
+	}
+	// Sync Tasks first: kernel-mode queues, then user-mode (§4.2.2).
+	for _, kmode := range []bool{true, false} {
+		for _, c := range mine {
+			if s.serveSyncQueue(ctx, c, kmode) {
+				worked = true
+			}
+		}
+	}
+	// Finish tasks whose outstanding DMA completed since last sweep.
+	for _, c := range mine {
+		for _, t := range c.pending {
+			if !t.executed && !t.aborted && t.Kind == KindCopy && t.segDone >= t.Len {
+				s.finishTask(ctx, c, t)
+				worked = true
+			}
+		}
+		c.removeExecuted()
+	}
+	// Expire lazy tasks.
+	now := s.now()
+	for _, c := range mine {
+		var expired []*Task
+		for _, t := range c.pending {
+			if t.Lazy && !t.executed && !t.aborted && now >= t.LazyDeadline {
+				expired = append(expired, t)
+			}
+		}
+		for _, t := range expired {
+			s.Stats.LazyExpired++
+			s.executeWithDeps(ctx, c, t, 0, t.Len, 0)
+			worked = true
+		}
+		c.removeExecuted()
+	}
+	// CFS pick: group with minimum vruntime, then client within
+	// (§4.5.3).
+	c := s.pickClient(ctx, mine)
+	if c == nil {
+		return worked || s.inflightDMA > 0
+	}
+	served := s.serveClient(ctx, c, s.cfg.CopySlice)
+	return worked || served || s.inflightDMA > 0
+}
+
+// pickClient implements the two-level CFS-by-copy-length policy.
+func (s *Service) pickClient(ctx Ctx, mine []*Client) *Client {
+	ctx.Exec(cycles.SchedulePick)
+	// Collect groups with runnable clients.
+	type cand struct {
+		g *CGroupAccount
+		c *Client
+	}
+	var best *cand
+	for _, c := range mine {
+		if c.closed || !c.runnable() {
+			continue
+		}
+		g := c.Group
+		if best == nil ||
+			g.vruntime < best.g.vruntime ||
+			(g == best.g && c.vruntime < best.c.vruntime) {
+			best = &cand{g, c}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.c
+}
+
+// runnable reports whether the client has non-lazy pending work.
+func (c *Client) runnable() bool {
+	for _, t := range c.pending {
+		if !t.executed && !t.aborted && !t.Lazy {
+			return true
+		}
+	}
+	return false
+}
+
+// serveClient executes pending tasks FIFO up to budget bytes, fusing
+// small adjacent dependency-free tasks into e-piggyback rounds (§4.3).
+func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
+	worked := false
+	for budget > 0 {
+		// Head = oldest non-lazy unexecuted task.
+		var head *Task
+		for _, t := range c.pending {
+			if !t.executed && !t.aborted && !t.Lazy {
+				head = t
+				break
+			}
+		}
+		if head == nil {
+			break
+		}
+		worked = true
+		if head.Len >= s.cfg.PiggybackThreshold {
+			// Large task: i-piggyback within the task.
+			s.executeWithDeps(ctx, c, head, 0, head.Len, 0)
+			budget -= int64(head.Len)
+			continue
+		}
+		// Small task: fuse adjacent dependency-free tasks
+		// (e-piggyback).
+		batch := []*Task{head}
+		fused := head.Len
+		for _, t := range c.pending {
+			if t == head || t.executed || t.aborted || t.Lazy {
+				continue
+			}
+			if t.orderIdx < head.orderIdx {
+				continue
+			}
+			if fused+t.Len > s.cfg.EPiggybackFuse {
+				break
+			}
+			if s.dependsOnAny(ctx, c, t, batch) {
+				break
+			}
+			batch = append(batch, t)
+			fused += t.Len
+		}
+		// Dependencies of the head must still run first.
+		s.resolveHeadDeps(ctx, c, head)
+		reqs := make([]execReq, len(batch))
+		for i, b := range batch {
+			reqs[i] = execReq{b, 0, b.Len}
+		}
+		s.executeBatch(ctx, c, reqs)
+		budget -= int64(fused)
+	}
+	c.removeExecuted()
+	return worked
+}
+
+// dependsOnAny reports whether t has a read/write or write/write
+// conflict with any batch member or any earlier unexecuted task
+// outside the batch.
+func (s *Service) dependsOnAny(ctx Ctx, c *Client, t *Task, batch []*Task) bool {
+	for _, b := range batch {
+		ctx.Exec(cycles.DependencyCheck)
+		if t.srcOverlap(b.DstAS, b.Dst, b.Len) ||
+			t.dstOverlap(b.DstAS, b.Dst, b.Len) ||
+			b.srcOverlap(t.DstAS, t.Dst, t.Len) {
+			return true
+		}
+	}
+	// Earlier pending tasks not in the batch (e.g. lazy) conflict the
+	// same way.
+	inBatch := func(x *Task) bool {
+		for _, b := range batch {
+			if b == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range c.pending {
+		if p.orderIdx >= t.orderIdx || p.executed || p.aborted || inBatch(p) {
+			continue
+		}
+		ctx.Exec(cycles.DependencyCheck)
+		if s.dependsOn(p, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveHeadDeps executes any earlier tasks the head truly depends
+// on (it is about to run as part of a batch, bypassing
+// executeWithDeps).
+func (s *Service) resolveHeadDeps(ctx Ctx, c *Client, t *Task) {
+	var deps []*Task
+	for _, p := range c.pending {
+		if p.orderIdx >= t.orderIdx || p.executed || p.aborted || p.Kind != KindCopy {
+			continue
+		}
+		ctx.Exec(cycles.DependencyCheck)
+		if s.dependsOn(p, t) {
+			deps = append(deps, p)
+		}
+	}
+	for _, p := range deps {
+		s.executeWithDeps(ctx, c, p, 0, p.Len, 0)
+		s.awaitInFlight(ctx, p)
+	}
+}
+
+// serveSyncQueue drains one Sync Queue, promoting or aborting tasks.
+func (s *Service) serveSyncQueue(ctx Ctx, c *Client, kmode bool) bool {
+	q := c.U
+	if kmode {
+		q = c.K
+	}
+	worked := false
+	for {
+		st := q.Sync.Pop()
+		if st == nil {
+			return worked
+		}
+		ctx.Exec(cycles.TaskPop)
+		worked = true
+		// The client submitted the referenced Copy Task strictly
+		// before this Sync Task, but it may still sit unadmitted in
+		// the Copy Queue (the rings are independent): drain admissions
+		// first so promotion cannot miss it.
+		c.admit(ctx, s)
+		switch st.Kind {
+		case KindSync:
+			s.Stats.SyncsServed++
+			s.trace("sync %s [%#x,+%d): promote", c.Name, uint64(st.Addr), st.SyncLen)
+			s.promote(ctx, c, st.Addr, st.SyncLen)
+		case KindAbort:
+			if st.AbortDesc != nil {
+				s.trace("abort %s desc [%#x,+%d)", c.Name, uint64(st.AbortDesc.Base), st.AbortDesc.Len)
+			} else {
+				s.trace("abort %s [%#x,+%d)", c.Name, uint64(st.Addr), st.SyncLen)
+			}
+			s.abort(ctx, c, st)
+		default:
+			panic(fmt.Sprintf("core: %v task on sync queue", st.Kind))
+		}
+	}
+}
+
+// promote executes, out of order, the pending tasks whose destination
+// covers [addr, addr+n), honoring data dependencies (§4.1, §4.2.2,
+// Fig. 6-b).
+func (s *Service) promote(ctx Ctx, c *Client, addr mem.VA, n int) {
+	var targets []*Task
+	for _, t := range c.pending {
+		ctx.Exec(cycles.DependencyCheck)
+		if t.executed || t.aborted || t.Kind != KindCopy {
+			continue
+		}
+		if t.Desc != nil && overlapsVA(t.Desc.Base, t.Desc.Len, addr, n) {
+			targets = append(targets, t)
+		} else if overlapsVA(t.Dst, t.Len, addr, n) {
+			targets = append(targets, t)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].orderIdx < targets[j].orderIdx })
+	for _, t := range targets {
+		s.Stats.Promotions++
+		// Promote only the segments covering the synced range (§4.1
+		// fine-grained update; §4.4 layered absorption depends on the
+		// rest of the task staying pending).
+		base := t.Dst
+		if t.Desc != nil {
+			base = t.Desc.Base
+		}
+		lo := 0
+		if addr > base {
+			lo = int(addr - base)
+		}
+		hi := t.Len
+		if end := int(addr + mem.VA(n) - base); end < hi {
+			hi = end
+		}
+		if hi <= lo {
+			lo, hi = 0, t.Len
+		}
+		s.executeWithDeps(ctx, c, t, lo, hi, 0)
+	}
+	c.removeExecuted()
+}
+
+func overlapsVA(a mem.VA, an int, b mem.VA, bn int) bool {
+	return overlaps(a, an, b, bn)
+}
+
+// abort discards still-queued Copy Tasks — the one bound to the
+// abort's descriptor, or those whose destination intersects
+// [addr, addr+n) (§4.4).
+func (s *Service) abort(ctx Ctx, c *Client, st *Task) {
+	for _, t := range c.pending {
+		ctx.Exec(cycles.DependencyCheck)
+		if t.executed || t.aborted || t.Kind != KindCopy {
+			continue
+		}
+		match := false
+		if st.AbortDesc != nil {
+			match = t.Desc == st.AbortDesc
+		} else {
+			match = overlapsVA(t.Dst, t.Len, st.Addr, st.SyncLen)
+		}
+		if match {
+			// Outstanding DMA may still address the pinned pages:
+			// wait it out before dropping the pins.
+			s.awaitInFlight(ctx, t)
+			s.unpinAll(ctx, t.pins)
+			t.pins = nil
+			t.aborted = true
+			c.backlogBytes -= int64(t.Len)
+			s.backlogBytes -= int64(t.Len)
+			s.Stats.AbortedTasks++
+			// The copy is discarded but the post-copy FUNC is still
+			// delegated — it reclaims buffers the client no longer
+			// tracks (the proxy's skb free, §4.4 / §5.2).
+			if h := t.Handler; h != nil {
+				if h.Kernel {
+					ctx.Exec(cycles.HandlerDispatch + h.Cost)
+					if h.Fn != nil {
+						h.Fn()
+					}
+					s.Stats.KFuncsRun++
+				} else {
+					c.U.handlers = append(c.U.handlers, h)
+					s.Stats.UFuncsQueued++
+				}
+			}
+		}
+	}
+	c.removeExecuted()
+	c.Progress.Broadcast(ctx.Env())
+}

@@ -1,0 +1,638 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"copier/internal/cycles"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// testCtx adapts a bare simulation process to the Ctx interface for
+// service tests that do not need the kernel's CPU scheduler.
+type testCtx struct{ p *sim.Proc }
+
+func (c testCtx) Exec(d sim.Time)         { c.p.Wait(d) }
+func (c testCtx) Block(s *sim.Signal)     { s.Wait(c.p) }
+func (c testCtx) SpinUntil(s *sim.Signal) { s.Wait(c.p) }
+func (c testCtx) Now() sim.Time           { return c.p.Now() }
+func (c testCtx) Env() *sim.Env           { return c.p.Env() }
+func (c testCtx) BlockTimeout(s *sim.Signal, d sim.Time) bool {
+	return s.WaitTimeout(c.p, d)
+}
+
+type harness struct {
+	env *sim.Env
+	pm  *mem.PhysMem
+	svc *Service
+	uas *mem.AddrSpace
+	kas *mem.AddrSpace
+	c   *Client
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	env := sim.NewEnv()
+	pm := mem.NewPhysMem(64 << 20)
+	svc := NewService(env, pm, cfg)
+	uas := mem.NewAddrSpace(pm)
+	kas := mem.NewAddrSpace(pm)
+	c := svc.NewClient("test", uas, kas, nil)
+	return &harness{env: env, pm: pm, svc: svc, uas: uas, kas: kas, c: c}
+}
+
+// start spawns one service thread.
+func (h *harness) start() {
+	h.env.Go("copierd", func(p *sim.Proc) {
+		h.svc.ThreadMain(testCtx{p}, 0)
+	})
+}
+
+// run advances the simulation to t then stops the service and drains.
+func (h *harness) run(t *testing.T, until sim.Time) {
+	t.Helper()
+	if err := h.env.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	h.svc.Stop()
+	if err := h.env.Run(until + 10_000_000); err != nil {
+		// Sleeping threads woken by Stop should all exit.
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// alloc maps and populates a buffer filled with the pattern byte.
+func (h *harness) alloc(t *testing.T, as *mem.AddrSpace, size int, fill byte) mem.VA {
+	t.Helper()
+	va := as.MMap(int64(size), mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, int64(size), true); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{fill}, size)
+	if err := as.WriteAt(va, data); err != nil {
+		t.Fatal(err)
+	}
+	return va
+}
+
+func (h *harness) read(t *testing.T, as *mem.AddrSpace, va mem.VA, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	if err := as.ReadAt(va, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestServiceBasicAsyncCopy(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 8192
+	src := h.alloc(t, h.uas, n, 0xAA)
+	dst := h.alloc(t, h.uas, n, 0x00)
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+	handlerRan := false
+	task.Handler = &Handler{Kernel: true, Fn: func() { handlerRan = true }, Cost: 10}
+	if !h.c.SubmitCopy(task, false) {
+		t.Fatal("submit failed")
+	}
+	h.start()
+	h.run(t, 10_000_000)
+	if !task.Executed() {
+		t.Fatal("task not executed")
+	}
+	if !task.Desc.Done() {
+		t.Fatal("descriptor not complete")
+	}
+	if !bytes.Equal(h.read(t, h.uas, dst, n), bytes.Repeat([]byte{0xAA}, n)) {
+		t.Fatal("data not copied")
+	}
+	if !handlerRan {
+		t.Fatal("KFUNC not run")
+	}
+	if h.svc.Stats.TasksExecuted != 1 {
+		t.Fatalf("stats: %+v", h.svc.Stats)
+	}
+}
+
+func TestServiceUFuncQueued(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	src := h.alloc(t, h.uas, 1024, 1)
+	dst := h.alloc(t, h.uas, 1024, 0)
+	ran := false
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: 1024,
+		Handler: &Handler{Kernel: false, Fn: func() { ran = true }}}
+	h.c.SubmitCopy(task, false)
+	h.start()
+	h.run(t, 10_000_000)
+	if ran {
+		t.Fatal("UFUNC ran in service context")
+	}
+	if h.c.HandlerQueueLen() != 1 {
+		t.Fatalf("handler queue len = %d", h.c.HandlerQueueLen())
+	}
+	hd := h.c.PopHandler()
+	hd.Fn()
+	if !ran || h.c.PopHandler() != nil {
+		t.Fatal("handler drain wrong")
+	}
+}
+
+func TestServicePromotionReordersExecution(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const big = 64 << 10
+	const small = 4 << 10
+	srcA := h.alloc(t, h.uas, big, 0x11)
+	dstA := h.alloc(t, h.uas, big, 0)
+	srcB := h.alloc(t, h.uas, small, 0x22)
+	dstB := h.alloc(t, h.uas, small, 0)
+
+	var doneA, doneB sim.Time
+	ta := &Task{Src: srcA, Dst: dstA, SrcAS: h.uas, DstAS: h.uas, Len: big,
+		Handler: &Handler{Kernel: true, Fn: func() { doneA = h.env.Now() }}}
+	tb := &Task{Src: srcB, Dst: dstB, SrcAS: h.uas, DstAS: h.uas, Len: small,
+		Handler: &Handler{Kernel: true, Fn: func() { doneB = h.env.Now() }}}
+	h.c.SubmitCopy(ta, false)
+	h.c.SubmitCopy(tb, false)
+	// Promote B past A (head-of-line blocking relief, §4.1).
+	h.c.SubmitSync(dstB, small, false)
+	h.start()
+	h.run(t, 50_000_000)
+	if doneA == 0 || doneB == 0 {
+		t.Fatal("tasks not executed")
+	}
+	if doneB >= doneA {
+		t.Fatalf("promotion ineffective: B at %d, A at %d", doneB, doneA)
+	}
+	if h.svc.Stats.Promotions == 0 {
+		t.Fatal("no promotion recorded")
+	}
+}
+
+func TestServiceBarrierOrdersCrossQueueTasks(t *testing.T) {
+	// Kernel copies A→B during a syscall; the app submits B→C right
+	// after return. B→C must observe A's data (§4.2.1, Fig. 6-a).
+	cfg := DefaultConfig()
+	cfg.EnableAbsorption = false // force real execution order
+	h := newHarness(t, cfg)
+	const n = 4096
+	a := h.alloc(t, h.kas, n, 0x5A)
+	b := h.alloc(t, h.uas, n, 0)
+	cbuf := h.alloc(t, h.uas, n, 0)
+
+	// Trap: kernel submits barrier then its task.
+	h.c.SubmitBarrier(false)
+	h.c.SubmitCopy(&Task{Src: a, Dst: b, SrcAS: h.kas, DstAS: h.uas, Len: n}, true)
+	h.c.SubmitBarrier(true)
+	// Return: app submits the dependent copy.
+	h.c.SubmitCopy(&Task{Src: b, Dst: cbuf, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	h.start()
+	h.run(t, 20_000_000)
+	if !bytes.Equal(h.read(t, h.uas, cbuf, n), bytes.Repeat([]byte{0x5A}, n)) {
+		t.Fatal("cross-queue ordering violated: C lacks A's data")
+	}
+}
+
+func TestServiceBarrierHoldsConcurrentUserTasks(t *testing.T) {
+	// User tasks submitted while a syscall window is open (after the
+	// trap barrier snapshot) must order after the kernel's tasks.
+	cfg := DefaultConfig()
+	cfg.EnableAbsorption = false
+	h := newHarness(t, cfg)
+	const n = 2048
+	a := h.alloc(t, h.kas, n, 0x77)
+	b := h.alloc(t, h.uas, n, 0)
+	cbuf := h.alloc(t, h.uas, n, 0)
+
+	h.c.SubmitBarrier(false) // trap; snapshot upos=0
+	// Concurrent user thread submits B→C *during* the syscall.
+	h.c.SubmitCopy(&Task{Src: b, Dst: cbuf, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	// Kernel's copy A→B.
+	h.c.SubmitCopy(&Task{Src: a, Dst: b, SrcAS: h.kas, DstAS: h.uas, Len: n}, true)
+	h.c.SubmitBarrier(true)
+	h.start()
+	h.run(t, 20_000_000)
+	// Kernel prioritized: A→B runs before B→C, so C sees 0x77.
+	if !bytes.Equal(h.read(t, h.uas, cbuf, n), bytes.Repeat([]byte{0x77}, n)) {
+		t.Fatal("concurrent user task was not ordered after kernel tasks")
+	}
+}
+
+func TestServiceAbsorptionShortCircuits(t *testing.T) {
+	// Lazy K→I pending; I→D executes: D reads K directly (§4.4).
+	h := newHarness(t, DefaultConfig())
+	const n = 8192
+	k := h.alloc(t, h.kas, n, 0xC3)
+	i := h.alloc(t, h.uas, n, 0)
+	d := h.alloc(t, h.uas, n, 0)
+
+	lazy := &Task{Src: k, Dst: i, SrcAS: h.kas, DstAS: h.uas, Len: n,
+		Lazy: true, LazyDeadline: sim.Infinity}
+	h.c.SubmitCopy(lazy, true)
+	h.c.SubmitCopy(&Task{Src: i, Dst: d, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	h.start()
+	h.run(t, 20_000_000)
+	if !bytes.Equal(h.read(t, h.uas, d, n), bytes.Repeat([]byte{0xC3}, n)) {
+		t.Fatal("absorption produced wrong data")
+	}
+	if h.svc.Stats.AbsorbedBytes < int64(n) {
+		t.Fatalf("absorbed = %d, want >= %d", h.svc.Stats.AbsorbedBytes, n)
+	}
+	if lazy.Executed() {
+		t.Fatal("lazy mediator should remain pending")
+	}
+	// The intermediate buffer I was never written.
+	if !bytes.Equal(h.read(t, h.uas, i, n), make([]byte, n)) {
+		t.Fatal("intermediate buffer written despite absorption")
+	}
+}
+
+func TestServiceLayeredAbsorptionRespectsModifiedSegments(t *testing.T) {
+	// Fig. 8-b: T1 (A→B) has its first segment already copied and then
+	// modified by the client; T2 (B→C) must take segment 0 from B and
+	// the rest from A.
+	h := newHarness(t, DefaultConfig())
+	const n = 4096
+	const seg = 1024
+	a := h.alloc(t, h.uas, n, 0xA1)
+	b := h.alloc(t, h.uas, n, 0)
+	cbuf := h.alloc(t, h.uas, n, 0)
+
+	t1 := &Task{Src: a, Dst: b, SrcAS: h.uas, DstAS: h.uas, Len: n, SegSize: seg,
+		Lazy: true, LazyDeadline: sim.Infinity}
+	h.c.SubmitCopy(t1, false)
+	// Simulate: segment 0 already copied by the service and then
+	// modified by the client after csync.
+	t1.Desc.MarkRange(0, seg)
+	t1.segDone += seg
+	if err := h.uas.WriteAt(b, bytes.Repeat([]byte{0xB2}, seg)); err != nil {
+		t.Fatal(err)
+	}
+	h.c.SubmitCopy(&Task{Src: b, Dst: cbuf, SrcAS: h.uas, DstAS: h.uas, Len: n, SegSize: seg}, false)
+	h.start()
+	h.run(t, 20_000_000)
+	got := h.read(t, h.uas, cbuf, n)
+	want := append(bytes.Repeat([]byte{0xB2}, seg), bytes.Repeat([]byte{0xA1}, n-seg)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("layered absorption wrong: got[0]=%x got[%d]=%x", got[0], seg, got[seg])
+	}
+}
+
+func TestServiceAbortDiscardsTask(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 4096
+	k := h.alloc(t, h.kas, n, 0xEE)
+	u := h.alloc(t, h.uas, n, 0)
+	lazy := &Task{Src: k, Dst: u, SrcAS: h.kas, DstAS: h.uas, Len: n,
+		Lazy: true, LazyDeadline: sim.Infinity}
+	h.c.SubmitCopy(lazy, true)
+	h.c.SubmitAbort(u, n, false)
+	h.start()
+	h.run(t, 10_000_000)
+	if !lazy.Aborted() {
+		t.Fatal("task not aborted")
+	}
+	if h.svc.Stats.AbortedTasks != 1 {
+		t.Fatalf("stats: %+v", h.svc.Stats)
+	}
+	if !bytes.Equal(h.read(t, h.uas, u, n), make([]byte, n)) {
+		t.Fatal("aborted task still copied")
+	}
+}
+
+func TestServiceLazyDeadlineForcesExecution(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 2048
+	src := h.alloc(t, h.uas, n, 0x44)
+	dst := h.alloc(t, h.uas, n, 0)
+	lazy := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n,
+		Lazy: true, LazyDeadline: 1_000_000}
+	h.c.SubmitCopy(lazy, false)
+	h.start()
+	h.run(t, 30_000_000)
+	if !lazy.Executed() {
+		t.Fatal("expired lazy task not executed")
+	}
+	if h.svc.Stats.LazyExpired == 0 {
+		t.Fatal("no expiry recorded")
+	}
+	if !bytes.Equal(h.read(t, h.uas, dst, n), bytes.Repeat([]byte{0x44}, n)) {
+		t.Fatal("lazy execution wrong data")
+	}
+}
+
+func TestServiceProactiveFaultHandling(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 8192
+	src := h.alloc(t, h.uas, n, 0x99)
+	// Destination VMA never touched: service must resolve demand-zero
+	// faults itself (§4.5.4).
+	dst := h.uas.MMap(n, mem.PermRead|mem.PermWrite, "untouched")
+	h.c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	h.start()
+	h.run(t, 20_000_000)
+	if h.svc.Stats.ProactiveFaults == 0 {
+		t.Fatal("no proactive faults recorded")
+	}
+	if !bytes.Equal(h.read(t, h.uas, dst, n), bytes.Repeat([]byte{0x99}, n)) {
+		t.Fatal("copy into faulted range wrong")
+	}
+}
+
+func TestServiceSecurityDropsForeignAddressSpace(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 1024
+	k := h.alloc(t, h.kas, n, 0x13)
+	u := h.alloc(t, h.uas, n, 0)
+	// User-mode task reading kernel memory: must be dropped.
+	task := &Task{Src: k, Dst: u, SrcAS: h.kas, DstAS: h.uas, Len: n}
+	h.c.SubmitCopy(task, false)
+	h.start()
+	h.run(t, 10_000_000)
+	if task.Desc.Err == nil {
+		t.Fatal("security violation not recorded on descriptor")
+	}
+	if h.svc.Stats.FailedTasks != 1 {
+		t.Fatalf("stats: %+v", h.svc.Stats)
+	}
+	if !bytes.Equal(h.read(t, h.uas, u, n), make([]byte, n)) {
+		t.Fatal("dropped task copied data")
+	}
+}
+
+func TestServiceBadAddressDropsTask(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	src := h.alloc(t, h.uas, 1024, 1)
+	task := &Task{Src: src, Dst: mem.VA(0xdead0000), SrcAS: h.uas, DstAS: h.uas, Len: 1024}
+	h.c.SubmitCopy(task, false)
+	h.start()
+	h.run(t, 10_000_000)
+	if task.Desc.Err == nil || !errors.Is(task.Desc.Err, mem.ErrBadAddress) {
+		t.Fatalf("err = %v", task.Desc.Err)
+	}
+}
+
+func TestServiceDMAPiggybackSplitsWork(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 256 << 10
+	src := h.alloc(t, h.uas, n, 0x21)
+	dst := h.alloc(t, h.uas, n, 0)
+	h.c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	h.start()
+	h.run(t, 100_000_000)
+	if h.svc.Stats.DMABytes == 0 {
+		t.Fatal("piggybacking never used DMA")
+	}
+	if h.svc.Stats.AVXBytes == 0 {
+		t.Fatal("piggybacking never used AVX")
+	}
+	if h.svc.Stats.DMABytes+h.svc.Stats.AVXBytes != n {
+		t.Fatalf("bytes: dma=%d avx=%d, want sum %d",
+			h.svc.Stats.DMABytes, h.svc.Stats.AVXBytes, n)
+	}
+	if !bytes.Equal(h.read(t, h.uas, dst, n), bytes.Repeat([]byte{0x21}, n)) {
+		t.Fatal("piggybacked copy wrong")
+	}
+}
+
+func TestServiceDMADisabledAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableDMA = false
+	h := newHarness(t, cfg)
+	const n = 256 << 10
+	src := h.alloc(t, h.uas, n, 0x42)
+	dst := h.alloc(t, h.uas, n, 0)
+	h.c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}, false)
+	h.start()
+	h.run(t, 100_000_000)
+	if h.svc.Stats.DMABytes != 0 {
+		t.Fatal("DMA used despite ablation")
+	}
+	if h.svc.Stats.AVXBytes != n {
+		t.Fatalf("AVX bytes = %d", h.svc.Stats.AVXBytes)
+	}
+}
+
+func TestServicePiggybackFasterThanAVXOnly(t *testing.T) {
+	run := func(dma bool) sim.Time {
+		cfg := DefaultConfig()
+		cfg.EnableDMA = dma
+		h := newHarness(t, cfg)
+		const n = 1 << 20
+		src := h.alloc(t, h.uas, n, 0x37)
+		dst := h.alloc(t, h.uas, n, 0)
+		var done sim.Time
+		h.c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n,
+			Handler: &Handler{Kernel: true, Fn: func() { done = h.env.Now() }}}, false)
+		h.start()
+		h.run(t, 300_000_000)
+		if done == 0 {
+			t.Fatal("task did not finish")
+		}
+		return done
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Fatalf("piggyback with DMA (%d) not faster than AVX only (%d)", with, without)
+	}
+}
+
+func TestServiceATCacheHitsOnBufferReuse(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 16 << 10
+	src := h.alloc(t, h.uas, n, 0x10)
+	dst := h.alloc(t, h.uas, n, 0)
+	h.start()
+	h.env.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+			h.c.SubmitCopy(task, false)
+			p.Wait(500_000)
+		}
+	})
+	h.run(t, 100_000_000)
+	if h.svc.ATCacheStats().HitRate() < 0.5 {
+		t.Fatalf("ATCache hit rate = %.2f on reused buffers", h.svc.ATCacheStats().HitRate())
+	}
+}
+
+func TestServiceCgroupFairness(t *testing.T) {
+	env := sim.NewEnv()
+	pm := mem.NewPhysMem(256 << 20)
+	svc := NewService(env, pm, DefaultConfig())
+	gHigh := svc.Group("high", 300)
+	gLow := svc.Group("low", 100)
+
+	mk := func(name string, g *CGroupAccount) (*Client, *mem.AddrSpace) {
+		as := mem.NewAddrSpace(pm)
+		return svc.NewClient(name, as, as, g), as
+	}
+	cHigh, asHigh := mk("high", gHigh)
+	cLow, asLow := mk("low", gLow)
+
+	feed := func(c *Client, as *mem.AddrSpace) {
+		// Saturating demand (64 KB per 1k cycles >> service capacity)
+		// so the copier controller's shares are the binding resource.
+		const n = 64 << 10
+		src := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, int64(n), true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Populate(dst, int64(n), true); err != nil {
+			t.Fatal(err)
+		}
+		env.Go("feeder-"+c.Name, func(p *sim.Proc) {
+			for i := 0; i < 20000; i++ {
+				if c.U.Copy.Len() < 64 {
+					c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: as, DstAS: as, Len: n}, false)
+				}
+				p.Wait(1_000)
+			}
+		})
+	}
+	feed(cHigh, asHigh)
+	feed(cLow, asLow)
+	env.Go("copierd", func(p *sim.Proc) { svc.ThreadMain(testCtx{p}, 0) })
+	if err := env.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if cHigh.TotalCopied == 0 || cLow.TotalCopied == 0 {
+		t.Fatalf("starvation: high=%d low=%d", cHigh.TotalCopied, cLow.TotalCopied)
+	}
+	ratio := float64(cHigh.TotalCopied) / float64(cLow.TotalCopied)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("share ratio = %.2f, want ~3 (300:100 shares)", ratio)
+	}
+}
+
+func TestServiceScenarioModeSleepsUntilActivated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = PollScenario
+	h := newHarness(t, cfg)
+	const n = 4096
+	src := h.alloc(t, h.uas, n, 0x61)
+	dst := h.alloc(t, h.uas, n, 0)
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+	h.c.SubmitCopy(task, false)
+	h.start()
+	// The heap may drain with the service parked on the activation
+	// signal — that is the expected "sleeping" state, not a failure.
+	if err := h.env.Run(5_000_000); err != nil {
+		if _, ok := err.(*sim.DeadlockError); !ok {
+			t.Fatal(err)
+		}
+	}
+	if task.Executed() {
+		t.Fatal("scenario-mode service ran while inactive")
+	}
+	h.svc.Activate()
+	h.run(t, 10_000_000)
+	if !task.Executed() {
+		t.Fatal("service did not run after activation")
+	}
+}
+
+func TestServiceNAPISleepsWhenIdle(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.start()
+	if err := h.env.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if h.svc.Stats.Sleeps == 0 {
+		t.Fatal("idle NAPI thread never slept")
+	}
+	h.svc.Stop()
+	if err := h.env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceEPiggybackFusesSmallTasks(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 4 << 10 // below PiggybackThreshold
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		src := h.alloc(t, h.uas, n, byte(0x30+i))
+		dst := h.alloc(t, h.uas, n, 0)
+		task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+		tasks = append(tasks, task)
+		h.c.SubmitCopy(task, false)
+	}
+	h.start()
+	h.run(t, 50_000_000)
+	for i, task := range tasks {
+		if !task.Executed() {
+			t.Fatalf("task %d unexecuted", i)
+		}
+		got := h.read(t, h.uas, task.Dst, n)
+		if got[0] != byte(0x30+i) || got[n-1] != byte(0x30+i) {
+			t.Fatalf("task %d data wrong", i)
+		}
+	}
+	// Fusing across tasks lets DMA engage even though each task is
+	// below the i-piggyback threshold.
+	if h.svc.Stats.DMABytes == 0 {
+		t.Fatal("e-piggyback never engaged DMA for fused small tasks")
+	}
+}
+
+func TestServiceCsyncCheckCost(t *testing.T) {
+	// Sanity: descriptor readiness observed by a synthetic client
+	// mid-copy shows segment-level pipelining (early segments ready
+	// before the whole task).
+	h := newHarness(t, DefaultConfig())
+	const n = 128 << 10
+	src := h.alloc(t, h.uas, n, 0x55)
+	dst := h.alloc(t, h.uas, n, 0)
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+	h.c.SubmitCopy(task, false)
+
+	var firstSegReady, allReady sim.Time
+	h.env.Go("watcher", func(p *sim.Proc) {
+		for firstSegReady == 0 || allReady == 0 {
+			if firstSegReady == 0 && task.Desc.Ready(0, 1024) {
+				firstSegReady = p.Now()
+			}
+			if allReady == 0 && task.Desc.Done() {
+				allReady = p.Now()
+				return
+			}
+			p.Wait(1000)
+		}
+	})
+	h.start()
+	h.run(t, 100_000_000)
+	if firstSegReady == 0 || allReady == 0 {
+		t.Fatal("copy never progressed")
+	}
+	if firstSegReady >= allReady {
+		t.Fatalf("no pipelining: first=%d all=%d", firstSegReady, allReady)
+	}
+}
+
+func TestServiceClientCloseStopsService(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.svc.CloseClient(h.c)
+	if len(h.svc.clients) != 0 {
+		t.Fatal("client not removed")
+	}
+}
+
+func TestServiceBreakEvenMatchesScope(t *testing.T) {
+	// §4.6: async submit+csync overhead is below a 512B user copy and
+	// above a 128B one.
+	over := sim.Time(cycles.SubmitTask + cycles.DescriptorAlloc + cycles.CsyncCheck)
+	if cycles.SyncCopyCost(cycles.UnitAVX, 512) < over {
+		t.Fatal("512B user copy cheaper than async overhead")
+	}
+	if cycles.SyncCopyCost(cycles.UnitAVX, 128) > over {
+		t.Fatal("128B user copy dearer than async overhead")
+	}
+}

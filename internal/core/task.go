@@ -1,0 +1,152 @@
+package core
+
+import (
+	"copier/internal/hw"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// Kind discriminates the task types flowing through the CSH queues.
+type Kind uint8
+
+const (
+	// KindCopy is an asynchronous copy request (amemcpy).
+	KindCopy Kind = iota
+	// KindBarrier is a cross-queue Barrier Task submitted by the
+	// kernel at trap/return, snapshotting the paired user Copy
+	// Queue's position (§4.2.1).
+	KindBarrier
+	// KindSync is a Sync Task raising the priority of the segments
+	// covering an address range (task promotion, §4.1).
+	KindSync
+	// KindAbort is the special Sync Task discarding a still-queued
+	// Copy Task explicitly (§4.4: "Copier does not implicitly discard
+	// any tasks").
+	KindAbort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCopy:
+		return "copy"
+	case KindBarrier:
+		return "barrier"
+	case KindSync:
+		return "sync"
+	case KindAbort:
+		return "abort"
+	}
+	return "kind?"
+}
+
+// Handler is the func field of a Copy Task (§4.1 delegation-based
+// handling): a post-copy action such as freeing the source buffer.
+// Kernel handlers (KFUNC) are run by the Copier thread itself; user
+// handlers (UFUNC) are queued to the client's Handler Queue and run by
+// libCopier.
+type Handler struct {
+	// Fn is the action. It runs in simulation context without
+	// charging time beyond Cost.
+	Fn func()
+	// Kernel selects KFUNC (service executes) vs UFUNC (queued to the
+	// client).
+	Kernel bool
+	// Cost is the virtual cycles the action itself consumes.
+	Cost sim.Time
+}
+
+// Task is one entry in a Copy or Sync Queue.
+type Task struct {
+	ID     uint64
+	Kind   Kind
+	Client *Client
+	// KMode records which queue set the task was submitted to.
+	KMode bool
+
+	// Copy fields.
+	Src, Dst     mem.VA
+	SrcAS, DstAS *mem.AddrSpace
+	Len          int
+	// PhysSrc/PhysDst, when non-empty, address the copy by physical
+	// pages instead of VAs — the kernel-only task form (§4.1: tasks
+	// are "identified by virtual addresses or pages (used by
+	// kernel)"). Physical tasks skip translation, fault handling and
+	// pinning (the kernel guarantees the frames), and are exempt from
+	// VA-based dependency/absorption analysis.
+	PhysSrc, PhysDst []hw.FrameRange
+	SegSize          int
+	Desc             *Descriptor
+	Handler          *Handler
+	// Lazy marks a Lazy Copy Task (§4.4): lowest priority, executed
+	// only when depended upon or when LazyDeadline passes.
+	Lazy         bool
+	LazyDeadline sim.Time
+
+	// Barrier fields: the paired user Copy Queue's acquire position
+	// at trap/return, and whether this is the return-side barrier.
+	UPos   uint64
+	Return bool
+
+	// Sync/Abort fields.
+	Addr    mem.VA
+	SyncLen int
+	// AbortDesc, when set on a KindAbort task, discards only the
+	// pending Copy Task bound to this descriptor — immune to buffer
+	// reuse races that address-range aborts are subject to.
+	AbortDesc *Descriptor
+
+	// Runtime state owned by the service.
+	orderIdx   uint64 // merged admission order (§4.2.1)
+	executed   bool
+	aborted    bool
+	enqueuedAt sim.Time
+	// segDone counts completed bytes, to detect full completion
+	// without rescanning the descriptor (descriptor may be shared).
+	segDone int
+	// issued marks segments handed to a copy unit (AVX already done,
+	// or DMA in flight). prepare skips issued segments; absorption
+	// reads through not-yet-completed ones via the descriptor.
+	issued *Descriptor
+	// pins are the page ranges pinned for the in-flight execution.
+	pins []pinRec
+	err  error
+}
+
+// Err returns the failure recorded when the service dropped the task.
+func (t *Task) Err() error { return t.err }
+
+// phys reports whether the task is physically addressed.
+func (t *Task) phys() bool { return len(t.PhysDst) > 0 }
+
+// Executed reports whether the service finished (or absorbed away) the
+// task.
+func (t *Task) Executed() bool { return t.executed }
+
+// Aborted reports whether an abort Sync Task discarded the task.
+func (t *Task) Aborted() bool { return t.aborted }
+
+// overlaps reports whether two address ranges in the same address
+// space intersect.
+func overlaps(a mem.VA, an int, b mem.VA, bn int) bool {
+	if an <= 0 || bn <= 0 {
+		return false
+	}
+	return a < b+mem.VA(bn) && b < a+mem.VA(an)
+}
+
+// RangesOverlap reports whether [a, a+an) and [b, b+bn) intersect.
+func RangesOverlap(a mem.VA, an int, b mem.VA, bn int) bool {
+	return overlaps(a, an, b, bn)
+}
+
+// dstOverlap reports whether task t's destination overlaps range
+// [a, a+n) in address space as.
+func (t *Task) dstOverlap(as *mem.AddrSpace, a mem.VA, n int) bool {
+	return t.DstAS == as && overlaps(t.Dst, t.Len, a, n)
+}
+
+// srcOverlap reports whether task t's source overlaps range [a, a+n)
+// in address space as.
+func (t *Task) srcOverlap(as *mem.AddrSpace, a mem.VA, n int) bool {
+	return t.SrcAS == as && overlaps(t.Src, t.Len, a, n)
+}

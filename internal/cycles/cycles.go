@@ -1,0 +1,287 @@
+// Package cycles is the calibrated cost model shared by the whole
+// simulated machine. Every constant is documented with the paper
+// statement (or standard microarchitectural figure) it is calibrated
+// against; benchmarks reproduce the *shape* of the paper's results from
+// these relative costs, not absolute wall-clock numbers.
+//
+// Times are in CPU cycles at a constant 2.9 GHz (the paper's Xeon
+// E5-2650 v4 runs a constant 2.9 GHz, §6).
+package cycles
+
+import "copier/internal/sim"
+
+// Frequency used for cycle↔nanosecond conversion.
+const (
+	// CyclesPerMicrosecond at 2.9 GHz.
+	CyclesPerMicrosecond = 2900
+	// CyclesPerNanosecond numerator/denominator (2.9 cycles per ns).
+	cyclesPerNsNum = 29
+	cyclesPerNsDen = 10
+)
+
+// ToNanoseconds converts a cycle count to nanoseconds at 2.9 GHz.
+func ToNanoseconds(c sim.Time) float64 { return float64(c) * cyclesPerNsDen / cyclesPerNsNum }
+
+// ToMicroseconds converts a cycle count to microseconds at 2.9 GHz.
+func ToMicroseconds(c sim.Time) float64 { return ToNanoseconds(c) / 1000 }
+
+// FromNanoseconds converts nanoseconds to cycles at 2.9 GHz.
+func FromNanoseconds(ns float64) sim.Time { return sim.Time(ns * cyclesPerNsNum / cyclesPerNsDen) }
+
+// Unit identifies a copy engine.
+type Unit int
+
+const (
+	// UnitERMS is the kernel's default copy method (Enhanced REP
+	// MOVSB/STOSB) — usable in kernel context with no register-state
+	// save costs (Table 1).
+	UnitERMS Unit = iota
+	// UnitAVX is AVX2 SIMD copy — glibc memcpy's method; unavailable
+	// to the stock kernel because of xsave/xrstor costs (§2.2).
+	UnitAVX
+	// UnitDMA is the on-chip DMA engine (Intel I/OAT-style) — copies
+	// without consuming CPU cycles but with lower throughput than AVX
+	// and a fixed submission cost (§4.3, Fig. 7-a).
+	UnitDMA
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitERMS:
+		return "ERMS"
+	case UnitAVX:
+		return "AVX2"
+	case UnitDMA:
+		return "DMA"
+	}
+	return "unit?"
+}
+
+// Copy-engine bandwidth model. Real memcpy throughput is piecewise in
+// the copy size: startup-dominated for tiny copies, cache-bandwidth
+// bound in the KB range, DRAM-bandwidth bound beyond the LLC. We model
+// each unit as startup cycles plus a per-size-class bandwidth in
+// bytes/cycle. Calibration targets:
+//
+//   - Fig. 7-a: AVX2 > ERMS in throughput at every size; DMA is the
+//     slowest unit, "especially for small copies", and excels only in
+//     that it costs no CPU.
+//   - Fig. 9: AVX2+DMA in parallel beats ERMS by up to 158% and AVX2
+//     alone by up to 38% — so DMA bandwidth ≈ 0.4× AVX bandwidth.
+//   - §4.3: the DMA submission overhead "is sufficient to copy 1.4KB
+//     using AVX2".
+//   - §4.6: async submit+csync beats a sync copy at ≥0.3KB (kernel,
+//     vs ERMS) and ≥0.5KB (user, vs AVX).
+const (
+	// AVXStartup is the fixed cost of one AVX copy call (branching to
+	// the size class, aligning heads/tails).
+	AVXStartup = 30
+	// ERMSStartup is the REP MOVSB fixed startup (microcode ramp-up;
+	// Intel documents ~35-50 cycle startup for ERMS).
+	ERMSStartup = 50
+	// DMASubmit is the cost, on the submitting CPU, of writing one DMA
+	// descriptor and ringing the doorbell. Calibrated so that
+	// DMASubmit ≈ AVXCopyCycles(1.4KB) ≈ 30 + 1434/12 ≈ 150.
+	DMASubmit = 140
+	// DMACompletionCheck is the cost of polling one DMA completion.
+	DMACompletionCheck = 40
+	// PageWalk is the software page-table walk per page when
+	// translating a VA for DMA (§4.3: "~240 cycles/page").
+	PageWalk = 240
+	// ATCacheHit replaces PageWalk on an Address-Transfer-Cache hit.
+	ATCacheHit = 25
+	// XSave is saving or restoring SIMD register state once (the
+	// kernel's reason for avoiding AVX: "up to several KB" of state;
+	// Copier pays it once per activation, not per copy).
+	XSave = 900
+)
+
+// bwClass describes one size class of a bandwidth curve.
+type bwClass struct {
+	limit int64 // class applies to sizes <= limit (bytes)
+	num   int64 // bandwidth = num/den bytes per cycle
+	den   int64
+}
+
+// Bandwidth curves (bytes/cycle). AVX sustains ~16 B/c while data fits
+// in cache and ~10 B/c streaming from DRAM; ERMS reaches ~7 B/c; DMA
+// moves ~4 B/c regardless of size (I/OAT channels are far below core
+// load/store bandwidth).
+var (
+	avxBW  = []bwClass{{4 << 10, 12, 1}, {64 << 10, 10, 1}, {1 << 62, 8, 1}}
+	ermsBW = []bwClass{{4 << 10, 8, 1}, {64 << 10, 7, 1}, {1 << 62, 11, 2}}
+	dmaBW  = []bwClass{{1 << 62, 4, 1}}
+)
+
+func curveCost(bw []bwClass, n int64) sim.Time {
+	for _, c := range bw {
+		if n <= c.limit {
+			return sim.Time((n*c.den + c.num - 1) / c.num)
+		}
+	}
+	panic("cycles: unterminated bandwidth curve")
+}
+
+// CopyCost returns the cycles unit u needs to move n bytes, excluding
+// submission/startup overheads (see the *Startup/Submit constants).
+func CopyCost(u Unit, n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	switch u {
+	case UnitAVX:
+		return curveCost(avxBW, int64(n))
+	case UnitERMS:
+		return curveCost(ermsBW, int64(n))
+	case UnitDMA:
+		return curveCost(dmaBW, int64(n))
+	}
+	panic("cycles: unknown unit")
+}
+
+// SyncCopyCost is the full cost of one synchronous copy call on unit u
+// (startup + transfer). This is what baseline (non-Copier) code pays.
+func SyncCopyCost(u Unit, n int) sim.Time {
+	switch u {
+	case UnitAVX:
+		return AVXStartup + CopyCost(u, n)
+	case UnitERMS:
+		return ERMSStartup + CopyCost(u, n)
+	case UnitDMA:
+		return DMASubmit + CopyCost(u, n) + DMACompletionCheck
+	}
+	panic("cycles: unknown unit")
+}
+
+// Throughput returns unit bandwidth in bytes/cycle including startup,
+// for reporting Fig. 7-a / Fig. 9 style series.
+func Throughput(u Unit, n int) float64 {
+	c := SyncCopyCost(u, n)
+	if c == 0 {
+		return 0
+	}
+	return float64(n) / float64(c)
+}
+
+// Copier client-side costs (§4.1, §4.6). The queue protocol is a
+// lock-free ring write: fetch-and-add on the head, fill the task
+// fields, set the valid bit. csync is a descriptor-bitmap check.
+const (
+	// SubmitTask is enqueuing one Copy Task from the client.
+	SubmitTask = 35
+	// SubmitBarrier is the kernel enqueuing a Barrier Task at
+	// trap/return (position snapshot of the paired user queue).
+	SubmitBarrier = 30
+	// CsyncCheck is one descriptor-bitmap readiness check (ready
+	// case: no Sync Task is submitted).
+	CsyncCheck = 15
+	// CsyncSubmit is submitting a Sync Task when segments are not yet
+	// ready (task promotion, §4.1).
+	CsyncSubmit = 45
+	// CsyncPoll is one spin iteration while waiting for promotion.
+	CsyncPoll = 20
+	// DescriptorAlloc is fetching a descriptor from libCopier's pool.
+	DescriptorAlloc = 10
+	// HandlerDispatch is dequeuing and invoking one UFUNC/KFUNC.
+	HandlerDispatch = 30
+)
+
+// Copier service-side costs.
+const (
+	// PollIteration is one empty polling sweep over a client's queues.
+	PollIteration = 60
+	// TaskPop is dequeuing and decoding one task in the service.
+	TaskPop = 35
+	// DependencyCheck is one reverse-traversal region-overlap
+	// comparison during data-dependency tracking (§4.2.2).
+	DependencyCheck = 15
+	// AbsorptionCheck is deciding layered-absorption sources for one
+	// task (§4.4).
+	AbsorptionCheck = 25
+	// SchedulePick is one CFS-style min-copy-length client selection
+	// (§4.5.3).
+	SchedulePick = 40
+	// SegmentUpdate is setting one descriptor bit after a segment
+	// completes.
+	SegmentUpdate = 8
+	// WakeThread is waking a sleeping Copier thread
+	// (copier_awaken-style doorbell).
+	WakeThread = 600
+)
+
+// Kernel boundary and memory-management costs.
+const (
+	// SyscallTrap is user→kernel entry (swapgs, stack switch,
+	// speculation mitigations). ~240ns round trip on mitigated
+	// Skylake-era parts; we split it into the two crossings.
+	SyscallTrap = 350
+	// SyscallReturn is kernel→user exit.
+	SyscallReturn = 350
+	// ContextSwitch is a thread context switch including scheduler
+	// pick (§6 workloads with blocking I/O pay this).
+	ContextSwitch = 2000
+	// PageFault is the trap+handler fixed cost of one page fault,
+	// excluding any copy/zeroing the handler performs.
+	PageFault = 2500
+	// PageAllocZero is allocating and zeroing one 4 KB page.
+	PageAllocZero = 600
+	// PageAllocCoW is allocating one 4 KB page WITHOUT zeroing (CoW
+	// breaks overwrite the whole page, so no clearing is needed).
+	PageAllocCoW = 120
+	// HugePageAlloc is one 2 MB buddy allocation (no zeroing), as a
+	// THP CoW break performs.
+	HugePageAlloc = 3000
+	// PageRemap is updating one PTE for remapping-based zero-copy
+	// (vmsplice/MSG_ZEROCOPY/zIO) including lock costs.
+	PageRemap = 450
+	// TLBFlushPage is one page invalidation (invlpg + shootdown share
+	// per page amortized).
+	TLBFlushPage = 250
+	// TLBShootdown is the fixed IPI cost of one shootdown round.
+	TLBShootdown = 1800
+	// PinPage is pinning the first page of a range
+	// (get_user_pages-style) during proactive fault handling
+	// (§4.5.4).
+	PinPage = 90
+	// PinPageBatch is each additional page pinned in the same call —
+	// get_user_pages amortizes locking over the whole range.
+	PinPageBatch = 20
+	// UnpinPage releases the first pinned page of a range.
+	UnpinPage = 40
+	// UnpinPageBatch is each additional page released.
+	UnpinPageBatch = 8
+	// SoftIRQPacket is per-packet network-stack processing (driver +
+	// TCP/IP) excluding the data copy.
+	SoftIRQPacket = 1500
+	// SocketBookkeeping is socket state update per send/recv call.
+	SocketBookkeeping = 400
+	// NICDoorbell is enqueuing one packet to the NIC TX queue.
+	NICDoorbell = 200
+)
+
+// Per-byte compute costs of the modelled applications (cycles per
+// byte, as num/den). These set the Copy-Use windows of Fig. 3: apps
+// copy in bulk but consume piece by piece, so per-byte use cost ≥
+// 2-10× per-byte copy cost.
+const (
+	// ParseByte is protocol parsing (Redis RESP header scan).
+	ParseByteNum, ParseByteDen = 2, 1
+	// DeserializeByte is Protobuf-style varint/field decoding
+	// (~2-3 GB/s on modern parsers).
+	DeserializeByteNum, DeserializeByteDen = 1, 1
+	// DecryptByte is AES-GCM software decryption (~1.3 cpb with
+	// AES-NI plus GHASH).
+	DecryptByteNum, DecryptByteDen = 3, 2
+	// CompressByte is zlib deflate_fast pattern matching (the fast
+	// strategy runs at several hundred MB/s).
+	CompressByteNum, CompressByteDen = 2, 1
+	// DecodeByte is video entropy-decode + filtering per output byte.
+	DecodeByteNum, DecodeByteDen = 5, 2
+	// HashByte is KV-store key hashing and index update.
+	HashByteNum, HashByteDen = 1, 2
+)
+
+// Mul applies a num/den per-byte rate to n bytes.
+func Mul(n int, num, den int64) sim.Time {
+	return sim.Time((int64(n)*num + den - 1) / den)
+}

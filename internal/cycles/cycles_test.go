@@ -1,0 +1,156 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+
+	"copier/internal/sim"
+)
+
+func TestUnitStrings(t *testing.T) {
+	if UnitERMS.String() != "ERMS" || UnitAVX.String() != "AVX2" || UnitDMA.String() != "DMA" {
+		t.Fatal("unit names wrong")
+	}
+	if Unit(99).String() != "unit?" {
+		t.Fatal("unknown unit name")
+	}
+}
+
+// Fig. 7-a: AVX2 outperforms ERMS which outperforms DMA at every size.
+func TestUnitOrderingMatchesFig7a(t *testing.T) {
+	for _, n := range []int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		avx := Throughput(UnitAVX, n)
+		erms := Throughput(UnitERMS, n)
+		dma := Throughput(UnitDMA, n)
+		if !(avx > erms) {
+			t.Errorf("n=%d: AVX %.3f !> ERMS %.3f", n, avx, erms)
+		}
+		if !(erms > dma) {
+			t.Errorf("n=%d: ERMS %.3f !> DMA %.3f", n, erms, dma)
+		}
+	}
+}
+
+// §4.3: DMA submission cost is sufficient to copy ~1.4KB with AVX2.
+func TestDMASubmitEquals1400BytesOfAVX(t *testing.T) {
+	c := SyncCopyCost(UnitAVX, 1400)
+	ratio := float64(DMASubmit) / float64(c)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("DMASubmit=%d vs AVX(1.4KB)=%d: ratio %.2f outside [0.8,1.25]", DMASubmit, c, ratio)
+	}
+}
+
+// DMA is "inefficient for small subtasks": including submission, DMA
+// should lose badly to AVX below ~4KB.
+func TestDMALosesSmall(t *testing.T) {
+	for _, n := range []int{256, 1 << 10, 2 << 10} {
+		if SyncCopyCost(UnitDMA, n) < 2*SyncCopyCost(UnitAVX, n) {
+			t.Errorf("n=%d: DMA too cheap: %d vs AVX %d", n, SyncCopyCost(UnitDMA, n), SyncCopyCost(UnitAVX, n))
+		}
+	}
+}
+
+// Fig. 9 calibration: AVX+DMA in parallel should be able to beat ERMS
+// by >100% and AVX alone by ~30-40% for large copies (bandwidths sum).
+func TestParallelBandwidthCalibration(t *testing.T) {
+	n := 256 << 10
+	avx := Throughput(UnitAVX, n)
+	erms := Throughput(UnitERMS, n)
+	dma := float64(n) / float64(CopyCost(UnitDMA, n)) // engine bw, submit amortized
+	combined := avx + dma
+	if gain := combined/erms - 1; gain < 1.0 {
+		t.Errorf("combined/ERMS gain = %.2f, want >= 1.0 (paper: up to 158%%)", gain)
+	}
+	if gain := combined/avx - 1; gain < 0.25 || gain > 0.6 {
+		t.Errorf("combined/AVX gain = %.2f, want ~0.25-0.6 (paper: up to 38%%)", gain)
+	}
+}
+
+// §4.6: submit+csync beats sync copy at >=0.3KB in kernel (vs ERMS) and
+// >=0.5KB in userspace (vs AVX), with sufficient Copy-Use window.
+func TestBreakEvenSizes(t *testing.T) {
+	userOverhead := sim.Time(SubmitTask + DescriptorAlloc + CsyncCheck)
+	kernelOverhead := sim.Time(SubmitTask + SubmitBarrier + CsyncCheck)
+	// At 512B user copy must already win; at 256B it must not.
+	if SyncCopyCost(UnitAVX, 512) < userOverhead {
+		t.Errorf("user 512B: sync %d < async overhead %d — breakeven too high", SyncCopyCost(UnitAVX, 512), userOverhead)
+	}
+	if SyncCopyCost(UnitAVX, 128) > userOverhead {
+		t.Errorf("user 128B: sync %d > async overhead %d — breakeven too low", SyncCopyCost(UnitAVX, 128), userOverhead)
+	}
+	if SyncCopyCost(UnitERMS, 384) < kernelOverhead {
+		t.Errorf("kernel 384B: sync %d < async overhead %d", SyncCopyCost(UnitERMS, 384), kernelOverhead)
+	}
+	if SyncCopyCost(UnitERMS, 96) > kernelOverhead {
+		t.Errorf("kernel 96B: sync %d > async overhead %d", SyncCopyCost(UnitERMS, 96), kernelOverhead)
+	}
+}
+
+func TestCopyCostMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		for _, u := range []Unit{UnitAVX, UnitERMS, UnitDMA} {
+			if CopyCost(u, x) > CopyCost(u, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyCostZeroAndNegative(t *testing.T) {
+	for _, u := range []Unit{UnitAVX, UnitERMS, UnitDMA} {
+		if CopyCost(u, 0) != 0 || CopyCost(u, -5) != 0 {
+			t.Fatalf("unit %v: nonzero cost for empty copy", u)
+		}
+	}
+}
+
+func TestTimeConversionRoundTrip(t *testing.T) {
+	if ToNanoseconds(29) != 10 {
+		t.Fatalf("29 cycles = %f ns, want 10", ToNanoseconds(29))
+	}
+	if FromNanoseconds(10) != 29 {
+		t.Fatalf("10 ns = %d cycles, want 29", FromNanoseconds(10))
+	}
+	if ToMicroseconds(CyclesPerMicrosecond) != 1 {
+		t.Fatalf("1us conversion wrong")
+	}
+}
+
+func TestMulRoundsUp(t *testing.T) {
+	if Mul(3, 1, 2) != 2 { // 1.5 -> 2
+		t.Fatalf("Mul(3,1,2) = %d", Mul(3, 1, 2))
+	}
+	if Mul(0, 5, 1) != 0 {
+		t.Fatalf("Mul(0) != 0")
+	}
+}
+
+// Copy-Use window premise (Fig. 3): per-byte application use costs are
+// at least ~2x the per-byte AVX copy cost, so windows can hide copies.
+func TestUseCostsExceedCopyCosts(t *testing.T) {
+	n := 16 << 10
+	copyCost := CopyCost(UnitAVX, n)
+	for _, tc := range []struct {
+		name     string
+		num, den int64
+	}{
+		{"parse", ParseByteNum, ParseByteDen},
+		{"deserialize", DeserializeByteNum, DeserializeByteDen},
+		{"decrypt", DecryptByteNum, DecryptByteDen},
+		{"compress", CompressByteNum, CompressByteDen},
+		{"decode", DecodeByteNum, DecodeByteDen},
+	} {
+		use := Mul(n, tc.num, tc.den)
+		if use < copyCost {
+			t.Errorf("%s: use %d < copy %d — no Copy-Use window", tc.name, use, copyCost)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package hw models the machine's copy hardware: CPU copy engines
+// (AVX2 for user context, ERMS for kernel context) and an on-chip DMA
+// channel in the style of Intel I/OAT. It also provides the
+// set-associative cache model used for the §6.3.5 microarchitectural
+// study.
+//
+// Copies move real bytes between simulated physical frames and charge
+// virtual time from the calibrated cost model in internal/cycles.
+package hw
+
+import (
+	"fmt"
+
+	"copier/internal/cycles"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// FrameRange addresses a byte range in physical memory starting inside
+// frame Frame at offset Off and extending Len bytes across physically
+// contiguous frames.
+type FrameRange struct {
+	Frame mem.Frame
+	Off   int
+	Len   int
+}
+
+// CopyScatter moves n bytes between possibly discontiguous physical
+// ranges, page by page. It is the data-movement primitive all engines
+// share; it performs no time accounting.
+func CopyScatter(pm *mem.PhysMem, dst, src []FrameRange) int {
+	di, si := 0, 0
+	dOff, sOff := 0, 0
+	total := 0
+	for di < len(dst) && si < len(src) {
+		d, s := dst[di], src[si]
+		dRem := d.Len - dOff
+		sRem := s.Len - sOff
+		n := dRem
+		if sRem < n {
+			n = sRem
+		}
+		for n > 0 {
+			// Copy within single frames at a time.
+			dFrame := d.Frame + mem.Frame((d.Off+dOff)/mem.PageSize)
+			dIn := (d.Off + dOff) % mem.PageSize
+			sFrame := s.Frame + mem.Frame((s.Off+sOff)/mem.PageSize)
+			sIn := (s.Off + sOff) % mem.PageSize
+			chunk := n
+			if c := mem.PageSize - dIn; c < chunk {
+				chunk = c
+			}
+			if c := mem.PageSize - sIn; c < chunk {
+				chunk = c
+			}
+			copy(pm.FrameBytes(dFrame)[dIn:dIn+chunk], pm.FrameBytes(sFrame)[sIn:sIn+chunk])
+			dOff += chunk
+			sOff += chunk
+			n -= chunk
+			total += chunk
+		}
+		if dOff == d.Len {
+			di++
+			dOff = 0
+		}
+		if sOff == s.Len {
+			si++
+			sOff = 0
+		}
+	}
+	return total
+}
+
+// TotalLen sums the lengths of a range list.
+func TotalLen(rs []FrameRange) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Len
+	}
+	return n
+}
+
+// CPUEngine is a synchronous copy engine executing on the calling
+// process's (virtual) CPU time: AVX2 in user/Copier context, ERMS in
+// kernel context.
+type CPUEngine struct {
+	pm   *mem.PhysMem
+	unit cycles.Unit
+	// BytesCopied accumulates for experiment accounting.
+	BytesCopied int64
+	// Cache, when non-nil, observes every byte moved (cache-pollution
+	// study §6.3.5).
+	Cache *Cache
+}
+
+// NewCPUEngine returns an engine using the given unit's cost model.
+// unit must be UnitAVX or UnitERMS.
+func NewCPUEngine(pm *mem.PhysMem, unit cycles.Unit) *CPUEngine {
+	if unit == cycles.UnitDMA {
+		panic("hw: CPU engine cannot use the DMA cost model")
+	}
+	return &CPUEngine{pm: pm, unit: unit}
+}
+
+// Unit reports the engine's cost model.
+func (e *CPUEngine) Unit() cycles.Unit { return e.unit }
+
+// Copy synchronously moves the scatter lists, charging startup plus
+// transfer time to p, and returns the cycles consumed.
+func (e *CPUEngine) Copy(p *sim.Proc, dst, src []FrameRange) sim.Time {
+	n := CopyScatter(e.pm, dst, src)
+	e.BytesCopied += int64(n)
+	if e.Cache != nil {
+		e.Cache.Stream(int64(n))
+	}
+	cost := cycles.SyncCopyCost(e.unit, n)
+	p.Wait(cost)
+	return cost
+}
+
+// CopyCost reports what Copy would charge for n bytes without
+// performing it.
+func (e *CPUEngine) CopyCost(n int) sim.Time { return cycles.SyncCopyCost(e.unit, n) }
+
+// Move performs the data movement of Copy without any time
+// accounting; callers that charge cycles through their own execution
+// context (the Copier service) use this and Exec the cost themselves.
+func (e *CPUEngine) Move(dst, src []FrameRange) int {
+	n := CopyScatter(e.pm, dst, src)
+	e.BytesCopied += int64(n)
+	if e.Cache != nil {
+		e.Cache.Stream(int64(n))
+	}
+	return n
+}
+
+// DMARequest tracks one in-flight DMA descriptor.
+type DMARequest struct {
+	dst, src FrameRange
+	// CompleteAt is when the engine finishes this transfer.
+	CompleteAt sim.Time
+	done       bool
+}
+
+// Done reports whether the transfer has completed (data visible).
+func (r *DMARequest) Done() bool { return r.done }
+
+// DMAChannel is an on-chip DMA engine. Transfers proceed in background
+// virtual time without occupying any CPU; each descriptor requires the
+// source and destination to be physically contiguous (§4.3).
+type DMAChannel struct {
+	env *sim.Env
+	pm  *mem.PhysMem
+	// busyUntil is when the channel drains its current queue.
+	busyUntil sim.Time
+	// BytesCopied accumulates for accounting.
+	BytesCopied int64
+	// Submitted counts descriptors.
+	Submitted int64
+}
+
+// NewDMAChannel creates a DMA channel on the environment.
+func NewDMAChannel(env *sim.Env, pm *mem.PhysMem) *DMAChannel {
+	return &DMAChannel{env: env, pm: pm}
+}
+
+// Submit enqueues one descriptor, charging the submission cost to p.
+// dst and src must be physically contiguous ranges of equal length.
+// The copy completes in background time; data becomes visible at
+// completion.
+func (d *DMAChannel) Submit(p *sim.Proc, dst, src FrameRange) *DMARequest {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("hw: DMA length mismatch %d != %d", dst.Len, src.Len))
+	}
+	p.Wait(cycles.DMASubmit)
+	return d.submitAt(dst, src)
+}
+
+// SubmitBatch enqueues several descriptors with one doorbell: the
+// first descriptor pays full submission cost, the rest a quarter
+// (descriptor writes without the MMIO doorbell).
+func (d *DMAChannel) SubmitBatch(p *sim.Proc, pairs [][2]FrameRange) []*DMARequest {
+	if len(pairs) == 0 {
+		return nil
+	}
+	cost := sim.Time(cycles.DMASubmit) + sim.Time(len(pairs)-1)*cycles.DMASubmit/4
+	p.Wait(cost)
+	out := make([]*DMARequest, len(pairs))
+	for i, pr := range pairs {
+		out[i] = d.submitAt(pr[0], pr[1])
+	}
+	return out
+}
+
+// Enqueue adds one descriptor without charging any submission cost;
+// callers that account cycles through their own execution context
+// charge cycles.DMASubmit themselves.
+func (d *DMAChannel) Enqueue(dst, src FrameRange) *DMARequest {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("hw: DMA length mismatch %d != %d", dst.Len, src.Len))
+	}
+	return d.submitAt(dst, src)
+}
+
+func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
+	now := d.env.Now()
+	start := d.busyUntil
+	if start < now {
+		start = now
+	}
+	dur := cycles.CopyCost(cycles.UnitDMA, src.Len)
+	req := &DMARequest{dst: dst, src: src, CompleteAt: start + dur}
+	d.busyUntil = req.CompleteAt
+	d.Submitted++
+	d.env.Schedule(req.CompleteAt-now, func() {
+		n := CopyScatter(d.pm, []FrameRange{dst}, []FrameRange{src})
+		d.BytesCopied += int64(n)
+		req.done = true
+	})
+	return req
+}
+
+// WaitFor polls until req completes, charging completion-check cycles;
+// it returns the cycles spent polling.
+func (d *DMAChannel) WaitFor(p *sim.Proc, req *DMARequest) sim.Time {
+	var spent sim.Time
+	for !req.done {
+		// Sleep until the known completion time if it is in the
+		// future; otherwise poll.
+		now := p.Now()
+		if req.CompleteAt > now {
+			p.Wait(req.CompleteAt - now)
+			spent += req.CompleteAt - now
+		} else {
+			p.Wait(cycles.DMACompletionCheck)
+			spent += cycles.DMACompletionCheck
+		}
+	}
+	p.Wait(cycles.DMACompletionCheck)
+	return spent + cycles.DMACompletionCheck
+}
+
+// BusyUntil reports when the channel's queue drains.
+func (d *DMAChannel) BusyUntil() sim.Time { return d.busyUntil }

@@ -1,0 +1,308 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"copier/internal/cycles"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+func setup() (*sim.Env, *mem.PhysMem) {
+	return sim.NewEnv(), mem.NewPhysMem(4 << 20)
+}
+
+func fill(pm *mem.PhysMem, f mem.Frame, off int, data []byte) {
+	copy(pm.FrameBytes(f)[off:], data)
+}
+
+func TestCopyScatterSingleFrame(t *testing.T) {
+	_, pm := setup()
+	src, _ := pm.AllocFrame()
+	dst, _ := pm.AllocFrame()
+	fill(pm, src, 10, []byte("hello"))
+	n := CopyScatter(pm,
+		[]FrameRange{{dst, 100, 5}},
+		[]FrameRange{{src, 10, 5}})
+	if n != 5 {
+		t.Fatalf("n = %d", n)
+	}
+	if string(pm.FrameBytes(dst)[100:105]) != "hello" {
+		t.Fatal("bytes not moved")
+	}
+}
+
+func TestCopyScatterCrossFrameAndUnequalRanges(t *testing.T) {
+	_, pm := setup()
+	sf, _ := pm.AllocFrames(2) // contiguous
+	df, _ := pm.AllocFrames(3)
+	payload := bytes.Repeat([]byte("abcdefgh"), mem.PageSize/8)
+	// Source: one range spanning both frames starting at offset 4000.
+	copy(pm.FrameBytes(sf[0])[4000:], payload[:96])
+	copy(pm.FrameBytes(sf[1]), payload[96:96+1000])
+	// Destination: three single-page ranges with odd offsets.
+	dst := []FrameRange{{df[0], 4090, 6}, {df[1], 0, 500}, {df[2], 100, 590}}
+	srcRange := []FrameRange{{sf[0], 4000, 1096}}
+	n := CopyScatter(pm, dst, srcRange)
+	if n != 1096 {
+		t.Fatalf("n = %d, want 1096", n)
+	}
+	var got []byte
+	got = append(got, pm.FrameBytes(df[0])[4090:4096]...)
+	got = append(got, pm.FrameBytes(df[1])[0:500]...)
+	got = append(got, pm.FrameBytes(df[2])[100:690]...)
+	if !bytes.Equal(got, payload[:1096]) {
+		t.Fatal("scatter copy corrupted data")
+	}
+}
+
+// Property: CopyScatter over random chunkings equals one flat copy.
+func TestCopyScatterChunkingProperty(t *testing.T) {
+	f := func(seedData []byte, splits []uint8) bool {
+		if len(seedData) == 0 {
+			return true
+		}
+		if len(seedData) > 2000 {
+			seedData = seedData[:2000]
+		}
+		_, pm := setup()
+		sf, _ := pm.AllocFrame()
+		fill(pm, sf, 0, seedData)
+		// Build a destination chunking from the split list.
+		var dst []FrameRange
+		remaining := len(seedData)
+		var frames []mem.Frame
+		for _, s := range splits {
+			if remaining == 0 {
+				break
+			}
+			n := int(s)%remaining + 1
+			f, _ := pm.AllocFrame()
+			frames = append(frames, f)
+			dst = append(dst, FrameRange{f, int(s) % 100, n})
+			remaining -= n
+		}
+		if remaining > 0 {
+			f, _ := pm.AllocFrame()
+			frames = append(frames, f)
+			dst = append(dst, FrameRange{f, 0, remaining})
+		}
+		CopyScatter(pm, dst, []FrameRange{{sf, 0, len(seedData)}})
+		var got []byte
+		for _, r := range dst {
+			got = append(got, pm.FrameBytes(r.Frame)[r.Off:r.Off+r.Len]...)
+		}
+		return bytes.Equal(got, seedData)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUEngineChargesTime(t *testing.T) {
+	env, pm := setup()
+	eng := NewCPUEngine(pm, cycles.UnitAVX)
+	sf, _ := pm.AllocFrame()
+	df, _ := pm.AllocFrame()
+	fill(pm, sf, 0, []byte("data"))
+	var elapsed sim.Time
+	env.Go("copier", func(p *sim.Proc) {
+		start := p.Now()
+		eng.Copy(p, []FrameRange{{df, 0, 4}}, []FrameRange{{sf, 0, 4}})
+		elapsed = p.Now() - start
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	want := cycles.SyncCopyCost(cycles.UnitAVX, 4)
+	if elapsed != want {
+		t.Fatalf("elapsed = %d, want %d", elapsed, want)
+	}
+	if eng.BytesCopied != 4 {
+		t.Fatalf("BytesCopied = %d", eng.BytesCopied)
+	}
+	if string(pm.FrameBytes(df)[:4]) != "data" {
+		t.Fatal("no copy")
+	}
+}
+
+func TestCPUEngineRejectsDMAUnit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, pm := setup()
+	NewCPUEngine(pm, cycles.UnitDMA)
+}
+
+func TestDMABackgroundCompletion(t *testing.T) {
+	env, pm := setup()
+	d := NewDMAChannel(env, pm)
+	sf, _ := pm.AllocFrame()
+	df, _ := pm.AllocFrame()
+	fill(pm, sf, 0, []byte("dma-payload"))
+	n := 11
+	var submitDone, seenDone sim.Time
+	var wasDoneEarly bool
+	env.Go("submitter", func(p *sim.Proc) {
+		req := d.Submit(p, FrameRange{df, 0, n}, FrameRange{sf, 0, n})
+		submitDone = p.Now()
+		wasDoneEarly = req.Done() // must be false: background transfer
+		// App computes meanwhile.
+		p.Wait(100000)
+		if !req.Done() {
+			t.Error("DMA not done after long compute")
+		}
+		seenDone = p.Now()
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if wasDoneEarly {
+		t.Fatal("DMA completed synchronously")
+	}
+	if submitDone != cycles.DMASubmit {
+		t.Fatalf("submit cost = %d", submitDone)
+	}
+	if string(pm.FrameBytes(df)[:n]) != "dma-payload" {
+		t.Fatal("DMA did not move data")
+	}
+	_ = seenDone
+}
+
+func TestDMAWaitForSleepsToCompletion(t *testing.T) {
+	env, pm := setup()
+	d := NewDMAChannel(env, pm)
+	sf, _ := pm.AllocFrame()
+	df, _ := pm.AllocFrame()
+	n := 4096
+	var total sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		req := d.Submit(p, FrameRange{df, 0, n}, FrameRange{sf, 0, n})
+		d.WaitFor(p, req)
+		total = p.Now()
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(cycles.DMASubmit) + cycles.CopyCost(cycles.UnitDMA, n) + cycles.DMACompletionCheck
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestDMAQueueSerializes(t *testing.T) {
+	env, pm := setup()
+	d := NewDMAChannel(env, pm)
+	fs, _ := pm.AllocFrames(4)
+	n := 8192
+	env.Go("w", func(p *sim.Proc) {
+		r1 := d.Submit(p, FrameRange{fs[0], 0, n}, FrameRange{fs[1], 0, n})
+		r2 := d.Submit(p, FrameRange{fs[2], 0, n}, FrameRange{fs[3], 0, n})
+		// Second transfer starts only after the first finishes.
+		if r2.CompleteAt < r1.CompleteAt+cycles.CopyCost(cycles.UnitDMA, n) {
+			t.Errorf("r2 at %d overlaps r1 at %d", r2.CompleteAt, r1.CompleteAt)
+		}
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if d.Submitted != 2 {
+		t.Fatalf("Submitted = %d", d.Submitted)
+	}
+}
+
+func TestDMASubmitBatchCheaperThanSerial(t *testing.T) {
+	env, pm := setup()
+	d := NewDMAChannel(env, pm)
+	fs, _ := pm.AllocFrames(8)
+	var batchCost sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		pairs := [][2]FrameRange{
+			{{fs[0], 0, 1024}, {fs[1], 0, 1024}},
+			{{fs[2], 0, 1024}, {fs[3], 0, 1024}},
+			{{fs[4], 0, 1024}, {fs[5], 0, 1024}},
+		}
+		d.SubmitBatch(p, pairs)
+		batchCost = p.Now() - start
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if batchCost >= 3*cycles.DMASubmit {
+		t.Fatalf("batch cost %d not cheaper than 3 serial submits %d", batchCost, 3*cycles.DMASubmit)
+	}
+}
+
+func TestDMAMismatchedLengthsPanic(t *testing.T) {
+	env, pm := setup()
+	d := NewDMAChannel(env, pm)
+	fs, _ := pm.AllocFrames(2)
+	env.Go("w", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		d.Submit(p, FrameRange{fs[0], 0, 10}, FrameRange{fs[1], 0, 20})
+	})
+	_ = env.Run(sim.Infinity)
+}
+
+func TestCacheHitMissLRU(t *testing.T) {
+	c := NewCache(4096, 2) // 32 sets, 2 ways
+	c.Touch(0, 64)         // miss
+	c.Touch(0, 64)         // hit
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("h=%d m=%d", c.Hits, c.Misses)
+	}
+	// Fill the set with conflicting lines: set index repeats every
+	// sets*lineSize = 32*64 = 2048 bytes.
+	c.Touch(2048, 64) // same set, second way: miss
+	c.Touch(4096, 64) // same set: evicts LRU (line 0)
+	c.Touch(0, 64)    // miss again (was evicted)
+	if c.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", c.Misses)
+	}
+}
+
+func TestCacheStreamPollutes(t *testing.T) {
+	c := NewCache(32<<10, 8)
+	// Warm a working set.
+	for i := 0; i < 4; i++ {
+		c.Touch(0, 8<<10)
+	}
+	c.ResetStats()
+	c.Touch(0, 8<<10)
+	warmMisses := c.Misses
+	// Stream a large copy through, then re-touch.
+	c.Stream(256 << 10)
+	c.ResetStats()
+	c.Touch(0, 8<<10)
+	coldMisses := c.Misses
+	if coldMisses <= warmMisses {
+		t.Fatalf("stream did not pollute: warm=%d cold=%d", warmMisses, coldMisses)
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	c := NewCache(4096, 2)
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate != 0")
+	}
+	c.Touch(0, 64)
+	c.Touch(0, 64)
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %f", got)
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	if TotalLen([]FrameRange{{0, 0, 3}, {1, 5, 7}}) != 10 {
+		t.Fatal("TotalLen wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/hw"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// CoW fault handling (§5.2 "Copy-On-Write fault handling").
+//
+// The baseline handler allocates pages and copies them with the
+// kernel's ERMS memcpy, blocking the faulting thread for the whole
+// copy. Copier-Linux instead "divides the work between CoW handler
+// and Copier": the handler submits the bulk of the copy to the
+// service as a physically-addressed kernel task, copies its own share
+// in parallel, and csyncs before the page-table update becomes
+// visible.
+
+// CoWResult reports one handled fault for experiment accounting.
+type CoWResult struct {
+	// Blocked is how long the faulting thread was stalled.
+	Blocked sim.Time
+	// Copied is bytes physically copied (0 on the sole-owner path).
+	Copied int
+}
+
+// cowAllocCost charges page allocation for a CoW region: one buddy
+// allocation for a 2 MB THP region, per-page otherwise. No zeroing —
+// the copy overwrites everything.
+func cowAllocCost(length int) sim.Time {
+	if length >= 2<<20 {
+		return cycles.HugePageAlloc * sim.Time((length+(2<<20)-1)/(2<<20))
+	}
+	return cycles.PageAllocCoW * sim.Time((length+mem.PageSize-1)/mem.PageSize)
+}
+
+// cowFlushCost charges the TLB invalidation: a THP region is one PMD
+// entry; base pages flush per page.
+func cowFlushCost(length int) sim.Time {
+	if length >= 2<<20 {
+		return cycles.TLBFlushPage * sim.Time((length+(2<<20)-1)/(2<<20))
+	}
+	return cycles.TLBFlushPage * sim.Time((length+mem.PageSize-1)/mem.PageSize)
+}
+
+// breakPages breaks the CoW mappings of a region, returning merged
+// physically-contiguous (old, new) copy runs. Old frames keep a
+// reference the caller must drop after copying.
+func (t *Thread) breakPages(as *mem.AddrSpace, va mem.VA, length int) (src, dst []hw.FrameRange, err error) {
+	var lastOld, lastNew mem.Frame = -2, -2
+	for off := 0; off < length; off += mem.PageSize {
+		old, nf, err := as.PrepareCoWBreak(va + mem.VA(off))
+		if err != nil {
+			return nil, nil, err
+		}
+		if old == mem.NoFrame {
+			continue // sole owner fast path
+		}
+		if old == lastOld+1 && nf == lastNew+1 && len(src) > 0 {
+			src[len(src)-1].Len += mem.PageSize
+			dst[len(dst)-1].Len += mem.PageSize
+		} else {
+			src = append(src, hw.FrameRange{Frame: old, Len: mem.PageSize})
+			dst = append(dst, hw.FrameRange{Frame: nf, Len: mem.PageSize})
+		}
+		lastOld, lastNew = old, nf
+	}
+	return src, dst, nil
+}
+
+func (t *Thread) releaseOld(src []hw.FrameRange) {
+	for _, r := range src {
+		for f := r.Frame; int(f) < int(r.Frame)+r.Len/mem.PageSize; f++ {
+			t.m.Phys.DecRef(f)
+		}
+	}
+}
+
+// HandleCoWFault resolves a write fault on the CoW region starting at
+// va spanning length bytes (PageSize for base pages, 2MB for
+// transparent huge pages) using the baseline kernel path.
+func (t *Thread) HandleCoWFault(as *mem.AddrSpace, va mem.VA, length int) (CoWResult, error) {
+	start := t.Now()
+	t.Exec(cycles.PageFault)
+	src, dst, err := t.breakPages(as, va, length)
+	if err != nil {
+		return CoWResult{}, err
+	}
+	copied := hw.TotalLen(src)
+	if copied > 0 {
+		t.Exec(cowAllocCost(copied))
+		hw.CopyScatter(t.m.Phys, dst, src)
+		t.Exec(cycles.SyncCopyCost(cycles.UnitERMS, copied))
+		if t.m.AppCache != nil {
+			t.m.AppCache.Stream(int64(copied))
+		}
+		t.releaseOld(src)
+	}
+	t.Exec(cowFlushCost(length))
+	return CoWResult{Blocked: t.Now() - start, Copied: copied}, nil
+}
+
+// HandleCoWFaultCopier resolves the fault with the split-work Copier
+// path: the service copies the bulk of the region on AVX+DMA via a
+// physically-addressed kernel task while the handler copies its own
+// share on ERMS; the handler csyncs before the page-table update
+// becomes visible (guideline 4, §5.1).
+func (t *Thread) HandleCoWFaultCopier(as *mem.AddrSpace, va mem.VA, length int) (CoWResult, error) {
+	a := t.m.Attachment(t.Proc)
+	if a == nil {
+		return t.HandleCoWFault(as, va, length)
+	}
+	start := t.Now()
+	t.Exec(cycles.PageFault)
+	src, dst, err := t.breakPages(as, va, length)
+	if err != nil {
+		return CoWResult{}, err
+	}
+	copied := hw.TotalLen(src)
+	if copied == 0 {
+		t.Exec(cowFlushCost(length))
+		return CoWResult{Blocked: t.Now() - start}, nil
+	}
+	t.Exec(cowAllocCost(copied))
+
+	// Split by unit bandwidth: the handler's ERMS sustains ~7 B/c,
+	// the service's AVX+DMA pair ~16 B/c, so the handler keeps ~30%.
+	localBytes := copied * 3 / 10
+	localBytes -= localBytes % mem.PageSize
+	srcLocal, srcOff := takeBytes(src, localBytes)
+	dstLocal, dstOff := takeBytes(dst, localBytes)
+
+	// Offload the remainder as one physically-addressed kernel task.
+	var desc *core.Descriptor
+	if copied > localBytes {
+		desc = core.NewDescriptor(0, copied-localBytes, core.DefaultSegSize)
+		task := &core.Task{
+			Len:     copied - localBytes,
+			PhysSrc: srcOff, PhysDst: dstOff,
+			Desc: desc, SegSize: core.DefaultSegSize,
+		}
+		t.Exec(cycles.SubmitTask)
+		if !a.Client.SubmitCopy(task, true) {
+			// Queue full: fall back to copying everything locally.
+			hw.CopyScatter(t.m.Phys, dstOff, srcOff)
+			t.Exec(cycles.SyncCopyCost(cycles.UnitERMS, copied-localBytes))
+			desc = nil
+		}
+	}
+
+	// Handler copies its share in parallel with the service.
+	if localBytes > 0 {
+		hw.CopyScatter(t.m.Phys, dstLocal, srcLocal)
+		t.Exec(cycles.SyncCopyCost(cycles.UnitERMS, localBytes))
+		if t.m.AppCache != nil {
+			t.m.AppCache.Stream(int64(localBytes))
+		}
+	}
+
+	// Sync before the new mapping is visible to other threads.
+	if desc != nil {
+		if err := a.Lib.CsyncDesc(t, desc, 0, copied-localBytes); err != nil {
+			return CoWResult{}, err
+		}
+	}
+	t.releaseOld(src)
+	t.Exec(cowFlushCost(length))
+	return CoWResult{Blocked: t.Now() - start, Copied: copied}, nil
+}
+
+// takeBytes splits a scatter list at n bytes, returning the head and
+// tail lists.
+func takeBytes(rs []hw.FrameRange, n int) (head, tail []hw.FrameRange) {
+	for _, r := range rs {
+		if n <= 0 {
+			tail = append(tail, r)
+			continue
+		}
+		if r.Len <= n {
+			head = append(head, r)
+			n -= r.Len
+			continue
+		}
+		head = append(head, hw.FrameRange{Frame: r.Frame, Off: r.Off, Len: n})
+		abs := r.Off + n
+		tail = append(tail, hw.FrameRange{
+			Frame: r.Frame + mem.Frame(abs/mem.PageSize),
+			Off:   abs % mem.PageSize,
+			Len:   r.Len - n,
+		})
+		n = 0
+	}
+	return head, tail
+}

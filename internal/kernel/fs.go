@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/libcopier"
+	"copier/internal/mem"
+)
+
+// FS is a RAM-backed file system with a page cache: files are lists
+// of kernel frames. read(2) copies page-cache pages into user memory
+// — the copy the paper's libpng workload spends its read() time in
+// (Fig. 2-a, Fig. 3) — and sendfile(2) transfers file data into a
+// socket without a user-space bounce (Table 1's comparison point).
+type FS struct {
+	m     *Machine
+	files map[string]*File
+}
+
+// File is one cached file.
+type File struct {
+	Name string
+	Size int
+	// va is the page-cache mapping in the kernel address space.
+	va mem.VA
+}
+
+// ErrNotFound is returned for missing files.
+var ErrNotFound = errors.New("kernel: file not found")
+
+// NewFS creates the file system.
+func (m *Machine) NewFS() *FS { return &FS{m: m, files: make(map[string]*File)} }
+
+// Create writes a file into the page cache.
+func (fs *FS) Create(name string, data []byte) *File {
+	va := fs.m.KernelAS.MMap(int64(len(data)), mem.PermRead|mem.PermWrite, "pagecache:"+name)
+	if _, err := fs.m.KernelAS.Populate(va, int64(len(data)), true); err != nil {
+		panic(err)
+	}
+	if err := fs.m.KernelAS.WriteAt(va, data); err != nil {
+		panic(err)
+	}
+	f := &File{Name: name, Size: len(data), va: va}
+	fs.files[name] = f
+	return f
+}
+
+// Open looks a file up.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// fileLookupCost is the dentry/inode path per read call (cache hot).
+const fileLookupCost = 500
+
+// Read is the baseline read(2) from the page cache: trap, lookup, one
+// ERMS copy to user memory.
+func (fs *FS) Read(t *Thread, f *File, off int, buf mem.VA, n int) (int, error) {
+	if off >= f.Size {
+		return 0, nil
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	var err error
+	t.Syscall("read", func() {
+		t.Exec(fileLookupCost)
+		err = t.KernelCopy(t.Proc.AS, buf, t.m.KernelAS, f.va+mem.VA(off), n)
+	})
+	return n, err
+}
+
+// ReadCopier is read(2) on Copier-Linux: the page-cache→user copy is
+// submitted as a k-mode Copy Task; the app csyncs before use (the
+// libpng pattern: decode proceeds while the tail of the image is
+// still being copied).
+func (fs *FS) ReadCopier(t *Thread, f *File, off int, buf mem.VA, n int) (int, error) {
+	a := t.m.Attachment(t.Proc)
+	if a == nil || n < CopierFallbackMin {
+		return fs.Read(t, f, off, buf, n)
+	}
+	if off >= f.Size {
+		return 0, nil
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	var err error
+	t.Syscall("read", func() {
+		t.Exec(fileLookupCost)
+		err = a.Lib.AmemcpyOpts(t, buf, f.va+mem.VA(off), n, libcopier.Opts{
+			KMode: true,
+			SrcAS: t.m.KernelAS, DstAS: t.Proc.AS,
+		})
+	})
+	return n, err
+}
+
+// SendFile is sendfile(2): file pages are copied directly into a
+// socket buffer in kernel space — no user-space bounce, but the copy
+// still blocks the caller (Table 1: "address transfer in kernel",
+// blocking).
+func (fs *FS) SendFile(t *Thread, s *Socket, f *File, off, n int) error {
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	var err error
+	t.Syscall("sendfile", func() {
+		t.Exec(fileLookupCost + cycles.SocketBookkeeping)
+		skb := s.net.pool.alloc(t, n)
+		if err = t.KernelCopy(t.m.KernelAS, skb.VA, t.m.KernelAS, f.va+mem.VA(off), n); err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+		s.deliver(skb)
+	})
+	return err
+}
+
+// SendFileCopier is sendfile with the copy delegated to the service:
+// a single physically-addressed kernel task (pages of the file →
+// pages of the skb) synced before the NIC doorbell.
+func (fs *FS) SendFileCopier(t *Thread, s *Socket, f *File, off, n int) error {
+	a := t.m.Attachment(t.Proc)
+	if a == nil {
+		return fs.SendFile(t, s, f, off, n)
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	var err error
+	t.Syscall("sendfile", func() {
+		t.Exec(fileLookupCost + cycles.SocketBookkeeping)
+		skb := s.net.pool.alloc(t, n)
+		desc := core.NewDescriptor(skb.VA, n, core.DefaultSegSize)
+		err = a.Lib.AmemcpyOpts(t, skb.VA, f.va+mem.VA(off), n, libcopier.Opts{
+			KMode: true, Desc: desc, NoTrack: true,
+			SrcAS: t.m.KernelAS, DstAS: t.m.KernelAS,
+		})
+		if err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		t.Exec(cycles.SoftIRQPacket)
+		if err = a.Lib.CsyncDesc(t, desc, 0, n); err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		t.Exec(cycles.NICDoorbell)
+		s.deliver(skb)
+	})
+	return err
+}

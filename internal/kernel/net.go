@@ -1,0 +1,440 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/libcopier"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// Network is the machine's loopback network: socket pairs connected
+// through simulated NIC queues with a fixed latency. Message
+// boundaries are preserved (the evaluation workloads are
+// message-oriented echo/RPC patterns).
+type Network struct {
+	m *Machine
+	// Latency is NIC-to-NIC delivery time.
+	Latency sim.Time
+	pool    *skbPool
+}
+
+// Net returns the machine's network, creating it on first use.
+func (m *Machine) Net() *Network {
+	if m.net == nil {
+		m.net = &Network{m: m, Latency: 2 * cycles.CyclesPerMicrosecond, pool: newSkbPool(m)}
+	}
+	return m.net
+}
+
+// SkBuf is one kernel socket buffer holding a single message.
+type SkBuf struct {
+	VA  mem.VA // in the kernel address space
+	Cap int
+	Len int
+	// zcFrames, when non-nil, marks a zero-copy buffer borrowing the
+	// sender's pinned pages (MSG_ZEROCOPY receive side is not
+	// modelled, matching the paper's Fig. 10 note).
+	release func()
+}
+
+// skbPool recycles kernel buffers by size class, like the slab
+// allocator — buffer reuse is what gives the ATCache its hit rate on
+// the kernel side (§4.3).
+type skbPool struct {
+	m    *Machine
+	free map[int][]*SkBuf // by size class (power of two)
+}
+
+func newSkbPool(m *Machine) *skbPool {
+	return &skbPool{m: m, free: make(map[int][]*SkBuf)}
+}
+
+func classOf(n int) int {
+	c := 2048
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// alloc returns a kernel buffer of capacity >= n.
+func (p *skbPool) alloc(t *Thread, n int) *SkBuf {
+	c := classOf(n)
+	if fl := p.free[c]; len(fl) > 0 {
+		skb := fl[len(fl)-1]
+		p.free[c] = fl[:len(fl)-1]
+		skb.Len = n
+		t.Exec(200) // slab fast path
+		return skb
+	}
+	va := p.m.KernelAS.MMap(int64(c), mem.PermRead|mem.PermWrite, "skb")
+	if _, err := p.m.KernelAS.Populate(va, int64(c), true); err != nil {
+		panic(err)
+	}
+	t.Exec(cycles.PageAllocZero * sim.Time((c+mem.PageSize-1)/mem.PageSize))
+	return &SkBuf{VA: va, Cap: c, Len: n}
+}
+
+// put returns a buffer to the pool.
+func (p *skbPool) put(skb *SkBuf) {
+	if skb.release != nil {
+		skb.release()
+		skb.release = nil
+		return
+	}
+	p.free[skb.Cap] = append(p.free[skb.Cap], skb)
+}
+
+// Socket is one endpoint of a connected loopback socket pair.
+type Socket struct {
+	net   *Network
+	name  string
+	peer  *Socket
+	recvQ []*SkBuf
+	ready *sim.Signal
+	// notify, when set, also broadcasts on data arrival — an
+	// epoll-style shared wakeup for servers multiplexing many
+	// sockets.
+	notify *sim.Signal
+	// Closed sockets reject I/O.
+	closed bool
+}
+
+// SetReadyNotify registers an additional signal broadcast whenever
+// data arrives (epoll-style multiplexing).
+func (s *Socket) SetReadyNotify(sig *sim.Signal) { s.notify = sig }
+
+// WaitAnyReadable blocks t until one of the sockets has pending data
+// (all must share a notify signal installed with SetReadyNotify),
+// returning a readable socket.
+func WaitAnyReadable(t *Thread, sig *sim.Signal, socks []*Socket) *Socket {
+	for {
+		for _, s := range socks {
+			if len(s.recvQ) > 0 {
+				return s
+			}
+		}
+		allClosed := true
+		for _, s := range socks {
+			if !s.closed {
+				allClosed = false
+				break
+			}
+		}
+		if allClosed {
+			return nil
+		}
+		t.Block(sig)
+	}
+}
+
+// ErrClosed is returned on I/O to a closed socket.
+var ErrClosed = errors.New("kernel: socket closed")
+
+// SocketPair creates two connected sockets.
+func (n *Network) SocketPair(a, b string) (*Socket, *Socket) {
+	sa := &Socket{net: n, name: a, ready: sim.NewSignal("sock:" + a)}
+	sb := &Socket{net: n, name: b, ready: sim.NewSignal("sock:" + b)}
+	sa.peer, sb.peer = sb, sa
+	return sa, sb
+}
+
+// Close closes the socket.
+func (s *Socket) Close() { s.closed = true; s.ready.Broadcast(s.net.m.Env) }
+
+// Pending reports queued messages.
+func (s *Socket) Pending() int { return len(s.recvQ) }
+
+// deliver schedules NIC delivery of an skb to the peer.
+func (s *Socket) deliver(skb *SkBuf) {
+	env := s.net.m.Env
+	peer := s.peer
+	env.Schedule(s.net.Latency, func() {
+		peer.recvQ = append(peer.recvQ, skb)
+		peer.ready.Broadcast(env)
+		if peer.notify != nil {
+			peer.notify.Broadcast(env)
+		}
+	})
+}
+
+// Send is the baseline send(2): trap, one ERMS copy from user memory
+// into a kernel buffer, protocol processing, NIC doorbell.
+func (s *Socket) Send(t *Thread, buf mem.VA, n int) error {
+	if s.closed {
+		return ErrClosed
+	}
+	var err error
+	t.Syscall("send", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		skb := s.net.pool.alloc(t, n)
+		if err = t.KernelCopy(t.m.KernelAS, skb.VA, t.Proc.AS, buf, n); err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+		s.deliver(skb)
+	})
+	return err
+}
+
+// CopierFallbackMin is the copy size below which the Copier
+// integrations fall back to the synchronous path — §4.6: async only
+// pays off for kernel copies >=0.3KB, and "for the unsuitable cases,
+// developers can fall back to prior sync copy".
+const CopierFallbackMin = 384
+
+// SendCopier is send(2) on Copier-Linux (§5.2): the socket layer
+// submits a k-mode Copy Task for the user→skb copy; TCP/IP processing
+// needs only metadata (checksum offloaded to the NIC), and the driver
+// csyncs just before ringing the NIC TX doorbell — the Copy-Use
+// window is the protocol processing time.
+func (s *Socket) SendCopier(t *Thread, buf mem.VA, n int) error {
+	a := t.m.Attachment(t.Proc)
+	if a == nil || n < CopierFallbackMin {
+		return s.Send(t, buf, n)
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	var err error
+	t.Syscall("send", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		skb := s.net.pool.alloc(t, n)
+		desc := core.NewDescriptor(skb.VA, n, core.DefaultSegSize)
+		err = a.Lib.AmemcpyOpts(t, skb.VA, buf, n, libcopier.Opts{
+			KMode: true, Desc: desc, NoTrack: true,
+			SrcAS: t.Proc.AS, DstAS: t.m.KernelAS,
+		})
+		if err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		// TCP/IP layers use packet metadata only (§5.2).
+		t.Exec(cycles.SoftIRQPacket)
+		// Driver syncs before enqueueing into the NIC TX queue.
+		if err = a.Lib.CsyncDesc(t, desc, 0, n); err != nil {
+			s.net.pool.put(skb)
+			return
+		}
+		t.Exec(cycles.NICDoorbell)
+		s.deliver(skb)
+	})
+	return err
+}
+
+// ErrZeroCopyUnsupported marks buffers zero-copy send cannot take
+// (alignment, size).
+var ErrZeroCopyUnsupported = errors.New("kernel: zero-copy send requires page-aligned buffers")
+
+// ZeroCopyCompletion lets the caller wait for buffer ownership to
+// return (MSG_ZEROCOPY's error-queue notification).
+type ZeroCopyCompletion struct {
+	done bool
+	sig  *sim.Signal
+}
+
+// Wait blocks until the kernel releases the buffer, charging the
+// notification-reap syscall (§2.2: "additional syscalls to check the
+// buffer's status").
+func (z *ZeroCopyCompletion) Wait(t *Thread) {
+	t.Exec(cycles.SyscallTrap + cycles.SyscallReturn)
+	if !z.done {
+		t.Block(z.sig)
+	}
+}
+
+// SendZeroCopy models MSG_ZEROCOPY (§2.2, Fig. 10): user pages are
+// pinned and shared with the NIC, costing per-page remap + TLB work
+// but no data copy; the buffer stays owned by the kernel until
+// transmission completes.
+func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if !buf.PageAligned() {
+		return nil, ErrZeroCopyUnsupported
+	}
+	z := &ZeroCopyCompletion{sig: sim.NewSignal("zc")}
+	var err error
+	t.Syscall("send-zc", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		as := t.Proc.AS
+		if err = t.resolveRange(as, buf, n, false); err != nil {
+			return
+		}
+		if err = as.Pin(buf, n); err != nil {
+			return
+		}
+		pages := sim.Time((n + mem.PageSize - 1) / mem.PageSize)
+		// Batched page-table work to share the pages with the device,
+		// plus one deferred shootdown round (§6.2.1: "TLB flush
+		// costs"). Calibrated to MSG_ZEROCOPY's documented >=10KB
+		// profitability and Fig. 10's >=32KB crossover against Copier.
+		t.Exec(cycles.PageRemap + (pages-1)*120 + cycles.TLBShootdown)
+		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
+		// The NIC reads user memory at transmit time.
+		skb := s.net.pool.alloc(t, n)
+		data := make([]byte, n)
+		if err = as.ReadAt(buf, data); err != nil {
+			return
+		}
+		if err = t.m.KernelAS.WriteAt(skb.VA, data); err != nil {
+			return
+		}
+		env := t.m.Env
+		s.deliver(skb)
+		// Buffer ownership returns once the NIC has read the pages
+		// (line-rate DMA), well before end-to-end delivery.
+		env.Schedule(sim.Time(n/16)+500, func() {
+			as.Unpin(buf, n)
+			z.done = true
+			z.sig.Broadcast(env)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// Recv is the baseline recv(2): block for data, one ERMS copy from
+// the kernel buffer to user memory, free the buffer.
+func (s *Socket) Recv(t *Thread, buf mem.VA, n int) (int, error) {
+	var got int
+	var err error
+	t.Syscall("recv", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		skb := s.waitData(t)
+		if skb == nil {
+			err = ErrClosed
+			return
+		}
+		got = skb.Len
+		if got > n {
+			got = n
+		}
+		if err = t.KernelCopy(t.Proc.AS, buf, t.m.KernelAS, skb.VA, got); err != nil {
+			return
+		}
+		t.Exec(200) // skb free fast path
+		s.net.pool.put(skb)
+	})
+	return got, err
+}
+
+// RecvCopier is recv(2) on Copier-Linux (§5.2): the kernel submits a
+// Copy Task (skb→user) with a KFUNC reclaiming the socket buffer and
+// returns immediately; the app csyncs before touching the data,
+// overlapping the copy with its post-recv processing.
+func (s *Socket) RecvCopier(t *Thread, buf mem.VA, n int) (int, error) {
+	a := t.m.Attachment(t.Proc)
+	if a == nil {
+		return s.Recv(t, buf, n)
+	}
+	// Small messages fall back to the sync copy (§4.6); peek the
+	// queued size.
+	if next := s.PeekLen(); next > 0 && next < CopierFallbackMin {
+		return s.Recv(t, buf, n)
+	}
+	var got int
+	var err error
+	t.Syscall("recv", func() {
+		t.Exec(cycles.SocketBookkeeping)
+		skb := s.waitData(t)
+		if skb == nil {
+			err = ErrClosed
+			return
+		}
+		got = skb.Len
+		if got > n {
+			got = n
+		}
+		pool := s.net.pool
+		err = a.Lib.AmemcpyOpts(t, buf, skb.VA, got, libcopier.Opts{
+			KMode: true,
+			SrcAS: t.m.KernelAS, DstAS: t.Proc.AS,
+			Handler: &core.Handler{Kernel: true, Cost: 200, Fn: func() { pool.put(skb) }},
+		})
+	})
+	return got, err
+}
+
+// waitData blocks until a message is queued (or the socket closes).
+func (s *Socket) waitData(t *Thread) *SkBuf {
+	for len(s.recvQ) == 0 {
+		if s.closed {
+			return nil
+		}
+		t.Block(s.ready)
+	}
+	skb := s.recvQ[0]
+	s.recvQ = s.recvQ[1:]
+	return skb
+}
+
+// PeekLen returns the size of the next queued message without
+// consuming it (0 when empty) — proxies use it to size buffers.
+func (s *Socket) PeekLen() int {
+	if len(s.recvQ) == 0 {
+		return 0
+	}
+	return s.recvQ[0].Len
+}
+
+func (s *Socket) String() string { return fmt.Sprintf("socket(%s)", s.name) }
+
+// The helpers below expose the socket-layer building blocks to
+// syscall-bypass baselines (Userspace Bypass, io_uring) that perform
+// the same kernel work from their own contexts.
+
+// AllocSkb allocates a kernel buffer of capacity >= n.
+func (n *Network) AllocSkb(t *Thread, size int) *SkBuf { return n.pool.alloc(t, size) }
+
+// FreeSkb returns a buffer to the pool.
+func (n *Network) FreeSkb(skb *SkBuf) { n.pool.put(skb) }
+
+// DeliverSkb schedules NIC delivery of a filled buffer to the peer.
+func (s *Socket) DeliverSkb(skb *SkBuf) { s.deliver(skb) }
+
+// WaitSkb blocks until a message is queued (nil when closed).
+func (s *Socket) WaitSkb(t *Thread) *SkBuf { return s.waitData(t) }
+
+// SendSkbCopier performs the Copier-integrated send data path from an
+// arbitrary kernel context: async copy into the skb, protocol work on
+// metadata, csync before the NIC doorbell.
+func (s *Socket) SendSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, srcAS *mem.AddrSpace, buf mem.VA, n int) error {
+	desc := core.NewDescriptor(skb.VA, n, core.DefaultSegSize)
+	err := a.Lib.AmemcpyOpts(t, skb.VA, buf, n, libcopier.Opts{
+		KMode: true, Desc: desc, NoTrack: true,
+		SrcAS: srcAS, DstAS: t.m.KernelAS,
+	})
+	if err != nil {
+		s.net.pool.put(skb)
+		return err
+	}
+	t.Exec(cycles.SoftIRQPacket)
+	if err := a.Lib.CsyncDesc(t, desc, 0, n); err != nil {
+		s.net.pool.put(skb)
+		return err
+	}
+	t.Exec(cycles.NICDoorbell)
+	s.deliver(skb)
+	return nil
+}
+
+// RecvSkbCopier performs the Copier-integrated receive data path: the
+// skb→user copy is submitted async with a KFUNC reclaiming the
+// buffer; the caller csyncs before use.
+func (s *Socket) RecvSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, dstAS *mem.AddrSpace, buf mem.VA, n int) error {
+	pool := s.net.pool
+	return a.Lib.AmemcpyOpts(t, buf, skb.VA, n, libcopier.Opts{
+		KMode: true,
+		SrcAS: t.m.KernelAS, DstAS: dstAS,
+		Handler: &core.Handler{Kernel: true, Cost: 200, Fn: func() { pool.put(skb) }},
+	})
+}

@@ -1,0 +1,351 @@
+package libcopier
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/core"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// appCtx adapts a raw sim process for tests.
+type appCtx struct{ p *sim.Proc }
+
+func (c appCtx) Exec(d sim.Time)         { c.p.Wait(d) }
+func (c appCtx) Block(s *sim.Signal)     { s.Wait(c.p) }
+func (c appCtx) SpinUntil(s *sim.Signal) { s.Wait(c.p) }
+func (c appCtx) Now() sim.Time           { return c.p.Now() }
+func (c appCtx) Env() *sim.Env           { return c.p.Env() }
+func (c appCtx) BlockTimeout(s *sim.Signal, d sim.Time) bool {
+	return s.WaitTimeout(c.p, d)
+}
+
+type world struct {
+	env *sim.Env
+	pm  *mem.PhysMem
+	svc *core.Service
+	as  *mem.AddrSpace
+	lib *Lib
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	env := sim.NewEnv()
+	pm := mem.NewPhysMem(64 << 20)
+	svc := core.NewService(env, pm, core.DefaultConfig())
+	as := mem.NewAddrSpace(pm)
+	client := svc.NewClient("app", as, as, nil)
+	lib := New(client)
+	env.Go("copierd", func(p *sim.Proc) { svc.ThreadMain(appCtx{p}, 0) })
+	return &world{env: env, pm: pm, svc: svc, as: as, lib: lib}
+}
+
+func (w *world) buf(t *testing.T, n int, fill byte) mem.VA {
+	t.Helper()
+	va := w.as.MMap(int64(n), mem.PermRead|mem.PermWrite, "b")
+	if _, err := w.as.Populate(va, int64(n), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.as.WriteAt(va, bytes.Repeat([]byte{fill}, n)); err != nil {
+		t.Fatal(err)
+	}
+	return va
+}
+
+// runApp runs fn as an application thread, then shuts the world down.
+func (w *world) runApp(t *testing.T, fn func(ctx core.Ctx)) {
+	t.Helper()
+	w.env.Go("app", func(p *sim.Proc) {
+		fn(appCtx{p})
+		w.svc.Stop()
+	})
+	if err := w.env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmemcpyCsyncRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	const n = 16 << 10
+	src := w.buf(t, n, 0x5C)
+	dst := w.buf(t, n, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Amemcpy(ctx, dst, src, n); err != nil {
+			t.Error(err)
+		}
+		// Work during the Copy-Use window.
+		ctx.Exec(10_000)
+		if err := w.lib.Csync(ctx, dst, n); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, n)
+		if err := w.as.ReadAt(dst, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{0x5C}, n)) {
+			t.Error("data wrong after csync")
+		}
+	})
+}
+
+func TestCsyncBeforeCompletionBlocks(t *testing.T) {
+	w := newWorld(t)
+	const n = 256 << 10
+	src := w.buf(t, n, 0x11)
+	dst := w.buf(t, n, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Amemcpy(ctx, dst, src, n); err != nil {
+			t.Error(err)
+		}
+		// Immediately csync the tail — the least-soon-copied bytes.
+		if err := w.lib.Csync(ctx, dst+mem.VA(n-1024), 1024); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 1024)
+		if err := w.as.ReadAt(dst+mem.VA(n-1024), got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{0x11}, 1024)) {
+			t.Error("tail not synced")
+		}
+	})
+}
+
+func TestCsyncUnknownAddressIsNoop(t *testing.T) {
+	w := newWorld(t)
+	dst := w.buf(t, 1024, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Csync(ctx, dst, 64); err != nil {
+			t.Error(err)
+		}
+		if w.lib.CsyncHits != 1 {
+			t.Errorf("CsyncHits = %d", w.lib.CsyncHits)
+		}
+	})
+}
+
+func TestCsyncAllWaitsEverythingAndRunsHandlers(t *testing.T) {
+	w := newWorld(t)
+	const n = 8 << 10
+	freed := 0
+	var bufs []mem.VA
+	for i := 0; i < 3; i++ {
+		bufs = append(bufs, w.buf(t, n, byte(i+1)), w.buf(t, n, 0))
+	}
+	w.runApp(t, func(ctx core.Ctx) {
+		for i := 0; i < 3; i++ {
+			err := w.lib.AmemcpyOpts(ctx, bufs[2*i+1], bufs[2*i], n, Opts{
+				Handler: &core.Handler{Fn: func() { freed++ }},
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}
+		if err := w.lib.CsyncAll(ctx); err != nil {
+			t.Error(err)
+		}
+		if freed != 3 {
+			t.Errorf("handlers run = %d, want 3", freed)
+		}
+		if w.lib.ActiveDescriptors() != 0 {
+			t.Errorf("active descriptors = %d", w.lib.ActiveDescriptors())
+		}
+	})
+}
+
+func TestDescriptorPoolRecycles(t *testing.T) {
+	w := newWorld(t)
+	const n = 4 << 10
+	src := w.buf(t, n, 0x22)
+	dst := w.buf(t, n, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		for i := 0; i < 5; i++ {
+			if err := w.lib.Amemcpy(ctx, dst, src, n); err != nil {
+				t.Error(err)
+			}
+			if err := w.lib.Csync(ctx, dst, n); err != nil {
+				t.Error(err)
+			}
+		}
+		if w.lib.Recycled == 0 {
+			t.Error("descriptor pool never recycled")
+		}
+	})
+}
+
+func TestAmemmoveOverlapForward(t *testing.T) {
+	w := newWorld(t)
+	const n = 8 << 10
+	base := w.buf(t, 2*n, 0)
+	pattern := make([]byte, n)
+	for i := range pattern {
+		pattern[i] = byte(i % 251)
+	}
+	if err := w.as.WriteAt(base, pattern); err != nil {
+		t.Fatal(err)
+	}
+	const shift = 1000
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Amemmove(ctx, base+shift, base, n); err != nil {
+			t.Error(err)
+		}
+		if err := w.lib.Csync(ctx, base+shift, n); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, n)
+		if err := w.as.ReadAt(base+shift, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, pattern) {
+			for i := range got {
+				if got[i] != pattern[i] {
+					t.Errorf("forward memmove corrupt at %d: %x != %x", i, got[i], pattern[i])
+					break
+				}
+			}
+		}
+	})
+}
+
+func TestAmemmoveOverlapBackward(t *testing.T) {
+	w := newWorld(t)
+	const n = 8 << 10
+	base := w.buf(t, 2*n, 0)
+	pattern := make([]byte, n)
+	for i := range pattern {
+		pattern[i] = byte(i % 239)
+	}
+	const shift = 1000
+	if err := w.as.WriteAt(base+shift, pattern); err != nil {
+		t.Fatal(err)
+	}
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Amemmove(ctx, base, base+shift, n); err != nil {
+			t.Error(err)
+		}
+		if err := w.lib.Csync(ctx, base, n); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, n)
+		if err := w.as.ReadAt(base, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, pattern) {
+			t.Error("backward memmove corrupt")
+		}
+	})
+}
+
+func TestAbortDropsTracking(t *testing.T) {
+	w := newWorld(t)
+	const n = 4 << 10
+	src := w.buf(t, n, 0x33)
+	dst := w.buf(t, n, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		err := w.lib.AmemcpyOpts(ctx, dst, src, n, Opts{Lazy: true, LazyDeadline: sim.Infinity})
+		if err != nil {
+			t.Error(err)
+		}
+		w.lib.Abort(ctx, dst, n)
+		if w.lib.ActiveDescriptors() != 0 {
+			t.Errorf("active = %d after abort", w.lib.ActiveDescriptors())
+		}
+		// Give the service time to process the abort.
+		ctx.Exec(1_000_000)
+	})
+	if w.svc.Stats.AbortedTasks != 1 {
+		t.Fatalf("aborted = %d", w.svc.Stats.AbortedTasks)
+	}
+}
+
+func TestCsyncErrorPropagates(t *testing.T) {
+	w := newWorld(t)
+	src := w.buf(t, 1024, 1)
+	w.runApp(t, func(ctx core.Ctx) {
+		// Destination outside any VMA.
+		if err := w.lib.Amemcpy(ctx, mem.VA(0xdeadbeef000), src, 1024); err != nil {
+			t.Error(err)
+		}
+		err := w.lib.Csync(ctx, mem.VA(0xdeadbeef000), 1024)
+		if err == nil {
+			t.Error("csync did not surface the fault")
+		}
+	})
+}
+
+func TestShmDescrBind(t *testing.T) {
+	w := newWorld(t)
+	const n = 8 << 10
+	src := w.buf(t, n, 0x66)
+	shm := w.buf(t, n, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		desc := core.NewDescriptor(shm, n, core.DefaultSegSize)
+		b := w.lib.ShmDescrBind(shm, n, desc)
+		err := w.lib.AmemcpyOpts(ctx, shm, src, n, Opts{Desc: desc, NoTrack: true})
+		if err != nil {
+			t.Error(err)
+		}
+		if err := w.lib.CsyncShm(ctx, shm+100, 1000); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 1000)
+		if err := w.as.ReadAt(shm+100, got); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{0x66}, 1000)) {
+			t.Error("shm csync returned before data ready")
+		}
+		w.lib.UnbindShm(b)
+		if err := w.lib.CsyncShm(ctx, shm, 64); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestZeroAndNegativeLengths(t *testing.T) {
+	w := newWorld(t)
+	dst := w.buf(t, 1024, 0)
+	w.runApp(t, func(ctx core.Ctx) {
+		if err := w.lib.Amemcpy(ctx, dst, dst+512, 0); err != nil {
+			t.Error("zero-length amemcpy failed")
+		}
+		if err := w.lib.AmemcpyOpts(ctx, dst, dst+512, -1, Opts{}); err == nil {
+			t.Error("negative length accepted")
+		}
+		if err := w.lib.Amemmove(ctx, dst, dst, 512); err != nil {
+			t.Error("self memmove failed")
+		}
+	})
+}
+
+func TestQueueFull(t *testing.T) {
+	env := sim.NewEnv()
+	pm := mem.NewPhysMem(16 << 20)
+	cfg := core.DefaultConfig()
+	cfg.QueueLen = 2
+	svc := core.NewService(env, pm, cfg)
+	as := mem.NewAddrSpace(pm)
+	lib := New(svc.NewClient("app", as, as, nil))
+	va := as.MMap(64<<10, mem.PermRead|mem.PermWrite, "b")
+	if _, err := as.Populate(va, 64<<10, true); err != nil {
+		t.Fatal(err)
+	}
+	// No service thread running: the ring fills.
+	env.Go("app", func(p *sim.Proc) {
+		ctx := appCtx{p}
+		var sawFull bool
+		for i := 0; i < 10; i++ {
+			if err := lib.Amemcpy(ctx, va, va+32<<10, 1024); err == ErrQueueFull {
+				sawFull = true
+				break
+			}
+		}
+		if !sawFull {
+			t.Error("queue never filled")
+		}
+	})
+	if err := env.Run(sim.Infinity); err != nil {
+		t.Fatal(err)
+	}
+}

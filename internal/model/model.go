@@ -1,0 +1,177 @@
+// Package model is the executable counterpart of the paper's appendix
+// proof ("Simulation Proof of the Equivalence between Async Copy with
+// csync and Sync Copy"): where the paper shows a rely-guarantee
+// simulation between P_sync and P_async on a formal state model
+// (per-address value lists truncated by csync), this package checks
+// the refinement mechanically against the real implementation.
+//
+// Random straight-line programs in the copiergen mini-IR are
+// transformed exactly as the appendix prescribes (memcpy→amemcpy,
+// csync inserted before destination reads/writes, source writes and
+// visibility points), then executed two ways:
+//
+//   - synchronously on a reference interpreter, and
+//   - asynchronously through the actual Copier service in the
+//     simulated machine, using libCopier's amemcpy/csync.
+//
+// Observed loads and the final memory must be identical — any
+// divergence is a refinement violation in the service (ordering,
+// absorption, promotion) or in the csync-insertion rules.
+package model
+
+import (
+	"bytes"
+	"fmt"
+
+	"copier/internal/copiergen"
+	"copier/internal/core"
+	"copier/internal/kernel"
+	"copier/internal/mem"
+)
+
+// RealRun executes a (ported) mini-IR function through the real
+// Copier service and returns the observed loads and final memory
+// image, in the same format as copiergen.Interp.
+func RealRun(f *copiergen.Func) (observed, snapshot []byte, err error) {
+	m := kernel.NewMachine(kernel.Config{Cores: 3, MemBytes: 64 << 20})
+	m.InstallCopier(core.DefaultConfig(), 1, 2)
+	p := m.NewProcess("model")
+	attach := m.AttachCopier(p)
+
+	// Allocate and fill variables exactly like copiergen.NewInterp.
+	vaOf := make(map[string]mem.VA)
+	for vi, v := range f.Vars {
+		va := p.AS.MMap(int64(v.Size), mem.PermRead|mem.PermWrite, v.Name)
+		if _, err := p.AS.Populate(va, int64(v.Size), true); err != nil {
+			return nil, nil, err
+		}
+		buf := make([]byte, v.Size)
+		for i := range buf {
+			buf[i] = byte(i*7 + vi*31 + 3)
+		}
+		if err := p.AS.WriteAt(va, buf); err != nil {
+			return nil, nil, err
+		}
+		vaOf[v.Name] = va
+	}
+
+	freed := make(map[string]bool)
+	var runErr error
+	th := m.Spawn(p, "program", func(t *kernel.Thread) {
+		lib := attach.Lib
+		for i, op := range f.Ops {
+			fail := func(e error) { runErr = fmt.Errorf("op %d (%v): %w", i, op, e) }
+			switch op.Kind {
+			case copiergen.OpCopy:
+				if e := t.UserCopy(vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), op.Len); e != nil {
+					fail(e)
+					return
+				}
+			case copiergen.OpACopy:
+				if e := lib.Amemcpy(t, vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), op.Len); e != nil {
+					fail(e)
+					return
+				}
+			case copiergen.OpCsync:
+				if e := lib.Csync(t, vaOf[op.Dst]+mem.VA(op.DstOff), op.Len); e != nil {
+					fail(e)
+					return
+				}
+			case copiergen.OpLoad:
+				buf := make([]byte, op.Len)
+				if e := p.AS.ReadAt(vaOf[op.Src]+mem.VA(op.SrcOff), buf); e != nil {
+					fail(e)
+					return
+				}
+				t.Exec(10)
+				observed = append(observed, buf...)
+			case copiergen.OpStore:
+				buf := make([]byte, op.Len)
+				for j := range buf {
+					buf[j] = byte(op.DstOff + j + 101)
+				}
+				if e := p.AS.WriteAt(vaOf[op.Dst]+mem.VA(op.DstOff), buf); e != nil {
+					fail(e)
+					return
+				}
+				t.Exec(10)
+			case copiergen.OpCall:
+				sz := f.VarSize(op.Dst)
+				buf := make([]byte, sz)
+				if e := p.AS.ReadAt(vaOf[op.Dst], buf); e != nil {
+					fail(e)
+					return
+				}
+				t.Exec(20)
+				observed = append(observed, buf...)
+			case copiergen.OpFree:
+				freed[op.Dst] = true
+				t.Exec(10)
+			case copiergen.OpCompute:
+				t.Exec(1000)
+			}
+		}
+		// Program end: everything must land before exit (csync_all —
+		// the paper's process-teardown discipline).
+		if e := lib.CsyncAll(t); e != nil {
+			runErr = e
+		}
+	})
+	if err := m.RunApps(th); err != nil {
+		return nil, nil, err
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	// Snapshot in the interpreter's format (sorted by name, skipping
+	// freed).
+	names := make([]string, 0, len(f.Vars))
+	for _, v := range f.Vars {
+		names = append(names, v.Name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		if freed[name] {
+			continue
+		}
+		buf := make([]byte, f.VarSize(name))
+		if err := p.AS.ReadAt(vaOf[name], buf); err != nil {
+			return nil, nil, err
+		}
+		snapshot = append(snapshot, buf...)
+	}
+	return observed, snapshot, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// CheckRefinement ports f per the appendix transformation, runs both
+// semantics and reports a divergence as an error.
+func CheckRefinement(f *copiergen.Func, minSize int) error {
+	orig := &copiergen.Func{Name: f.Name, Vars: f.Vars, Ops: append([]copiergen.Op(nil), f.Ops...)}
+	ported := &copiergen.Func{Name: f.Name, Vars: f.Vars, Ops: append([]copiergen.Op(nil), f.Ops...)}
+	if err := copiergen.Port(ported, minSize); err != nil {
+		return err
+	}
+	ref := copiergen.NewInterp(orig)
+	if err := ref.Run(orig, false); err != nil {
+		return fmt.Errorf("model: reference run: %w", err)
+	}
+	obs, snap, err := RealRun(ported)
+	if err != nil {
+		return fmt.Errorf("model: real run: %w", err)
+	}
+	if !bytes.Equal(ref.Observed, obs) {
+		return fmt.Errorf("model: observations diverge (%d vs %d bytes)", len(ref.Observed), len(obs))
+	}
+	if !bytes.Equal(ref.Snapshot(), snap) {
+		return fmt.Errorf("model: final memory diverges")
+	}
+	return nil
+}

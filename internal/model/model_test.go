@@ -1,0 +1,110 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"copier/internal/copiergen"
+)
+
+func TestCopyUsePatternRefines(t *testing.T) {
+	f := &copiergen.Func{
+		Name: "copyUse",
+		Vars: []copiergen.Var{{Name: "src", Size: 8192}, {Name: "dst", Size: 8192}},
+		Ops: []copiergen.Op{
+			{Kind: copiergen.OpCopy, Dst: "dst", Src: "src", Len: 8192},
+			{Kind: copiergen.OpCompute},
+			{Kind: copiergen.OpLoad, Src: "dst", Len: 8},
+			{Kind: copiergen.OpFree, Dst: "src"},
+		},
+	}
+	if err := CheckRefinement(f, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainedCopiesRefine(t *testing.T) {
+	// A → B → C chain with partial use — exercises absorption and
+	// ordering on the real service.
+	f := &copiergen.Func{
+		Name: "chain",
+		Vars: []copiergen.Var{{Name: "a", Size: 8192}, {Name: "b", Size: 8192}, {Name: "c", Size: 8192}},
+		Ops: []copiergen.Op{
+			{Kind: copiergen.OpCopy, Dst: "b", Src: "a", Len: 8192},
+			{Kind: copiergen.OpLoad, Src: "b", SrcOff: 0, Len: 64},
+			{Kind: copiergen.OpCopy, Dst: "c", Src: "b", Len: 8192},
+			{Kind: copiergen.OpCompute},
+			{Kind: copiergen.OpCall, Dst: "c", Fn: "ext"},
+		},
+	}
+	if err := CheckRefinement(f, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteSourceRefines(t *testing.T) {
+	// Writing the source of a pending copy requires the inserted
+	// csync to order correctly (guideline 1 / appendix rule 4).
+	f := &copiergen.Func{
+		Name: "srcwrite",
+		Vars: []copiergen.Var{{Name: "a", Size: 4096}, {Name: "b", Size: 4096}},
+		Ops: []copiergen.Op{
+			{Kind: copiergen.OpCopy, Dst: "b", Src: "a", Len: 4096},
+			{Kind: copiergen.OpStore, Dst: "a", DstOff: 100, Len: 32},
+			{Kind: copiergen.OpCall, Dst: "b", Fn: "ext"},
+		},
+	}
+	if err := CheckRefinement(f, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Randomized refinement check against the real service (the
+// mechanical analogue of the appendix's RGSim argument).
+func TestRandomProgramsRefine(t *testing.T) {
+	vars := []copiergen.Var{
+		{Name: "a", Size: 4096}, {Name: "b", Size: 4096},
+		{Name: "c", Size: 4096}, {Name: "d", Size: 2048},
+	}
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		rnd := rand.New(rand.NewSource(int64(1000 + trial)))
+		f := &copiergen.Func{Name: "rand", Vars: vars}
+		nOps := 4 + rnd.Intn(10)
+		for i := 0; i < nOps; i++ {
+			v := vars[rnd.Intn(len(vars))]
+			w := vars[rnd.Intn(len(vars))]
+			switch rnd.Intn(6) {
+			case 0, 1:
+				if v.Name == w.Name {
+					continue
+				}
+				max := v.Size
+				if w.Size < max {
+					max = w.Size
+				}
+				n := 512 + rnd.Intn(max-512)
+				f.Ops = append(f.Ops, copiergen.Op{
+					Kind: copiergen.OpCopy, Dst: v.Name, Src: w.Name,
+					DstOff: rnd.Intn(v.Size - n + 1), SrcOff: rnd.Intn(w.Size - n + 1), Len: n,
+				})
+			case 2:
+				n := 1 + rnd.Intn(64)
+				f.Ops = append(f.Ops, copiergen.Op{Kind: copiergen.OpLoad, Src: v.Name, SrcOff: rnd.Intn(v.Size - n), Len: n})
+			case 3:
+				n := 1 + rnd.Intn(64)
+				f.Ops = append(f.Ops, copiergen.Op{Kind: copiergen.OpStore, Dst: v.Name, DstOff: rnd.Intn(v.Size - n), Len: n})
+			case 4:
+				f.Ops = append(f.Ops, copiergen.Op{Kind: copiergen.OpCall, Dst: v.Name, Fn: "ext"})
+			case 5:
+				f.Ops = append(f.Ops, copiergen.Op{Kind: copiergen.OpCompute})
+			}
+		}
+		if err := CheckRefinement(f, 512); err != nil {
+			t.Fatalf("trial %d: %v\nops: %v", trial, err, f.Ops)
+		}
+	}
+}

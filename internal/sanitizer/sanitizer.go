@@ -1,0 +1,239 @@
+// Package sanitizer implements CopierSanitizer (§5.1.2): shadow-memory
+// based detection of missing or misplaced csync calls, modeled on
+// AddressSanitizer's poisoning discipline.
+//
+// When a program calls amemcpy, the destination range (and the source
+// range, against un-csynced overwrites) is poisoned; csync unpoisons
+// the covered region. Reads, writes or frees of poisoned memory are
+// captured and reported. In the real system the checks are inserted by
+// compiler instrumentation; here the simulator mediates every access,
+// so applications route their accesses through the sanitizer facade.
+package sanitizer
+
+import (
+	"fmt"
+
+	"copier/internal/mem"
+)
+
+// Kind classifies a detected bug.
+type Kind int
+
+const (
+	// ReadBeforeCsync: the program read copy destination bytes that
+	// were not csynced (guideline 1, §5.1).
+	ReadBeforeCsync Kind = iota
+	// WriteBeforeCsync: the program overwrote destination bytes
+	// before csyncing the pending copy onto them.
+	WriteBeforeCsync
+	// WriteSrcBeforeCsync: the program modified the source of an
+	// in-flight copy (guideline 1: "writing sources").
+	WriteSrcBeforeCsync
+	// FreeBeforeCsync: a buffer involved in an in-flight copy was
+	// freed without csync or a post-copy handler (guideline 2).
+	FreeBeforeCsync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ReadBeforeCsync:
+		return "read-before-csync"
+	case WriteBeforeCsync:
+		return "write-before-csync"
+	case WriteSrcBeforeCsync:
+		return "write-src-before-csync"
+	case FreeBeforeCsync:
+		return "free-before-csync"
+	}
+	return "kind?"
+}
+
+// Report is one detected violation.
+type Report struct {
+	Kind Kind
+	Addr mem.VA
+	Len  int
+	// CopyID identifies the offending in-flight copy.
+	CopyID int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%v at %#x+%d (copy #%d)", r.Kind, uint64(r.Addr), r.Len, r.CopyID)
+}
+
+// copyRec tracks one in-flight asynchronous copy's poisoned ranges.
+type copyRec struct {
+	id       int
+	dst, src mem.VA
+	n        int
+	// synced[i] marks 1KB-granule i of the destination as csynced.
+	synced []bool
+	gran   int
+}
+
+func (c *copyRec) dstPoisoned(a mem.VA, n int) bool {
+	if !overlap(a, n, c.dst, c.n) {
+		return false
+	}
+	lo, hi := clamp(a, n, c.dst, c.n)
+	for g := lo / c.gran; g <= (hi-1)/c.gran; g++ {
+		if !c.synced[g] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *copyRec) allSynced() bool {
+	for _, s := range c.synced {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+func overlap(a mem.VA, an int, b mem.VA, bn int) bool {
+	return an > 0 && bn > 0 && a < b+mem.VA(bn) && b < a+mem.VA(an)
+}
+
+// clamp returns the overlap of [a,a+n) with [base,base+bn) as offsets
+// relative to base.
+func clamp(a mem.VA, n int, base mem.VA, bn int) (int, int) {
+	lo := 0
+	if a > base {
+		lo = int(a - base)
+	}
+	hi := bn
+	if end := int(a + mem.VA(n) - base); end < hi {
+		hi = end
+	}
+	return lo, hi
+}
+
+// Sanitizer is the per-process shadow state.
+type Sanitizer struct {
+	as     *mem.AddrSpace
+	copies []*copyRec
+	nextID int
+
+	// Reports accumulates detected violations.
+	Reports []Report
+	// Halt, when set, panics on the first violation (like ASan's
+	// halt_on_error).
+	Halt bool
+}
+
+// New wraps an address space.
+func New(as *mem.AddrSpace) *Sanitizer { return &Sanitizer{as: as} }
+
+// Granule is the csync tracking granularity.
+const Granule = 1024
+
+// OnAmemcpy poisons the copy's ranges. Returns the copy id.
+func (sz *Sanitizer) OnAmemcpy(dst, src mem.VA, n int) int {
+	id := sz.nextID
+	sz.nextID++
+	sz.copies = append(sz.copies, &copyRec{
+		id: id, dst: dst, src: src, n: n,
+		synced: make([]bool, (n+Granule-1)/Granule),
+		gran:   Granule,
+	})
+	return id
+}
+
+// OnCsync unpoisons destination granules covered by [addr, addr+n);
+// csync on a source range is translated by callers per the appendix
+// transformation (csync(addr-src+dst)).
+func (sz *Sanitizer) OnCsync(addr mem.VA, n int) {
+	for _, c := range sz.copies {
+		if !overlap(addr, n, c.dst, c.n) {
+			continue
+		}
+		lo, hi := clamp(addr, n, c.dst, c.n)
+		for g := lo / c.gran; g <= (hi-1)/c.gran; g++ {
+			c.synced[g] = true
+		}
+	}
+	sz.gc()
+}
+
+// OnCsyncAll unpoisons everything.
+func (sz *Sanitizer) OnCsyncAll() {
+	sz.copies = nil
+}
+
+func (sz *Sanitizer) gc() {
+	out := sz.copies[:0]
+	for _, c := range sz.copies {
+		if !c.allSynced() {
+			out = append(out, c)
+		}
+	}
+	sz.copies = out
+}
+
+func (sz *Sanitizer) report(r Report) {
+	sz.Reports = append(sz.Reports, r)
+	if sz.Halt {
+		panic("sanitizer: " + r.String())
+	}
+}
+
+// CheckRead validates a read of [addr, addr+n).
+func (sz *Sanitizer) CheckRead(addr mem.VA, n int) bool {
+	ok := true
+	for _, c := range sz.copies {
+		if c.dstPoisoned(addr, n) {
+			sz.report(Report{Kind: ReadBeforeCsync, Addr: addr, Len: n, CopyID: c.id})
+			ok = false
+		}
+	}
+	return ok
+}
+
+// CheckWrite validates a write of [addr, addr+n).
+func (sz *Sanitizer) CheckWrite(addr mem.VA, n int) bool {
+	ok := true
+	for _, c := range sz.copies {
+		if c.dstPoisoned(addr, n) {
+			sz.report(Report{Kind: WriteBeforeCsync, Addr: addr, Len: n, CopyID: c.id})
+			ok = false
+		}
+		if overlap(addr, n, c.src, c.n) && !c.allSynced() {
+			sz.report(Report{Kind: WriteSrcBeforeCsync, Addr: addr, Len: n, CopyID: c.id})
+			ok = false
+		}
+	}
+	return ok
+}
+
+// CheckFree validates freeing the buffer [addr, addr+n).
+func (sz *Sanitizer) CheckFree(addr mem.VA, n int) bool {
+	ok := true
+	for _, c := range sz.copies {
+		if c.allSynced() {
+			continue
+		}
+		if overlap(addr, n, c.dst, c.n) || overlap(addr, n, c.src, c.n) {
+			sz.report(Report{Kind: FreeBeforeCsync, Addr: addr, Len: n, CopyID: c.id})
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Read performs a checked read through the address space.
+func (sz *Sanitizer) Read(addr mem.VA, p []byte) error {
+	sz.CheckRead(addr, len(p))
+	return sz.as.ReadAt(addr, p)
+}
+
+// Write performs a checked write.
+func (sz *Sanitizer) Write(addr mem.VA, p []byte) error {
+	sz.CheckWrite(addr, len(p))
+	return sz.as.WriteAt(addr, p)
+}
+
+// InFlight reports the number of not-fully-synced copies tracked.
+func (sz *Sanitizer) InFlight() int { return len(sz.copies) }

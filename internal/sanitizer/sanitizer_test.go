@@ -1,0 +1,132 @@
+package sanitizer
+
+import (
+	"testing"
+
+	"copier/internal/mem"
+)
+
+func setup() (*Sanitizer, mem.VA, mem.VA) {
+	pm := mem.NewPhysMem(8 << 20)
+	as := mem.NewAddrSpace(pm)
+	dst := as.MMap(64<<10, mem.PermRead|mem.PermWrite, "dst")
+	src := as.MMap(64<<10, mem.PermRead|mem.PermWrite, "src")
+	return New(as), dst, src
+}
+
+func TestReadBeforeCsyncDetected(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 8<<10)
+	if sz.CheckRead(dst+100, 64) {
+		t.Fatal("poisoned read not detected")
+	}
+	if len(sz.Reports) != 1 || sz.Reports[0].Kind != ReadBeforeCsync {
+		t.Fatalf("reports: %v", sz.Reports)
+	}
+}
+
+func TestCsyncUnpoisons(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 8<<10)
+	sz.OnCsync(dst, 2048)
+	if !sz.CheckRead(dst, 2048) {
+		t.Fatal("csynced read reported")
+	}
+	if sz.CheckRead(dst+4096, 64) {
+		t.Fatal("unsynced tail read not detected")
+	}
+}
+
+func TestPartialCsyncGranularity(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 4096)
+	sz.OnCsync(dst+1024, 1024) // granule 1 only
+	if !sz.CheckRead(dst+1024, 1024) {
+		t.Fatal("synced granule flagged")
+	}
+	if sz.CheckRead(dst, 10) {
+		t.Fatal("granule 0 read not detected")
+	}
+}
+
+func TestWriteSrcBeforeCsyncDetected(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 4096)
+	if sz.CheckWrite(src+100, 8) {
+		t.Fatal("src overwrite not detected")
+	}
+	if sz.Reports[len(sz.Reports)-1].Kind != WriteSrcBeforeCsync {
+		t.Fatalf("kind = %v", sz.Reports[len(sz.Reports)-1].Kind)
+	}
+	// After full csync, writing the source is fine.
+	sz.OnCsync(dst, 4096)
+	if !sz.CheckWrite(src+100, 8) {
+		t.Fatal("src write after csync reported")
+	}
+}
+
+func TestFreeBeforeCsyncDetected(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 4096)
+	if sz.CheckFree(src, 64<<10) {
+		t.Fatal("free of in-flight src not detected")
+	}
+	sz.OnCsync(dst, 4096)
+	if !sz.CheckFree(src, 64<<10) {
+		t.Fatal("free after csync reported")
+	}
+}
+
+func TestCsyncAllClears(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 4096)
+	sz.OnAmemcpy(dst+8192, src+8192, 4096)
+	sz.OnCsyncAll()
+	if sz.InFlight() != 0 {
+		t.Fatal("copies survive csync_all")
+	}
+	if !sz.CheckRead(dst, 4096) || !sz.CheckWrite(src, 10) {
+		t.Fatal("violations after csync_all")
+	}
+}
+
+func TestUnrelatedAccessClean(t *testing.T) {
+	sz, dst, src := setup()
+	sz.OnAmemcpy(dst, src, 4096)
+	if !sz.CheckRead(dst+32<<10, 64) || !sz.CheckWrite(dst+32<<10, 64) {
+		t.Fatal("false positive on unrelated range")
+	}
+	if len(sz.Reports) != 0 {
+		t.Fatalf("reports: %v", sz.Reports)
+	}
+}
+
+func TestHaltMode(t *testing.T) {
+	sz, dst, src := setup()
+	sz.Halt = true
+	sz.OnAmemcpy(dst, src, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("halt mode did not panic")
+		}
+	}()
+	sz.CheckRead(dst, 1)
+}
+
+func TestCheckedReadWriteFacade(t *testing.T) {
+	sz, dst, src := setup()
+	id := sz.OnAmemcpy(dst, src, 4096)
+	buf := make([]byte, 16)
+	if err := sz.Read(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(sz.Reports) != 1 || sz.Reports[0].CopyID != id {
+		t.Fatalf("reports: %v", sz.Reports)
+	}
+	if err := sz.Write(dst+8<<10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(sz.Reports) != 1 {
+		t.Fatal("clean write reported")
+	}
+}

@@ -1,0 +1,391 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every higher layer of this repository — the simulated machine, the
+// kernel, the Copier service and the application workloads — runs on top
+// of this package. Time is virtual and measured in CPU cycles
+// (sim.Time). Simulation processes are implemented as goroutines that
+// hand control to each other through channels so that exactly one
+// process runs at any instant; combined with a strictly ordered event
+// heap this makes every run bit-for-bit reproducible.
+//
+// The design mirrors classic process-based simulators (SimPy, OMNeT++):
+//
+//   - Env owns the virtual clock and the event heap.
+//   - Proc is a coroutine; it advances time with Wait, or blocks on a
+//     Signal/Queue until another process wakes it.
+//   - Events scheduled for the same instant fire in scheduling order
+//     (a monotone sequence number breaks ties), never concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, measured in CPU cycles.
+type Time int64
+
+// Infinity is a time later than any event the simulator will produce.
+const Infinity Time = 1<<63 - 1
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// EventHandle allows a scheduled event to be canceled before it fires.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+func (h eventHeap) empty() bool  { return len(h) == 0 }
+
+// Env is a simulation environment: a virtual clock plus an event heap.
+// It is not safe for concurrent use from outside the simulation; all
+// interaction happens from process bodies or between Run calls.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yielded chan struct{} // a proc hands control back to the main loop
+	procs   []*Proc       // all spawned, for deadlock diagnosis
+	nlive   int           // procs started and not yet finished
+	running bool
+	tracer  func(t Time, format string, args ...any)
+}
+
+// NewEnv returns an empty environment at time zero.
+func NewEnv() *Env {
+	return &Env{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// SetTracer installs a trace function invoked by Proc.Tracef. A nil
+// tracer (the default) disables tracing.
+func (e *Env) SetTracer(fn func(t Time, format string, args ...any)) { e.tracer = fn }
+
+// Tracer returns the installed trace function, or nil.
+func (e *Env) Tracer() func(t Time, format string, args ...any) { return e.tracer }
+
+// Schedule registers fn to run at now+d. It may be called from process
+// bodies or before Run. fn runs in the event loop, not in a process
+// context; it must not block.
+func (e *Env) Schedule(d Time, fn func()) EventHandle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventHandle{ev}
+}
+
+// Proc is a simulation process (a coroutine). Exactly one Proc runs at
+// a time; a Proc gives up control by calling Wait or by blocking on one
+// of the synchronization primitives in this package.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	// blockedOn is a human-readable reason set while the proc is
+	// waiting on a Signal/Queue; used in deadlock reports.
+	blockedOn string
+	finished  bool
+	started   bool
+}
+
+// Go spawns a new process whose body is fn. The process begins running
+// at the current instant (after already-scheduled events at this
+// instant). fn receives its own *Proc.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.nlive++
+	e.Schedule(0, func() {
+		p.started = true
+		go func() {
+			<-p.resume
+			fn(p)
+			p.finished = true
+			p.env.nlive--
+			p.env.yielded <- struct{}{}
+		}()
+		p.handoff()
+	})
+	return p
+}
+
+// handoff transfers control from the event loop to p and waits for it
+// to yield back. Must be called from the event loop.
+func (p *Proc) handoff() {
+	p.resume <- struct{}{}
+	<-p.env.yielded
+}
+
+// yield gives control back to the event loop and blocks until resumed.
+func (p *Proc) yield() {
+	p.env.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Wait advances virtual time by d cycles from this process's
+// perspective: the process sleeps and other events run meanwhile.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %q waits negative %d", p.name, d))
+	}
+	if d == 0 {
+		// Still yield so same-instant events interleave fairly.
+		p.env.Schedule(0, func() { p.handoff() })
+		p.yield()
+		return
+	}
+	p.env.Schedule(d, func() { p.handoff() })
+	p.yield()
+}
+
+// Tracef emits a trace line through the environment tracer, if any.
+func (p *Proc) Tracef(format string, args ...any) {
+	if p.env.tracer != nil {
+		p.env.tracer(p.env.now, "["+p.name+"] "+format, args...)
+	}
+}
+
+// Signal is a broadcast condition variable for simulation processes.
+// Waiters are released in FIFO order at the instant of the broadcast.
+type Signal struct {
+	name    string
+	waiters []*signalWaiter
+}
+
+type signalWaiter struct {
+	p        *Proc
+	woken    bool // broadcast reached this waiter
+	canceled bool // timed out before the broadcast
+}
+
+// NewSignal returns a named signal (the name appears in deadlock
+// reports).
+func NewSignal(name string) *Signal { return &Signal{name: name} }
+
+// Wait blocks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	w := &signalWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.blockedOn = "signal:" + s.name
+	p.yield()
+	p.blockedOn = ""
+}
+
+// WaitTimeout blocks p until the next Broadcast or until d elapses,
+// whichever comes first. It reports whether the broadcast fired
+// (false means the wait timed out).
+func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
+	w := &signalWaiter{p: p}
+	s.waiters = append(s.waiters, w)
+	h := p.env.Schedule(d, func() {
+		if !w.woken {
+			w.canceled = true
+			w.p.handoff()
+		}
+	})
+	p.blockedOn = "signal:" + s.name
+	p.yield()
+	p.blockedOn = ""
+	if w.woken {
+		h.Cancel()
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes all current waiters. Each waiter resumes at the
+// current instant, in the order it called Wait. May be called from a
+// process body or an event callback.
+func (s *Signal) Broadcast(e *Env) {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.canceled {
+			continue
+		}
+		w := w
+		w.woken = true
+		e.Schedule(0, func() { w.p.handoff() })
+	}
+}
+
+// NWaiting reports how many processes are blocked on the signal.
+func (s *Signal) NWaiting() int {
+	n := 0
+	for _, w := range s.waiters {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Queue is a FIFO wait queue releasing one waiter per Release call —
+// the building block for resources and run queues.
+type Queue struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewQueue returns a named FIFO wait queue.
+func NewQueue(name string) *Queue { return &Queue{name: name} }
+
+// Wait appends p and blocks until a Release reaches it.
+func (q *Queue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.blockedOn = "queue:" + q.name
+	p.yield()
+	p.blockedOn = ""
+}
+
+// Release wakes the oldest waiter, if any, and reports whether one was
+// woken.
+func (q *Queue) Release(e *Env) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	e.Schedule(0, func() { w.handoff() })
+	return true
+}
+
+// Len reports the number of blocked processes.
+func (q *Queue) Len() int { return len(q.waiters) }
+
+// Resource is a counting semaphore with FIFO admission.
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+	q        *Queue
+}
+
+// NewResource returns a resource with the given capacity (>=1).
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{name: name, capacity: capacity, q: NewQueue("res:" + name)}
+}
+
+// Acquire obtains one unit, blocking in FIFO order if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.q.Wait(p)
+	// Woken by Release, which transferred the unit to us.
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release(e *Env) {
+	if r.q.Release(e) {
+		return // unit transferred directly to the waiter
+	}
+	if r.inUse == 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.inUse--
+}
+
+// InUse reports how many units are currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// NQueued reports how many processes are waiting for a unit.
+func (r *Resource) NQueued() int { return r.q.Len() }
+
+// DeadlockError reports processes still blocked when the event heap
+// drained.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name (reason)" per blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d: %d blocked: %v", d.At, len(d.Blocked), d.Blocked)
+}
+
+// Run executes events until the heap is empty or the clock passes
+// until (use Infinity for "run to completion"). It returns a
+// *DeadlockError if the heap drained while processes remain blocked.
+func (e *Env) Run(until Time) error {
+	if e.running {
+		panic("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.events.empty() {
+		ev := e.events.peek()
+		if ev.at > until {
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.events)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.nlive > 0 {
+		var blocked []string
+		for _, p := range e.procs {
+			if p.started && !p.finished {
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: e.now, Blocked: blocked}
+	}
+	return nil
+}
