@@ -1,0 +1,19 @@
+# Convenience targets; scripts/check.sh is the source of truth for
+# the tier-1 gate.
+
+.PHONY: check test bench fuzz
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./internal/bench
+
+# Short continuation runs over the checked-in seed corpora.
+fuzz:
+	go test ./internal/core -run=^$$ -fuzz=FuzzRing -fuzztime=30s
+	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
+	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s

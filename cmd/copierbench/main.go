@@ -6,6 +6,13 @@
 //	copierbench -list              # show available experiments
 //	copierbench -run fig11        # one experiment
 //	copierbench -run all -full    # everything at figure scale
+//	copierbench -run fig9 -trace t.json -metrics
+//
+// -trace records every typed observability event emitted during the
+// runs and writes a Chrome trace_event JSON file loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing; timestamps are
+// virtual cycles. -metrics prints the compact text summary (event
+// counts, latency histograms, unit occupancy) after the runs.
 package main
 
 import (
@@ -15,12 +22,16 @@ import (
 	"strings"
 
 	"copier/internal/bench"
+	"copier/internal/obs"
+	"copier/internal/sim"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "all", "experiment id (or comma list, or 'all')")
 	full := flag.Bool("full", false, "full figure-scale sweeps (slower)")
+	trace := flag.String("trace", "", "write Chrome/Perfetto trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print event-count and latency-histogram summary")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +46,17 @@ func main() {
 	if *full {
 		scale = bench.Full
 	}
+
+	// Experiments create simulation environments internally (often one
+	// per data point), so recording attaches via the env-creation hook:
+	// one recorder observes every environment the run builds.
+	var rec *obs.Recorder
+	if *trace != "" || *metrics {
+		rec = obs.NewRecorder(obs.DefaultRingCap)
+		sim.OnNewEnv = func(e *sim.Env) { e.SetRecorder(rec) }
+		defer func() { sim.OnNewEnv = nil }()
+	}
+
 	var ids []string
 	if *run == "all" {
 		for _, e := range bench.Experiments() {
@@ -52,5 +74,30 @@ func main() {
 		for _, t := range e.Run(scale) {
 			t.Fprint(os.Stdout)
 		}
+	}
+
+	if rec == nil {
+		return
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "copierbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = rec.WritePerfetto(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "copierbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "copierbench: wrote %d events (%d dropped) to %s\n",
+			rec.Total(), rec.Dropped(), *trace)
+	}
+	if *metrics {
+		fmt.Println()
+		rec.WriteSummary(os.Stdout)
 	}
 }

@@ -1,26 +1,42 @@
-// Command copiertrace prints a cycle-accurate timeline of the Copier
-// service handling the paper's proxy pattern (§4.4): a lazy recv copy
-// whose header is promoted by csync, a forwarding send that absorbs
-// the unexecuted remainder straight from the kernel source, and the
-// final abort discarding the dead intermediate copy.
+// Command copiertrace renders a cycle-accurate, per-core/per-unit
+// timeline of the Copier service handling the paper's proxy pattern
+// (§4.4): a lazy recv copy whose header is promoted by csync, a
+// forwarding send that absorbs the unexecuted remainder straight from
+// the kernel source, and the final abort discarding the dead
+// intermediate copy.
+//
+// The timeline is driven by the typed observability stream
+// (internal/obs): every row is one recorded event, ordered by virtual
+// time, grouped under its track (kernel:coreN, hw:AVX, hw:DMA,
+// core:tasks, ...). With -trace the same stream is written as
+// Chrome/Perfetto trace_event JSON; with -summary the histogram and
+// occupancy summary follows the timeline.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"sort"
 
 	"copier/internal/core"
 	"copier/internal/cycles"
 	"copier/internal/kernel"
 	"copier/internal/libcopier"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "also write Chrome/Perfetto trace_event JSON to this file")
+	summary := flag.Bool("summary", false, "print histogram and occupancy summary after the timeline")
+	flag.Parse()
+
+	rec := obs.NewRecorder(obs.DefaultRingCap)
+	sim.OnNewEnv = func(e *sim.Env) { e.SetRecorder(rec) }
+
 	m := kernel.NewMachine(kernel.Config{Cores: 3})
-	m.Env.SetTracer(func(t sim.Time, format string, args ...any) {
-		fmt.Printf("%10d  %s\n", t, fmt.Sprintf(format, args...))
-	})
 	m.InstallCopier(core.DefaultConfig(), 1, 2)
 	proxy := m.NewProcess("proxy")
 	attach := m.AttachCopier(proxy)
@@ -29,12 +45,11 @@ func main() {
 	kas := m.KernelAS
 	k1 := mustKBuf(kas, n) // incoming message in a kernel buffer
 	fillK(kas, k1, n)
-	u := mustBuf(proxy, n)  // proxy's user buffer
-	k2 := mustKBuf(kas, n)  // outgoing kernel buffer
+	u := mustBuf(proxy, n) // proxy's user buffer
+	k2 := mustKBuf(kas, n) // outgoing kernel buffer
 
 	th := m.Spawn(proxy, "forward", func(t *kernel.Thread) {
 		lib := attach.Lib
-		t.SimProc().Tracef("recv: submit LAZY copy K1 -> U (%d bytes)", n)
 		desc := core.NewDescriptor(u, n, core.DefaultSegSize)
 		err := lib.AmemcpyOpts(t, u, k1, n, libcopier.Opts{
 			KMode: true, Lazy: true, Desc: desc, LazyDeadline: sim.Infinity,
@@ -43,12 +58,12 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		t.SimProc().Tracef("csync header (128B) — promotes one segment only")
+		// csync the 128-byte header — promotes one segment only.
 		if err := lib.CsyncDesc(t, desc, 0, 128); err != nil {
 			panic(err)
 		}
 		t.Exec(cycles.Mul(128, cycles.ParseByteNum, cycles.ParseByteDen))
-		t.SimProc().Tracef("route decided; send U -> K2 (absorbs the rest from K1)")
+		// Route decided; send U -> K2 absorbs the rest from K1.
 		sendDesc := core.NewDescriptor(k2, n, core.DefaultSegSize)
 		err = lib.AmemcpyOpts(t, k2, u, n, libcopier.Opts{
 			KMode: true, Desc: sendDesc, NoTrack: true,
@@ -60,17 +75,85 @@ func main() {
 		if err := lib.CsyncDesc(t, sendDesc, 0, n); err != nil {
 			panic(err)
 		}
-		t.SimProc().Tracef("forwarded; abort the dead lazy copy")
+		// Forwarded; abort the dead lazy copy.
 		attach.Client.SubmitAbortDesc(desc, false)
 		t.Exec(5_000)
 	})
 	if err := m.RunApps(th); err != nil {
 		panic(err)
 	}
+
+	printTimeline(rec)
+
 	svc := m.Copier()
 	fmt.Printf("\nstats: tasks=%d absorbed=%dB aborted=%d avx=%dB dma=%dB\n",
 		svc.Stats.TasksExecuted, svc.Stats.AbsorbedBytes, svc.Stats.AbortedTasks,
 		svc.Stats.AVXBytes, svc.Stats.DMABytes)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			panic(err)
+		}
+		err = rec.WritePerfetto(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", rec.Total(), *traceOut)
+	}
+	if *summary {
+		fmt.Println()
+		rec.WriteSummary(os.Stdout)
+	}
+}
+
+// printTimeline prints the recorded events in virtual-time order, one
+// row per event, keyed by track. Span events (thread runs, unit busy
+// intervals, syscalls) sort by their start time; ties keep emission
+// order, which is deterministic.
+func printTimeline(rec *obs.Recorder) {
+	var evs []obs.Event
+	rec.Events(func(e *obs.Event) { evs = append(evs, *e) })
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	fmt.Printf("%12s  %-15s %s\n", "cycles", "track", "event")
+	fmt.Printf("%12s  %-15s %s\n", "------", "-----", "-----")
+	for i := range evs {
+		e := &evs[i]
+		fmt.Printf("%12d  %-15s %s\n", e.T, e.Track, describe(e))
+	}
+}
+
+// describe renders one event's payload for the timeline.
+func describe(e *obs.Event) string {
+	switch e.Kind {
+	case obs.EvTaskSubmit:
+		return fmt.Sprintf("submit %s task=%d len=%dB", e.Name, e.A, e.B)
+	case obs.EvTaskDispatch:
+		return fmt.Sprintf("dispatch %s task=%d queued=%d", e.Name, e.A, e.B)
+	case obs.EvSegmentDone:
+		return fmt.Sprintf("segment %s task=%d len=%dB", e.Name, e.A, e.B)
+	case obs.EvTaskComplete:
+		return fmt.Sprintf("complete %s task=%d latency=%d", e.Name, e.A, e.B)
+	case obs.EvQueueDepthSample:
+		return fmt.Sprintf("backlog %s depth=%d", e.Name, e.B)
+	case obs.EvUnitBusyInterval:
+		return fmt.Sprintf("busy %s %dB [+%d)", e.Name, e.A, e.Dur)
+	case obs.EvThreadRun:
+		return fmt.Sprintf("run %s tid=%d [+%d)", e.Name, e.A, e.Dur)
+	case obs.EvTrapReturn:
+		return fmt.Sprintf("syscall %s tid=%d [+%d)", e.Name, e.A, e.Dur)
+	case obs.EvDMASubmit:
+		return fmt.Sprintf("dma-submit %dB", e.A)
+	case obs.EvProcStart, obs.EvProcEnd:
+		return fmt.Sprintf("%s %s", e.Kind, e.Name)
+	case obs.EvATCacheHit, obs.EvATCacheMiss:
+		return fmt.Sprintf("at-cache %s vpn=%#x", e.Name, e.A)
+	default:
+		return fmt.Sprintf("%s %s a=%d b=%d", e.Kind, e.Name, e.A, e.B)
+	}
 }
 
 func mustBuf(p *kernel.Process, n int) mem.VA {

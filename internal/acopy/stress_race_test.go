@@ -1,0 +1,183 @@
+//go:build race
+
+// Race-detector stress tests: raised goroutine counts hammering the
+// lock-free structures (MPSC submission ring, descriptor completion
+// bitmap, promotion CAS). These run only under `go test -race`, where
+// the detector checks the atomics' happens-before edges; without the
+// detector they would just be slow duplicates of the functional tests.
+package acopy
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressRingMPSC drives one ring with many concurrent producers
+// and a single consumer through a small ring, forcing the full-ring
+// retry path and the valid-bit (acquired-but-unpublished) window.
+func TestStressRingMPSC(t *testing.T) {
+	const (
+		producers   = 16
+		perProducer = 2000
+	)
+	r := newRing(64)
+	handles := make([]Handle, producers*perProducer)
+
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	seen := make(map[*Handle]bool, len(handles))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for int(popped.Load()) < len(handles) {
+			h := r.pop()
+			if h == nil {
+				runtime.Gosched()
+				continue
+			}
+			if seen[h] {
+				t.Error("handle popped twice")
+				return
+			}
+			seen[h] = true
+			popped.Add(1)
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				h := &handles[p*perProducer+i]
+				for !r.push(h) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+	if int(popped.Load()) != len(handles) {
+		t.Fatalf("popped %d of %d", popped.Load(), len(handles))
+	}
+}
+
+// TestStressBitmapMarking has many goroutines marking overlapping
+// segment sets of one descriptor: the Or + left-counter protocol must
+// complete the task exactly once and run the handler exactly once.
+func TestStressBitmapMarking(t *testing.T) {
+	const (
+		nseg    = 512
+		markers = 16
+	)
+	var handlerRuns atomic.Int32
+	h := &Handle{
+		dst:  make([]byte, nseg*SegSize),
+		bits: make([]atomic.Uint64, (nseg+63)/64),
+		nseg: nseg,
+		done: make(chan struct{}),
+	}
+	h.handler = func() { handlerRuns.Add(1) }
+	h.left.Store(nseg)
+
+	var wg sync.WaitGroup
+	for m := 0; m < markers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			// Each marker covers the whole bitmap from a different
+			// starting point, so every segment is contended.
+			for i := 0; i < nseg; i++ {
+				h.markSeg((i + m*31) % nseg)
+			}
+		}(m)
+	}
+	wg.Wait()
+	if !h.Done() {
+		t.Fatal("task did not complete")
+	}
+	if n := handlerRuns.Load(); n != 1 {
+		t.Fatalf("handler ran %d times", n)
+	}
+	if left := h.left.Load(); left != 0 {
+		t.Fatalf("left = %d", left)
+	}
+}
+
+// TestStressAMemcpyCSync overlaps many concurrent copies with CSync
+// spinners and promotion from other goroutines, then verifies every
+// destination byte-for-byte.
+func TestStressAMemcpyCSync(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	cp := New(workers)
+	defer cp.Close()
+
+	const (
+		copies = 64
+		size   = 64 << 10
+	)
+	srcs := make([][]byte, copies)
+	dsts := make([][]byte, copies)
+	for i := range srcs {
+		srcs[i] = make([]byte, size)
+		dsts[i] = make([]byte, size)
+		rnd := rand.New(rand.NewSource(int64(i + 1)))
+		rnd.Read(srcs[i])
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < copies; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := cp.AMemcpy(dsts[i], srcs[i])
+			// Sync a scattered mid-range first (promotion), then the
+			// prefix, then everything.
+			h.CSync(size/2, 4096)
+			h.CSync(0, 1024)
+			h.Wait()
+			if !bytes.Equal(dsts[i], srcs[i]) {
+				t.Errorf("copy %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestStressAMemmoveOverlap submits overlapping moves from several
+// goroutines over disjoint buffers while workers drain shared rings.
+func TestStressAMemmoveOverlap(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+
+	const (
+		movers = 8
+		size   = 128 << 10
+		shift  = 8000 // non-segment-aligned overlap distance
+	)
+	var wg sync.WaitGroup
+	for m := 0; m < movers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			buf := make([]byte, size+shift)
+			rnd := rand.New(rand.NewSource(int64(m + 100)))
+			rnd.Read(buf)
+			want := make([]byte, size)
+			copy(want, buf[:size])
+			mh := cp.AMemmove(buf[shift:], buf[:size])
+			mh.Wait()
+			if !bytes.Equal(buf[shift:], want) {
+				t.Errorf("mover %d: overlap move corrupted data", m)
+			}
+		}(m)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"copier/internal/obs"
+	"copier/internal/sim"
+)
+
+// runFig9Traced runs fig9 at Quick scale with a fresh recorder
+// attached to every simulation environment the experiment creates,
+// returning the printed tables, the Perfetto export, and the recorder.
+func runFig9Traced(t *testing.T) (string, []byte, *obs.Recorder) {
+	t.Helper()
+	rec := obs.NewRecorder(obs.DefaultRingCap)
+	prev := sim.OnNewEnv
+	sim.OnNewEnv = func(e *sim.Env) { e.SetRecorder(rec) }
+	defer func() { sim.OnNewEnv = prev }()
+
+	e, ok := ByID("fig9")
+	if !ok {
+		t.Fatal("fig9 not registered")
+	}
+	var tbl strings.Builder
+	for _, table := range e.Run(Quick) {
+		table.Fprint(&tbl)
+	}
+	var export bytes.Buffer
+	if err := rec.WritePerfetto(&export); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.String(), export.Bytes(), rec
+}
+
+// TestFig9Deterministic is the repeatability golden test: the entire
+// stack — simulation, service, hardware models, kernel substrate, and
+// the observability export — must produce byte-identical output across
+// two runs in one process. Any nondeterminism (map iteration leaking
+// into event order, wall-clock timestamps, unseeded randomness) fails
+// here with a diff.
+func TestFig9Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig9 twice")
+	}
+	tbl1, exp1, rec := runFig9Traced(t)
+	tbl2, exp2, _ := runFig9Traced(t)
+
+	if tbl1 != tbl2 {
+		t.Errorf("printed series differ between runs:\n%s", lineDiff(tbl1, tbl2))
+	}
+	if !bytes.Equal(exp1, exp2) {
+		t.Errorf("obs exports differ between runs:\n%s",
+			lineDiff(string(exp1), string(exp2)))
+	}
+
+	// The export must be a valid Chrome trace with events from every
+	// layer of the stack.
+	if !json.Valid(exp1) {
+		t.Fatal("export is not valid JSON")
+	}
+	for l := obs.LayerSim; l < obs.Layer(4); l++ {
+		if rec.LayerCount(l) == 0 {
+			t.Errorf("no events recorded from layer %s", l)
+		}
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events")
+	}
+}
+
+// lineDiff renders the first few differing lines of a and b.
+func lineDiff(a, b string) string {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) > n {
+		n = len(bl)
+	}
+	var sb strings.Builder
+	shown := 0
+	for i := 0; i < n && shown < 5; i++ {
+		var av, bv string
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if av == bv {
+			continue
+		}
+		const clip = 160
+		if len(av) > clip {
+			av = av[:clip] + "..."
+		}
+		if len(bv) > clip {
+			bv = bv[:clip] + "..."
+		}
+		fmt.Fprintf(&sb, "line %d:\n  run1: %s\n  run2: %s\n", i+1, av, bv)
+		shown++
+	}
+	if sb.Len() == 0 {
+		return "(no line-level diff; outputs differ in length or trailing bytes)"
+	}
+	return sb.String()
+}

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 
 	"copier/internal/baseline"
 	"copier/internal/core"
 	"copier/internal/cycles"
 	"copier/internal/kernel"
+	"copier/internal/libcopier"
 	"copier/internal/mem"
 	"copier/internal/sim"
 )
@@ -279,7 +281,66 @@ func runFig9(s Scale) []*Table {
 			pct(fullV, ermsV), pct(fullV, avxV))
 	}
 	t.Note("paper: Copier +158%% over ERMS (+55%% at 4KB) / +38%% over AVX2 (+33%% at 4KB); ATCache adds 2-11%%")
+	t.Note("full-stack smoke (16KB recv-style copy via syscall boundary): %s", fig9FullStack())
 	return []*Table{t}
+}
+
+// fig9FullStack routes one small copy through the syscall boundary on
+// the kernel substrate and verifies the bytes land: a smoke check that
+// the service measured above behaves the same when driven through the
+// integrated path (scheduler, trap barriers, kernel-mode queues). It
+// also means a fig9 trace records events from all four layers — sim,
+// core, hw and kernel. One 16KB task: negligible against the sweep.
+func fig9FullStack() string {
+	const n = 16 << 10
+	m := kernel.NewMachine(kernel.Config{Cores: 2, MemBytes: 64 << 20})
+	m.InstallCopier(core.DefaultConfig(), 1, 1)
+	p := m.NewProcess("fig9")
+	attach := m.AttachCopier(p)
+
+	kbuf := m.KernelAS.MMap(n, mem.PermRead|mem.PermWrite, "kbuf")
+	if _, err := m.KernelAS.Populate(kbuf, n, true); err != nil {
+		return err.Error()
+	}
+	pat := make([]byte, n)
+	for i := range pat {
+		pat[i] = byte(i * 7)
+	}
+	if err := m.KernelAS.WriteAt(kbuf, pat); err != nil {
+		return err.Error()
+	}
+	u := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "ubuf")
+	if _, err := p.AS.Populate(u, n, true); err != nil {
+		return err.Error()
+	}
+
+	var ferr error
+	th := m.Spawn(p, "recv", func(t *kernel.Thread) {
+		lib := attach.Lib
+		desc := core.NewDescriptor(u, n, core.DefaultSegSize)
+		t.Syscall("recv", func() {
+			ferr = lib.AmemcpyOpts(t, u, kbuf, n, libcopier.Opts{
+				KMode: true, Desc: desc, SrcAS: m.KernelAS, DstAS: p.AS,
+			})
+		})
+		if ferr == nil {
+			ferr = lib.CsyncDesc(t, desc, 0, n)
+		}
+	})
+	if err := m.RunApps(th); err != nil {
+		return err.Error()
+	}
+	if ferr != nil {
+		return ferr.Error()
+	}
+	got := make([]byte, n)
+	if err := p.AS.ReadAt(u, got); err != nil {
+		return err.Error()
+	}
+	if !bytes.Equal(got, pat) {
+		return "data mismatch"
+	}
+	return "ok"
 }
 
 // syscallLatency measures one send or recv syscall under a mode.

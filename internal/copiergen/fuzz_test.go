@@ -1,0 +1,171 @@
+package copiergen
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// decodeFunc deterministically grows a straight-line mini-IR program
+// from fuzz bytes: a handful of buffer variables and a bounded op
+// stream over them. The generator never references a freed buffer and
+// never emits pass-output ops (amemcpy/csync), so every produced
+// program is a valid CopierGen *input* whose synchronous execution
+// cannot fail.
+func decodeFunc(data []byte) *Func {
+	if len(data) < 4 {
+		return nil
+	}
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return int(b)
+	}
+	nv := next()%3 + 2 // 2..4 variables
+	f := &Func{Name: "fuzz"}
+	for i := 0; i < nv; i++ {
+		f.Vars = append(f.Vars, Var{
+			Name: string(rune('a' + i)),
+			Size: (next()%8 + 1) * 16, // 16..128 bytes
+		})
+	}
+	freed := map[string]bool{}
+	// rng picks an offset/length pair inside v.
+	rng := func(v Var) (int, int) {
+		off := next() % v.Size
+		n := next()%(v.Size-off) + 1
+		return off, n
+	}
+	for pos < len(data) && len(f.Ops) < 32 {
+		v1 := f.Vars[next()%nv]
+		v2 := f.Vars[next()%nv]
+		if freed[v1.Name] || freed[v2.Name] {
+			f.Ops = append(f.Ops, Op{Kind: OpCompute})
+			continue
+		}
+		switch next() % 10 {
+		case 0, 1, 2: // copies dominate: they are what the passes rewrite
+			dOff, n := rng(v1)
+			sOff := 0
+			if v2.Size > n {
+				sOff = next() % (v2.Size - n)
+			}
+			if sOff+n > v2.Size {
+				n = v2.Size - sOff
+			}
+			if n <= 0 {
+				f.Ops = append(f.Ops, Op{Kind: OpCompute})
+				continue
+			}
+			f.Ops = append(f.Ops, Op{Kind: OpCopy,
+				Dst: v1.Name, DstOff: dOff, Src: v2.Name, SrcOff: sOff, Len: n})
+		case 3, 4: // load (observes memory)
+			off, n := rng(v1)
+			f.Ops = append(f.Ops, Op{Kind: OpLoad, Src: v1.Name, SrcOff: off, Len: n})
+		case 5, 6: // store
+			off, n := rng(v1)
+			f.Ops = append(f.Ops, Op{Kind: OpStore, Dst: v1.Name, DstOff: off, Len: n})
+		case 7: // external call observing the whole buffer
+			f.Ops = append(f.Ops, Op{Kind: OpCall, Dst: v1.Name, Fn: "extern"})
+		case 8: // free (rare): later ops on v1 become compute
+			f.Ops = append(f.Ops, Op{Kind: OpFree, Dst: v1.Name})
+			freed[v1.Name] = true
+		case 9:
+			if next()%4 == 0 {
+				// Occasionally exercise the rejection path.
+				f.Ops = append(f.Ops, Op{Kind: OpEscape, Dst: v1.Name})
+			} else {
+				f.Ops = append(f.Ops, Op{Kind: OpCompute})
+			}
+		}
+	}
+	if len(f.Ops) == 0 {
+		return nil
+	}
+	return f
+}
+
+func cloneFunc(f *Func) *Func {
+	c := &Func{Name: f.Name}
+	c.Vars = append(c.Vars, f.Vars...)
+	c.Ops = append(c.Ops, f.Ops...)
+	return c
+}
+
+// FuzzPortSemantics is the differential oracle for CopierGen: porting
+// a random program (memcpy -> amemcpy + inserted csyncs) and running
+// it under adversarially-deferred async semantics must observe and
+// leave behind exactly the bytes of the original program run
+// synchronously. Any divergence is a missed or misplaced csync.
+func FuzzPortSemantics(f *testing.F) {
+	f.Add([]byte("\x01\x02\x03\x00\x01\x05\x00\x02\x10\x03\x01\x00\x04"))
+	f.Add([]byte{2, 4, 4, 0, 1, 0, 10, 2, 20, 1, 0, 3, 5, 0, 1, 0, 0, 7})
+	f.Add([]byte{0, 1, 1, 0, 0, 0, 8, 1, 0, 0, 0, 3, 0, 4, 1, 1, 8, 0, 9, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := decodeFunc(data)
+		if orig == nil {
+			return
+		}
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v\n%v", err, orig.Ops)
+		}
+
+		syncIn := NewInterp(orig)
+		if err := syncIn.Run(orig, false); err != nil {
+			t.Fatalf("sync run failed on generated program: %v", err)
+		}
+
+		ported := cloneFunc(orig)
+		if err := Port(ported, 1); err != nil {
+			if errors.Is(err, ErrPointerEscape) {
+				return // correctly rejected; nothing to compare
+			}
+			t.Fatalf("port failed: %v", err)
+		}
+		asyncIn := NewInterp(ported)
+		if err := asyncIn.Run(ported, true); err != nil {
+			t.Fatalf("async run of ported program failed: %v", err)
+		}
+
+		if !bytes.Equal(syncIn.Observed, asyncIn.Observed) {
+			t.Fatalf("observed outputs diverge\nsync:  %x\nasync: %x\nprogram: %v\nported: %v",
+				syncIn.Observed, asyncIn.Observed, orig.Ops, ported.Ops)
+		}
+		if !bytes.Equal(syncIn.Snapshot(), asyncIn.Snapshot()) {
+			t.Fatalf("final memory diverges\nprogram: %v\nported: %v", orig.Ops, ported.Ops)
+		}
+	})
+}
+
+// FuzzPortIdempotent checks structural invariants of the passes on any
+// portable program: no memcpy at/above threshold survives, every
+// amemcpy precedes its first covering csync, and porting an already
+// ported program inserts nothing new.
+func FuzzPortIdempotent(f *testing.F) {
+	f.Add([]byte{1, 3, 3, 0, 0, 0, 16, 0, 8, 3, 0, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := decodeFunc(data)
+		if orig == nil {
+			return
+		}
+		ported := cloneFunc(orig)
+		if err := Port(ported, 1); err != nil {
+			return
+		}
+		if n := CountKind(ported, OpCopy); n != 0 {
+			t.Fatalf("%d memcpys survived porting with minSize=1", n)
+		}
+		again := cloneFunc(ported)
+		if err := InsertCsyncs(again); err != nil {
+			t.Fatalf("re-inserting csyncs failed: %v", err)
+		}
+		if len(again.Ops) != len(ported.Ops) {
+			t.Fatalf("csync insertion not idempotent: %d -> %d ops",
+				len(ported.Ops), len(again.Ops))
+		}
+	})
+}

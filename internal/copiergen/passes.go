@@ -3,6 +3,7 @@ package copiergen
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrPointerEscape marks programs CopierGen cannot port (§5.1.3:
@@ -29,6 +30,10 @@ func ConvertCopies(f *Func, minSize int) error {
 	return nil
 }
 
+// span is a half-open byte interval [lo, hi) in destination
+// coordinates.
+type span struct{ lo, hi int }
+
 // pendingCopy tracks an un-synced amemcpy during the dataflow walk.
 type pendingCopy struct {
 	opIdx int
@@ -37,11 +42,70 @@ type pendingCopy struct {
 	dOff  int
 	sOff  int
 	n     int
-	// synced marks byte offsets (relative to dOff) already covered
-	// by an inserted csync. Tracking is interval-free: we record the
-	// covered prefix plus full-sync, which suffices for the
-	// straight-line pass.
-	fullySynced bool
+	// covered holds destination sub-ranges already protected by a
+	// csync — inserted by this pass or already present in the input —
+	// kept sorted and disjoint. A range is only re-synced where a gap
+	// remains, which makes the pass idempotent and lets it compose
+	// with hand-written csyncs (§5.1 mixed manual/automated porting).
+	covered []span
+}
+
+// cover marks [lo, hi), clamped to the copy's destination range, as
+// csync-protected.
+func (pc *pendingCopy) cover(lo, hi int) {
+	if lo < pc.dOff {
+		lo = pc.dOff
+	}
+	if e := pc.dOff + pc.n; hi > e {
+		hi = e
+	}
+	if hi <= lo {
+		return
+	}
+	spans := append(pc.covered, span{lo, hi})
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	merged := spans[:1]
+	for _, s := range spans[1:] {
+		last := &merged[len(merged)-1]
+		if s.lo <= last.hi {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	pc.covered = merged
+}
+
+// gaps returns the sub-ranges of [lo, hi) not yet covered.
+func (pc *pendingCopy) gaps(lo, hi int) []span {
+	var out []span
+	cur := lo
+	for _, s := range pc.covered {
+		if s.hi <= cur {
+			continue
+		}
+		if s.lo >= hi {
+			break
+		}
+		if s.lo > cur {
+			out = append(out, span{cur, s.lo})
+		}
+		cur = s.hi
+		if cur >= hi {
+			return out
+		}
+	}
+	if cur < hi {
+		out = append(out, span{cur, hi})
+	}
+	return out
+}
+
+// fullySynced reports whether every destination byte is covered.
+func (pc *pendingCopy) fullySynced() bool {
+	return len(pc.gaps(pc.dOff, pc.dOff+pc.n)) == 0
 }
 
 // InsertCsyncs inserts csync before the first access to memory
@@ -73,39 +137,41 @@ func InsertCsyncs(f *Func) error {
 		return lo, hi - lo, true
 	}
 
-	// syncFor emits csyncs needed before accessing [off, off+n) of
-	// variable v with the given intent.
+	// syncFor emits the csyncs needed before accessing [off, off+n) of
+	// variable v with the given intent, skipping ranges a previous
+	// csync already protects.
 	syncFor := func(v string, off, n int, write, wholeVar bool) {
 		remaining := pending[:0]
-		for _, pc := range pending {
-			emit := false
-			var csOff, csLen int
+		for i := range pending {
+			pc := &pending[i]
+			var lo, hi int
+			need := false
 			if pc.dst == v {
 				if wholeVar {
-					emit, csOff, csLen = true, pc.dOff, pc.n
-				} else if lo, ln, ok := overlap(pc.dOff, pc.n, off, n); ok {
-					emit, csOff, csLen = true, lo, ln
+					lo, hi, need = pc.dOff, pc.dOff+pc.n, true
+				} else if l, ln, ok := overlap(pc.dOff, pc.n, off, n); ok {
+					lo, hi, need = l, l+ln, true
 				}
 			}
-			if !emit && write && pc.src == v {
+			if !need && write && pc.src == v {
 				// Writing the source: sync the corresponding dst
 				// range (appendix transformation rule 4).
 				if wholeVar {
-					emit, csOff, csLen = true, pc.dOff, pc.n
-				} else if lo, ln, ok := overlap(pc.sOff, pc.n, off, n); ok {
-					emit = true
-					csOff = pc.dOff + (lo - pc.sOff)
-					csLen = ln
+					lo, hi, need = pc.dOff, pc.dOff+pc.n, true
+				} else if l, ln, ok := overlap(pc.sOff, pc.n, off, n); ok {
+					lo = pc.dOff + (l - pc.sOff)
+					hi = lo + ln
+					need = true
 				}
 			}
-			if emit {
-				out = append(out, Op{Kind: OpCsync, Dst: pc.dst, DstOff: csOff, Len: csLen})
-				if csOff <= pc.dOff && csLen >= pc.n {
-					pc.fullySynced = true
+			if need {
+				for _, g := range pc.gaps(lo, hi) {
+					out = append(out, Op{Kind: OpCsync, Dst: pc.dst, DstOff: g.lo, Len: g.hi - g.lo})
 				}
+				pc.cover(lo, hi)
 			}
-			if !pc.fullySynced {
-				remaining = append(remaining, pc)
+			if !pc.fullySynced() {
+				remaining = append(remaining, *pc)
 			}
 		}
 		pending = remaining
@@ -123,6 +189,22 @@ func InsertCsyncs(f *Func) error {
 				opIdx: i, dst: op.Dst, src: op.Src,
 				dOff: op.DstOff, sOff: op.SrcOff, n: op.Len,
 			})
+			out = append(out, op)
+		case OpCsync:
+			// An existing csync — hand-written, or inserted by a prior
+			// run of this pass — already protects its range: account it
+			// so later accesses do not trigger duplicates.
+			remaining := pending[:0]
+			for j := range pending {
+				pc := &pending[j]
+				if pc.dst == op.Dst {
+					pc.cover(op.DstOff, op.DstOff+op.Len)
+				}
+				if !pc.fullySynced() {
+					remaining = append(remaining, *pc)
+				}
+			}
+			pending = remaining
 			out = append(out, op)
 		case OpLoad:
 			syncFor(op.Src, op.SrcOff, op.Len, false, false)

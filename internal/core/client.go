@@ -3,6 +3,7 @@ package core
 import (
 	"copier/internal/cycles"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
@@ -91,6 +92,10 @@ func (c *Client) SubmitCopy(t *Task, kmode bool) bool {
 	t.Client = c
 	t.KMode = kmode
 	t.Kind = KindCopy
+	if t.ID == 0 {
+		c.svc.nextTaskID++
+		t.ID = c.svc.nextTaskID
+	}
 	if t.SegSize <= 0 {
 		t.SegSize = c.svc.cfg.SegSize
 	}
@@ -103,6 +108,10 @@ func (c *Client) SubmitCopy(t *Task, kmode bool) bool {
 	}
 	if !q.Copy.Push(t) {
 		return false
+	}
+	if r := c.svc.env.Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(c.svc.now()), Kind: obs.EvTaskSubmit, Layer: obs.LayerCore,
+			Track: "core:tasks", Name: c.Name, A: int64(t.ID), B: int64(t.Len)})
 	}
 	c.svc.doorbell(c)
 	return true
@@ -277,6 +286,10 @@ func (c *Client) admitTask(t *Task, svc *Service) {
 	c.pending = append(c.pending, t)
 	c.backlogBytes += int64(t.Len)
 	svc.backlogBytes += int64(t.Len)
+	if r := svc.env.Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(t.enqueuedAt), Kind: obs.EvQueueDepthSample, Layer: obs.LayerCore,
+			Track: "core:backlog", Name: c.Name, A: int64(c.ID), B: int64(len(c.pending))})
+	}
 }
 
 // removeExecuted compacts the pending list, dropping executed and

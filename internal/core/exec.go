@@ -6,6 +6,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/hw"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
@@ -218,6 +219,11 @@ func (s *Service) executeBatch(ctx Ctx, c *Client, reqs []execReq) {
 	for _, r := range reqs {
 		if r.t.executed || r.t.aborted {
 			continue
+		}
+		if rec := s.env.Recorder(); rec != nil && r.t.issued == nil {
+			now := int64(s.now())
+			rec.Emit(obs.Event{T: now, Kind: obs.EvTaskDispatch, Layer: obs.LayerCore,
+				Track: "core:tasks", Name: c.Name, A: int64(r.t.ID), B: now - int64(r.t.enqueuedAt)})
 		}
 		pl, err := s.prepare(ctx, c, r.t, r.lo, r.hi)
 		if err != nil {
@@ -498,6 +504,10 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n int, writ
 			// writable entry (CoW/read-only pages never cache as
 			// writable, and mapping changes invalidate).
 			if _, ok := s.at.lookup(as, vpn, write); ok {
+				if rec := s.env.Recorder(); rec != nil {
+					rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvATCacheHit, Layer: obs.LayerCore,
+						Track: "core:atcache", Name: "hit", A: int64(vpn)})
+				}
 				ctx.Exec(cycles.ATCacheHit)
 				if pinning {
 					if err := as.Pin(pva, 1); err != nil {
@@ -507,6 +517,12 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n int, writ
 					ctx.Exec(pinCost())
 				}
 				continue
+			}
+		}
+		if s.cfg.EnableATCache {
+			if rec := s.env.Recorder(); rec != nil {
+				rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvATCacheMiss, Layer: obs.LayerCore,
+					Track: "core:atcache", Name: "miss", A: int64(vpn)})
 			}
 		}
 		ctx.Exec(cycles.PageWalk)
@@ -632,6 +648,10 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 				s.inflightDMA--
 				s.account(ch.task.Client, ch.length)
 				s.markChunk(ch)
+				if rec := env.Recorder(); rec != nil {
+					rec.Emit(obs.Event{T: int64(env.Now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
+						Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(ch.length)})
+				}
 				ch.task.Client.Progress.Broadcast(env)
 				if ch.task.Desc != nil {
 					ch.task.Desc.NotifyProgress(env)
@@ -648,6 +668,10 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 	} else {
 		ctx.Exec(cycles.AVXStartup)
 	}
+	cpuTrack := "hw:AVX"
+	if s.cfg.UseERMSEngine {
+		cpuTrack = "hw:ERMS"
+	}
 	for i, ch := range all {
 		if dmaSet[i] {
 			continue
@@ -662,12 +686,21 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 			if piece > ch.length-off {
 				piece = ch.length - off
 			}
-			ctx.Exec(cycles.CopyCost(s.cpuUnit(), piece) + cycles.SegmentUpdate)
+			cost := cycles.CopyCost(s.cpuUnit(), piece) + cycles.SegmentUpdate
+			if rec := s.env.Recorder(); rec != nil {
+				rec.Emit(obs.Event{T: int64(s.now()), Dur: int64(cost), Kind: obs.EvUnitBusyInterval,
+					Layer: obs.LayerHW, Track: cpuTrack, Name: "copy", A: int64(piece)})
+			}
+			ctx.Exec(cost)
 			hw.CopyScatter(s.pm,
 				[]hw.FrameRange{subRange(ch.dst[0], off, piece)},
 				[]hw.FrameRange{subRange(ch.src[0], off, piece)})
 			s.avxBytes(piece)
 			s.account(ch.task.Client, piece)
+			if rec := s.env.Recorder(); rec != nil {
+				rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
+					Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(piece)})
+			}
 			ch.task.issued.MarkRange(taskOff, piece)
 			if ch.task.Desc != nil {
 				ch.task.Desc.MarkRange(taskOff, piece)
@@ -738,6 +771,11 @@ func (s *Service) finishTask(ctx Ctx, c *Client, t *Task) {
 	// also find the FUNC already delegated.
 	t.executed = true
 	s.trace("finish %s task %d (%d bytes)", c.Name, t.ID, t.Len)
+	if rec := s.env.Recorder(); rec != nil {
+		now := int64(s.now())
+		rec.Emit(obs.Event{T: now, Kind: obs.EvTaskComplete, Layer: obs.LayerCore,
+			Track: "core:tasks", Name: c.Name, A: int64(t.ID), B: now - int64(t.enqueuedAt)})
+	}
 	c.backlogBytes -= int64(t.Len)
 	s.backlogBytes -= int64(t.Len)
 	s.Stats.TasksExecuted++

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// FuzzRing interprets the input as a push/pop/peek schedule and checks
+// the CSH ring against a model FIFO: every published task must come
+// out exactly once, in acquire order, and Len/Full/Cap/AcquirePos must
+// agree with the model at every step.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{4, 0, 0, 2, 1, 2, 3})
+	f.Add([]byte{1, 0, 0, 0, 0, 2, 2, 2, 2})
+	f.Add([]byte{16, 0, 1, 0, 1, 2, 3, 2, 3, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := NewRing(int(data[0]%16) + 1)
+		capN := r.Cap()
+		var model []*Task
+		var nextID uint64 = 1
+		acquired := uint64(0)
+		for _, b := range data[1:] {
+			switch b % 4 {
+			case 0, 1: // push
+				task := &Task{ID: nextID}
+				ok := r.Push(task)
+				if wantOK := len(model) < capN; ok != wantOK {
+					t.Fatalf("push accepted=%v with %d/%d queued", ok, len(model), capN)
+				}
+				if ok {
+					model = append(model, task)
+					nextID++
+					acquired++
+				}
+			case 2: // pop
+				got := r.Pop()
+				if len(model) == 0 {
+					if got != nil {
+						t.Fatalf("pop returned task %d from empty ring", got.ID)
+					}
+				} else {
+					if got == nil {
+						t.Fatalf("pop returned nil with %d queued", len(model))
+					}
+					if got != model[0] {
+						t.Fatalf("pop returned task %d, want %d (FIFO)", got.ID, model[0].ID)
+					}
+					model = model[1:]
+				}
+			case 3: // peek
+				got := r.Peek()
+				if len(model) == 0 {
+					if got != nil {
+						t.Fatalf("peek returned task %d from empty ring", got.ID)
+					}
+				} else if got != model[0] {
+					t.Fatalf("peek returned %v, want task %d", got, model[0].ID)
+				}
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len() = %d, model has %d", r.Len(), len(model))
+			}
+			if r.Full() != (len(model) == capN) {
+				t.Fatalf("Full() = %v with %d/%d", r.Full(), len(model), capN)
+			}
+			if r.AcquirePos() != acquired {
+				t.Fatalf("AcquirePos() = %d, want %d", r.AcquirePos(), acquired)
+			}
+		}
+		// Drain: everything still queued must come out in order.
+		for _, want := range model {
+			got := r.Pop()
+			if got != want {
+				t.Fatalf("drain returned %v, want task %d", got, want.ID)
+			}
+		}
+		if r.Pop() != nil || r.Peek() != nil || r.Len() != 0 {
+			t.Fatal("ring not empty after drain")
+		}
+	})
+}

@@ -146,6 +146,10 @@ type Service struct {
 	clients []*Client
 	nextCID int
 	groups  map[string]*CGroupAccount
+	// nextTaskID stamps copy tasks with a service-wide ID at
+	// submission so trace events correlate across submit/dispatch/
+	// complete. IDs start at 1; 0 marks an unstamped task.
+	nextTaskID uint64
 
 	// workSig wakes sleeping service threads on submission.
 	workSig *sim.Signal

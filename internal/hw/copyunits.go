@@ -13,6 +13,7 @@ import (
 
 	"copier/internal/cycles"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
@@ -105,6 +106,14 @@ func NewCPUEngine(pm *mem.PhysMem, unit cycles.Unit) *CPUEngine {
 // Unit reports the engine's cost model.
 func (e *CPUEngine) Unit() cycles.Unit { return e.unit }
 
+// track names the engine's timeline row in the observability layer.
+func (e *CPUEngine) track() string {
+	if e.unit == cycles.UnitERMS {
+		return "hw:ERMS"
+	}
+	return "hw:AVX"
+}
+
 // Copy synchronously moves the scatter lists, charging startup plus
 // transfer time to p, and returns the cycles consumed.
 func (e *CPUEngine) Copy(p *sim.Proc, dst, src []FrameRange) sim.Time {
@@ -114,6 +123,10 @@ func (e *CPUEngine) Copy(p *sim.Proc, dst, src []FrameRange) sim.Time {
 		e.Cache.Stream(int64(n))
 	}
 	cost := cycles.SyncCopyCost(e.unit, n)
+	if r := p.Env().Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(p.Now()), Dur: int64(cost), Kind: obs.EvUnitBusyInterval,
+			Layer: obs.LayerHW, Track: e.track(), Name: "sync-copy", A: int64(n)})
+	}
 	p.Wait(cost)
 	return cost
 }
@@ -212,6 +225,14 @@ func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 	req := &DMARequest{dst: dst, src: src, CompleteAt: start + dur}
 	d.busyUntil = req.CompleteAt
 	d.Submitted++
+	if r := d.env.Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(now), Kind: obs.EvDMASubmit, Layer: obs.LayerHW,
+			Track: "hw:DMA", Name: "submit", A: int64(src.Len)})
+		// The channel drains its queue in order: the transfer occupies
+		// [start, start+dur), possibly beginning in the future.
+		r.Emit(obs.Event{T: int64(start), Dur: int64(dur), Kind: obs.EvUnitBusyInterval,
+			Layer: obs.LayerHW, Track: "hw:DMA", Name: "xfer", A: int64(src.Len)})
+	}
 	d.env.Schedule(req.CompleteAt-now, func() {
 		n := CopyScatter(d.pm, []FrameRange{dst}, []FrameRange{src})
 		d.BytesCopied += int64(n)

@@ -13,10 +13,12 @@ package kernel
 
 import (
 	"fmt"
+	"strconv"
 
 	"copier/internal/cycles"
 	"copier/internal/hw"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
@@ -91,7 +93,7 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.KernelAS = mem.NewAddrSpace(m.Phys)
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, &Core{id: i})
+		m.cores = append(m.cores, &Core{id: i, track: "kernel:core" + strconv.Itoa(i)})
 	}
 	return m
 }
@@ -108,6 +110,10 @@ type Core struct {
 	lastThread *Thread
 	// BusyCycles accumulates cycles spent running threads.
 	BusyCycles int64
+	// track is the core's observability timeline name; grantedAt is
+	// when the current occupant was granted the core.
+	track     string
+	grantedAt sim.Time
 }
 
 // ID returns the core number.
@@ -191,6 +197,7 @@ func (m *Machine) ReleaseCoreReservation(id int) {
 func (m *Machine) grant(c *Core, t *Thread) {
 	c.cur = t
 	t.core = c
+	c.grantedAt = m.Env.Now()
 	switchCost := sim.Time(0)
 	if c.lastThread != nil && c.lastThread != t {
 		switchCost = cycles.ContextSwitch
@@ -206,6 +213,11 @@ func (m *Machine) releaseCore(t *Thread) {
 	c := t.core
 	if c == nil {
 		return
+	}
+	if r := m.Env.Recorder(); r != nil {
+		now := m.Env.Now()
+		r.Emit(obs.Event{T: int64(c.grantedAt), Dur: int64(now - c.grantedAt), Kind: obs.EvThreadRun,
+			Layer: obs.LayerKernel, Track: c.track, Name: t.Name, A: int64(t.TID)})
 	}
 	t.core = nil
 	c.cur = nil

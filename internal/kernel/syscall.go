@@ -5,6 +5,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/libcopier"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
 
@@ -86,6 +87,7 @@ func (m *Machine) Attachment(p *Process) *CopierAttachment {
 // the process is a Copier client, the cross-queue Barrier Tasks at
 // trap and return (§4.2.1).
 func (t *Thread) Syscall(name string, fn func()) {
+	start := t.Now()
 	t.Exec(cycles.SyscallTrap)
 	a := t.m.Attachment(t.Proc)
 	if a != nil {
@@ -98,6 +100,10 @@ func (t *Thread) Syscall(name string, fn func()) {
 		a.Client.SubmitBarrier(true)
 	}
 	t.Exec(cycles.SyscallReturn)
+	if r := t.m.Env.Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(start), Dur: int64(t.Now() - start), Kind: obs.EvTrapReturn,
+			Layer: obs.LayerKernel, Track: "kernel:syscalls", Name: name, A: int64(t.TID)})
+	}
 }
 
 // KernelCopy is the kernel's synchronous copy between address spaces

@@ -1,0 +1,321 @@
+// Package obs is the structured observability layer: a typed event
+// bus recording where cycles go — queue residency, unit occupancy,
+// Copy-Use windows — across every layer of the simulated stack.
+//
+// Design constraints (all load-bearing for the experiments):
+//
+//   - Typed, not printf: each emission is a fixed-size Event keyed on
+//     virtual time, so exporters and tests consume a schema instead of
+//     parsing trace lines.
+//   - Zero allocation on the hot path: events land in a preallocated
+//     ring buffer; labels are static interned strings; aggregate
+//     updates (histograms, unit busy accounting) touch fixed arrays
+//     and pre-registered tracks only.
+//   - Off by default, near-zero cost when disabled: every emission
+//     site guards on a nil *Recorder — one pointer load and branch.
+//   - Deterministic: recording is driven entirely by the simulation's
+//     virtual clock and event order, and the exporters iterate rings
+//     and registration-ordered slices (never maps), so two runs of the
+//     same experiment produce byte-identical exports.
+//
+// The package sits below internal/sim (it imports only the standard
+// library); sim.Env carries the recorder and the higher layers — core,
+// hw, kernel — fetch it from their environment and emit.
+package obs
+
+import "math/bits"
+
+// EventKind enumerates the typed events. The first seven are the
+// schema's backbone; the rest refine individual layers.
+type EventKind uint8
+
+const (
+	// EvTaskSubmit: a Copy Task entered a CSH queue.
+	// A = task ID, B = task length in bytes.
+	EvTaskSubmit EventKind = iota
+	// EvTaskDispatch: the service dispatcher started executing a task
+	// window (first dispatch only). A = task ID, B = queue residency
+	// in cycles (admission → dispatch).
+	EvTaskDispatch
+	// EvSegmentDone: one segment-aligned piece landed in the
+	// destination. A = task ID, B = piece bytes.
+	EvSegmentDone
+	// EvTaskComplete: a task fully finished (handler delegated).
+	// A = task ID, B = latency in cycles (admission → completion).
+	EvTaskComplete
+	// EvQueueDepthSample: a CSH backlog sample at admission time.
+	// A = client ID, B = pending task count.
+	EvQueueDepthSample
+	// EvUnitBusyInterval: a copy unit (AVX/ERMS/DMA) was busy for
+	// [T, T+Dur). A = bytes moved.
+	EvUnitBusyInterval
+	// EvTrapReturn: one user→kernel→user syscall window [T, T+Dur).
+	EvTrapReturn
+
+	// EvProcStart / EvProcEnd: simulation process lifecycle (sim
+	// layer).
+	EvProcStart
+	EvProcEnd
+	// EvThreadRun: a kernel thread held a core for [T, T+Dur)
+	// (scheduler run span; preemption ends the span).
+	EvThreadRun
+	// EvDMASubmit: a descriptor was enqueued on the DMA channel.
+	// A = bytes.
+	EvDMASubmit
+	// EvATCacheHit / EvATCacheMiss: one page translation through the
+	// Address Transfer Cache.
+	EvATCacheHit
+	EvATCacheMiss
+
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{
+	"TaskSubmit", "TaskDispatch", "SegmentDone", "TaskComplete",
+	"QueueDepthSample", "UnitBusyInterval", "TrapReturn",
+	"ProcStart", "ProcEnd", "ThreadRun", "DMASubmit",
+	"ATCacheHit", "ATCacheMiss",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "EventKind?"
+}
+
+// Layer tags which of the four timing-owning layers emitted an event.
+type Layer uint8
+
+const (
+	LayerSim Layer = iota
+	LayerCore
+	LayerHW
+	LayerKernel
+
+	numLayers
+)
+
+var layerNames = [numLayers]string{"sim", "core", "hw", "kernel"}
+
+func (l Layer) String() string {
+	if int(l) < len(layerNames) {
+		return layerNames[l]
+	}
+	return "layer?"
+}
+
+// Event is one typed trace record. T and Dur are virtual time in CPU
+// cycles; Track names the timeline row (a unit, a core, a queue);
+// Name labels the event on that row. Track and Name must be static or
+// interned strings — emission stores them by reference.
+type Event struct {
+	T     int64
+	Dur   int64
+	Kind  EventKind
+	Layer Layer
+	Track string
+	Name  string
+	A, B  int64
+}
+
+// span reports whether the event renders as a duration slice.
+func (e *Event) span() bool {
+	switch e.Kind {
+	case EvUnitBusyInterval, EvThreadRun, EvTrapReturn:
+		return true
+	}
+	return false
+}
+
+// counter reports whether the event renders as a counter sample.
+func (e *Event) counter() bool { return e.Kind == EvQueueDepthSample }
+
+// Histogram is a fixed-bucket latency histogram: bucket i counts
+// values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Fixed
+// buckets keep Observe allocation-free and exports deterministic;
+// quantiles report the bucket's inclusive upper bound.
+type Histogram struct {
+	buckets [65]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Observe records one non-negative value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Quantile returns the inclusive upper bound of the bucket containing
+// the q-quantile (0 < q <= 1), or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << i) - 1
+		}
+	}
+	return h.max
+}
+
+// unitStat accumulates busy time for one track.
+type unitStat struct {
+	track     string
+	busy      int64
+	intervals int64
+	bytes     int64
+}
+
+// Recorder is the event sink. A nil *Recorder is a valid, disabled
+// recorder: emission sites guard with `if r != nil`. Recorder is not
+// safe for concurrent use — inside the discrete-event simulation
+// exactly one process runs at a time, which is also what makes its
+// output deterministic.
+type Recorder struct {
+	ring    []Event
+	n       uint64 // total events ever emitted
+	counts  [numEventKinds]int64
+	byLayer [numLayers]int64
+
+	// Aggregate histograms, fed by Emit.
+	TaskLatency    Histogram // admission → completion (EvTaskComplete.B)
+	QueueResidency Histogram // admission → first dispatch (EvTaskDispatch.B)
+	TrapResidency  Histogram // syscall window length (EvTrapReturn.Dur)
+	QueueDepth     Histogram // backlog samples (EvQueueDepthSample.B)
+
+	units    []unitStat
+	unitIdx  map[string]int
+	first    int64
+	last     int64
+	sawEvent bool
+}
+
+// DefaultRingCap bounds recording to this many most-recent events
+// unless NewRecorder is told otherwise (~18 MB of events).
+const DefaultRingCap = 1 << 18
+
+// NewRecorder returns an enabled recorder keeping the most recent
+// ringCap events (0 selects DefaultRingCap).
+func NewRecorder(ringCap int) *Recorder {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Recorder{
+		ring:    make([]Event, ringCap),
+		unitIdx: make(map[string]int),
+	}
+}
+
+// Emit records one event. The newest events win when the ring wraps;
+// aggregate counters and histograms always see every event.
+func (r *Recorder) Emit(e Event) {
+	r.ring[r.n%uint64(len(r.ring))] = e
+	r.n++
+	r.counts[e.Kind]++
+	r.byLayer[e.Layer]++
+	if !r.sawEvent || e.T < r.first {
+		r.first = e.T
+	}
+	if end := e.T + e.Dur; end > r.last {
+		r.last = end
+	}
+	r.sawEvent = true
+	switch e.Kind {
+	case EvTaskComplete:
+		r.TaskLatency.Observe(e.B)
+	case EvTaskDispatch:
+		r.QueueResidency.Observe(e.B)
+	case EvTrapReturn:
+		r.TrapResidency.Observe(e.Dur)
+	case EvQueueDepthSample:
+		r.QueueDepth.Observe(e.B)
+	case EvUnitBusyInterval, EvThreadRun:
+		i, ok := r.unitIdx[e.Track]
+		if !ok {
+			i = len(r.units)
+			r.unitIdx[e.Track] = i
+			r.units = append(r.units, unitStat{track: e.Track})
+		}
+		u := &r.units[i]
+		u.busy += e.Dur
+		u.intervals++
+		if e.Kind == EvUnitBusyInterval {
+			u.bytes += e.A // A is bytes moved; for ThreadRun it is a TID
+		}
+	}
+}
+
+// Total returns the number of events ever emitted.
+func (r *Recorder) Total() uint64 { return r.n }
+
+// Dropped returns how many events the ring discarded (oldest-first).
+func (r *Recorder) Dropped() uint64 {
+	if r.n <= uint64(len(r.ring)) {
+		return 0
+	}
+	return r.n - uint64(len(r.ring))
+}
+
+// CountOf returns how many events of kind k were emitted.
+func (r *Recorder) CountOf(k EventKind) int64 { return r.counts[k] }
+
+// LayerCount returns how many events layer l emitted.
+func (r *Recorder) LayerCount(l Layer) int64 { return r.byLayer[l] }
+
+// Window returns the [first, last] virtual-time span covered by
+// emitted events.
+func (r *Recorder) Window() (first, last int64) { return r.first, r.last }
+
+// Events calls fn for each retained event, oldest first.
+func (r *Recorder) Events(fn func(e *Event)) {
+	if r.n == 0 {
+		return
+	}
+	capU := uint64(len(r.ring))
+	start := uint64(0)
+	count := r.n
+	if r.n > capU {
+		start = r.n % capU
+		count = capU
+	}
+	for i := uint64(0); i < count; i++ {
+		fn(&r.ring[(start+i)%capU])
+	}
+}

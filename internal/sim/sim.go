@@ -21,6 +21,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"copier/internal/obs"
 )
 
 // Time is a point in virtual time, measured in CPU cycles.
@@ -83,12 +85,31 @@ type Env struct {
 	nlive   int           // procs started and not yet finished
 	running bool
 	tracer  func(t Time, format string, args ...any)
+	rec     *obs.Recorder
 }
+
+// OnNewEnv, when non-nil, is invoked on every environment NewEnv
+// returns. The benchmark harness uses it to attach one observability
+// recorder to every environment an experiment creates, however deep.
+var OnNewEnv func(*Env)
 
 // NewEnv returns an empty environment at time zero.
 func NewEnv() *Env {
-	return &Env{yielded: make(chan struct{})}
+	e := &Env{yielded: make(chan struct{})}
+	if OnNewEnv != nil {
+		OnNewEnv(e)
+	}
+	return e
 }
+
+// SetRecorder attaches a typed-event recorder. A nil recorder (the
+// default) disables structured recording; every emission site in the
+// stack guards on the nil pointer, keeping the disabled path to one
+// load and branch.
+func (e *Env) SetRecorder(r *obs.Recorder) { e.rec = r }
+
+// Recorder returns the attached recorder, or nil.
+func (e *Env) Recorder() *obs.Recorder { return e.rec }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
@@ -136,11 +157,17 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	e.nlive++
 	e.Schedule(0, func() {
 		p.started = true
+		if r := e.rec; r != nil {
+			r.Emit(obs.Event{T: int64(e.now), Kind: obs.EvProcStart, Layer: obs.LayerSim, Track: "sim:procs", Name: p.name})
+		}
 		go func() {
 			<-p.resume
 			fn(p)
 			p.finished = true
 			p.env.nlive--
+			if r := p.env.rec; r != nil {
+				r.Emit(obs.Event{T: int64(p.env.now), Kind: obs.EvProcEnd, Layer: obs.LayerSim, Track: "sim:procs", Name: p.name})
+			}
 			p.env.yielded <- struct{}{}
 		}()
 		p.handoff()

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 gate (ROADMAP.md): everything a PR must keep green.
+# Usage: ./scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "files need gofmt:"
+	echo "$fmt"
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages) =="
+go test -race ./internal/acopy ./internal/core
+
+echo "ALL CHECKS PASSED"
