@@ -9,7 +9,10 @@ check:
 test:
 	go test ./...
 
+# Refresh the checked-in hot-path microbenchmark results, then run
+# the package benchmarks for the experiment tables.
 bench:
+	go run ./cmd/copierbench -benchjson BENCH_results.json
 	go test -bench=. -benchmem ./internal/bench
 
 # Short continuation runs over the checked-in seed corpora.

@@ -13,9 +13,16 @@
 // (https://ui.perfetto.dev) or chrome://tracing; timestamps are
 // virtual cycles. -metrics prints the compact text summary (event
 // counts, latency histograms, unit occupancy) after the runs.
+//
+// -benchjson skips the experiments and instead runs the hot-path
+// microbenchmarks (simulator event queue, service ring/dispatch,
+// acopy runtime) via testing.Benchmark, writing ns/op, allocs/op and
+// bytes-per-second results as JSON — `make bench` uses this to
+// refresh BENCH_results.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +33,41 @@ import (
 	"copier/internal/sim"
 )
 
+func runBenchJSON(path string) {
+	rep := bench.RunMicrobenches()
+	fmt.Printf("%-26s %14s %11s %14s\n", "benchmark", "ns/op", "allocs/op", "MB/s")
+	for _, r := range rep.Results {
+		mbs := "-"
+		if r.SimBytesPerSec > 0 {
+			mbs = fmt.Sprintf("%.1f", r.SimBytesPerSec/1e6)
+		}
+		fmt.Printf("%-26s %14.2f %11d %14s\n", r.Name, r.NsPerOp, r.AllocsPerOp, mbs)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copierbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "copierbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "copierbench: wrote %d benchmark results to %s\n", len(rep.Results), path)
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "all", "experiment id (or comma list, or 'all')")
 	full := flag.Bool("full", false, "full figure-scale sweeps (slower)")
 	trace := flag.String("trace", "", "write Chrome/Perfetto trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print event-count and latency-histogram summary")
+	benchjson := flag.String("benchjson", "", "run hot-path microbenchmarks and write JSON results to this file")
 	flag.Parse()
 
+	if *benchjson != "" {
+		runBenchJSON(*benchjson)
+		return
+	}
 	if *list {
 		fmt.Println("experiment  reproduces")
 		fmt.Println("---------------------")

@@ -18,10 +18,17 @@
 //	h.CSync(0, 64)              // first 64 bytes ready
 //	use(dst[:64])
 //	h.Wait()                    // everything (and the handler) done
+//	h.Release()                 // optional: recycle the handle
+//
+// The steady-state AMemcpy→Wait→Release cycle performs no heap
+// allocation for copies of up to 64 segments (256 KB at the default
+// segment size): handles are pooled and carry an inline one-word
+// completion bitmap.
 package acopy
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,21 +40,76 @@ import (
 const SegSize = 4096
 
 // Handle tracks one asynchronous copy. The zero value is invalid;
-// handles come from AMemcpy.
+// handles come from AMemcpy (and, recycled, from Release).
 type Handle struct {
 	dst, src []byte
-	// bits[i/64]>>(i%64) is segment i's completion bit.
-	bits []atomic.Uint64
-	nseg int
+	// bits[i/64]>>(i%64) is segment i's completion bit. For copies of
+	// up to 64 segments it aliases the inline word; larger copies
+	// spill to a (retained, reused) allocation.
+	bits   []atomic.Uint64
+	inline [1]atomic.Uint64
+	spill  []atomic.Uint64
+	nseg   int
 	// left counts segments not yet copied; reaching 0 completes the
-	// task, closes done and runs the handler.
+	// task and runs the handler.
 	left    atomic.Int32
-	done    chan struct{}
 	handler func()
 	// promoted is set by CSync to ask the worker to copy the
 	// remainder front-to-back starting at the requested offset (task
 	// promotion, §4.1 — here per-handle rather than per-range).
 	promoted atomic.Int32
+	// completed flips to 1 after the last segment landed and the
+	// handler ran; mu/cond park Wait callers (a channel would not
+	// survive handle reuse).
+	completed atomic.Uint32
+	mu        sync.Mutex
+	cond      sync.Cond
+}
+
+// handlePool recycles handles across AMemcpy calls. cond.L is wired
+// once per handle lifetime.
+var handlePool = sync.Pool{New: func() any {
+	h := &Handle{}
+	h.cond.L = &h.mu
+	return h
+}}
+
+// reset prepares a (new or recycled) handle for one copy.
+func (h *Handle) reset(dst, src []byte, handler func()) {
+	h.dst, h.src, h.handler = dst, src, handler
+	nseg := (len(dst) + SegSize - 1) / SegSize
+	h.nseg = nseg
+	nw := (nseg + 63) / 64
+	switch {
+	case nw <= 1:
+		h.bits = h.inline[:]
+	case nw <= cap(h.spill):
+		h.bits = h.spill[:nw]
+	default:
+		h.spill = make([]atomic.Uint64, nw)
+		h.bits = h.spill
+	}
+	for i := range h.bits {
+		h.bits[i].Store(0)
+	}
+	h.left.Store(int32(nseg))
+	h.promoted.Store(0)
+	h.completed.Store(0)
+}
+
+// Release returns the handle to the pool for reuse by a future
+// AMemcpy. Call it at most once, only after the copy completed (Wait
+// returned, or Done reported true), and only when no other goroutine
+// still holds the handle. Using a handle after Release is a
+// use-after-free class error: a concurrent AMemcpy may have already
+// handed it out again. Releasing is optional — an un-Released handle
+// is simply garbage collected.
+func (h *Handle) Release() {
+	if h.completed.Load() == 0 {
+		panic("acopy: Release of incomplete handle")
+	}
+	h.dst, h.src, h.handler = nil, nil, nil
+	handlePool.Put(h)
 }
 
 // Len returns the copy length in bytes.
@@ -56,6 +118,33 @@ func (h *Handle) Len() int { return len(h.dst) }
 // segReady reports whether segment i has been copied.
 func (h *Handle) segReady(i int) bool {
 	return h.bits[i/64].Load()&(1<<(i%64)) != 0
+}
+
+// nextSeg returns the first uncopied segment at or after start,
+// wrapping past the end at most once, or -1 if every segment is
+// copied. It scans word-level: one load inverts 64 completion bits
+// and find-first-set locates the zero, so a promoted sweep never
+// re-walks copied segments bit by bit.
+func (h *Handle) nextSeg(start int) int {
+	nw := (h.nseg + 63) / 64
+	tail := h.nseg & 63 // bits in use in the last word (0 = all 64)
+	w := start >> 6
+	// First word: mask out bits below start.
+	cand := ^h.bits[w].Load() &^ (1<<(start&63) - 1)
+	for i := 0; i <= nw; i++ {
+		if w == nw-1 && tail != 0 {
+			cand &= 1<<tail - 1
+		}
+		if cand != 0 {
+			return w<<6 + bits.TrailingZeros64(cand)
+		}
+		w++
+		if w == nw {
+			w = 0
+		}
+		cand = ^h.bits[w].Load()
+	}
+	return -1
 }
 
 // markSeg publishes segment i and completes the task when it is the
@@ -69,8 +158,16 @@ func (h *Handle) markSeg(i int) {
 		if h.handler != nil {
 			h.handler()
 		}
-		close(h.done)
+		h.complete()
 	}
+}
+
+// complete publishes completion and wakes Wait callers.
+func (h *Handle) complete() {
+	h.mu.Lock()
+	h.completed.Store(1)
+	h.cond.Broadcast()
+	h.mu.Unlock()
 }
 
 // Ready reports whether [off, off+n) has landed, without blocking.
@@ -104,7 +201,7 @@ func (h *Handle) CSync(off, n int) {
 			continue
 		}
 		// Long wait: the copy may be queued behind others; sleeping
-		// on done would overshoot for partial ranges, so keep
+		// on completion would overshoot for partial ranges, so keep
 		// yielding — the copier is making progress.
 		runtime.Gosched()
 	}
@@ -123,17 +220,19 @@ func (h *Handle) promote(seg int) {
 }
 
 // Wait blocks until the whole copy (and its handler) completed.
-func (h *Handle) Wait() { <-h.done }
+func (h *Handle) Wait() {
+	if h.completed.Load() == 1 {
+		return
+	}
+	h.mu.Lock()
+	for h.completed.Load() == 0 {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+}
 
 // Done reports whether the whole copy completed, without blocking.
-func (h *Handle) Done() bool {
-	select {
-	case <-h.done:
-		return true
-	default:
-		return false
-	}
-}
+func (h *Handle) Done() bool { return h.completed.Load() == 1 }
 
 // ring is the lock-free MPSC ring of §5.1: producers acquire a slot
 // with a fetch-and-add on the head and publish it by storing the task
@@ -186,6 +285,30 @@ func (r *ring) pop() *Handle {
 	return h
 }
 
+// popN drains up to len(buf) published tasks with a single tail
+// update, stopping at the first unpublished slot — the batched
+// consume of §5.1: per-task synchronization cost is paid once per
+// drain. Single consumer.
+func (r *ring) popN(buf []*Handle) int {
+	tail := atomic.LoadUint64(&r.tail)
+	head := r.head.Load()
+	n := 0
+	for n < len(buf) && tail+uint64(n) != head {
+		slot := &r.slots[(tail+uint64(n))&r.mask]
+		h := slot.Load()
+		if h == nil {
+			break // acquired but not yet published
+		}
+		slot.Store(nil)
+		buf[n] = h
+		n++
+	}
+	if n > 0 {
+		atomic.StoreUint64(&r.tail, tail+uint64(n))
+	}
+	return n
+}
+
 // Copier is a pool of background copy workers.
 type Copier struct {
 	rings   []*ring
@@ -233,23 +356,15 @@ func (c *Copier) AMemcpyH(dst, src []byte, handler func()) *Handle {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("acopy: length mismatch %d != %d", len(dst), len(src)))
 	}
-	nseg := (len(dst) + SegSize - 1) / SegSize
-	h := &Handle{
-		dst:     dst,
-		src:     src,
-		bits:    make([]atomic.Uint64, (nseg+63)/64),
-		nseg:    nseg,
-		done:    make(chan struct{}),
-		handler: handler,
-	}
-	if nseg == 0 {
+	h := handlePool.Get().(*Handle)
+	h.reset(dst, src, handler)
+	if h.nseg == 0 {
 		if handler != nil {
 			handler()
 		}
-		close(h.done)
+		h.complete()
 		return h
 	}
-	h.left.Store(int32(nseg))
 	c.submitTo(int(c.next.Add(1))%len(c.rings), h)
 	return h
 }
@@ -270,61 +385,90 @@ func (c *Copier) submitTo(i int, h *Handle) {
 	}
 }
 
-// worker drains one ring, copying segment by segment and honoring
-// promotion hints.
+// Worker spin adaptation bounds: the worker busy-polls between pops
+// for spinMin..spinMax Gosched iterations before parking on the
+// doorbell. The budget doubles each time spinning pays off (work
+// arrived before the budget ran out) and halves each time it parks,
+// so a bursty submitter keeps the worker hot and an idle period costs
+// no CPU.
+const (
+	spinMin = 256
+	spinMax = 2048
+)
+
+// worker drains one ring in batches, copying segment by segment and
+// honoring promotion hints.
 func (c *Copier) worker(r *ring, wake chan struct{}) {
 	defer c.wg.Done()
+	var buf [16]*Handle
+	spin := spinMin
+	idle := 0
 	for {
-		h := r.pop()
-		if h == nil {
-			// Poll briefly, then park until a doorbell.
-			idle := 0
-			for h == nil {
+		n := r.popN(buf[:])
+		if n == 0 {
+			idle++
+			if idle < spin {
 				runtime.Gosched()
-				h = r.pop()
-				if h != nil {
-					break
-				}
-				idle++
-				if idle > 128 {
-					select {
-					case <-wake:
-					case <-c.stop:
-						return
-					}
-					idle = 0
-				}
+				continue
 			}
+			// Spin budget exhausted: halve it and park.
+			if spin > spinMin {
+				spin >>= 1
+			}
+			select {
+			case <-wake:
+			case <-c.stop:
+				return
+			}
+			idle = 0
+			continue
 		}
-		c.copyTask(h)
-		c.pending.Add(-1)
+		if idle > 0 && spin < spinMax {
+			// Spinning paid off — work arrived before the park.
+			spin <<= 1
+		}
+		idle = 0
+		for i := 0; i < n; i++ {
+			c.copyTask(buf[i])
+			buf[i] = nil
+			c.pending.Add(-1)
+		}
 	}
 }
 
 // copyTask copies all segments of h, restarting from a promoted
-// offset when CSync asks.
+// offset when CSync asks. The final markSeg is the worker's last
+// touch of h: completion hands ownership to the waiting client, which
+// may Release (and a new submitter reuse) the handle immediately — so
+// loop state lives in locals snapshotted up front.
 func (c *Copier) copyTask(h *Handle) {
+	nseg := h.nseg
+	dst, src := h.dst, h.src
 	copied := 0
 	seg := 0
-	for copied < h.nseg {
+	for copied < nseg {
 		if p := h.promoted.Load(); p != 0 && !h.segReady(int(p-1)) {
 			seg = int(p - 1)
 		}
-		// Find the next uncopied segment from seg, wrapping.
-		for h.segReady(seg % h.nseg) {
-			seg++
+		if seg >= nseg {
+			seg = 0
 		}
-		i := seg % h.nseg
+		i := h.nextSeg(seg)
+		if i < 0 {
+			return // defensive: all segments already marked
+		}
 		lo := i * SegSize
 		hi := lo + SegSize
-		if hi > len(h.dst) {
-			hi = len(h.dst)
+		if hi > len(dst) {
+			hi = len(dst)
 		}
-		n := copy(h.dst[lo:hi], h.src[lo:hi])
+		n := copy(dst[lo:hi], src[lo:hi])
 		c.Copied.Add(int64(n))
-		h.markSeg(i)
 		copied++
-		seg++
+		seg = i + 1
+		// May complete the task and transfer handle ownership: do not
+		// touch h after this call on the last segment.
+		h.markSeg(i)
 	}
 }
 
@@ -356,15 +500,8 @@ func (c *Copier) AMemmove(dst, src []byte) *MoveHandle {
 	// order, which the splitting below relies on.
 	ring := int(c.next.Add(1)) % len(c.rings)
 	submit := func(dstC, srcC []byte) {
-		nseg := (len(dstC) + SegSize - 1) / SegSize
-		h := &Handle{
-			dst:  dstC,
-			src:  srcC,
-			bits: make([]atomic.Uint64, (nseg+63)/64),
-			nseg: nseg,
-			done: make(chan struct{}),
-		}
-		h.left.Store(int32(nseg))
+		h := handlePool.Get().(*Handle)
+		h.reset(dstC, srcC, nil)
 		c.submitTo(ring, h)
 		mh.handles = append(mh.handles, h)
 	}
@@ -434,6 +571,16 @@ func (m *MoveHandle) Wait() {
 	for _, h := range m.handles {
 		h.Wait()
 	}
+}
+
+// Release recycles all chunk handles; same contract as
+// Handle.Release (call only after Wait, at most once).
+func (m *MoveHandle) Release() {
+	for i, h := range m.handles {
+		h.Release()
+		m.handles[i] = nil
+	}
+	m.handles = m.handles[:0]
 }
 
 // Chunks reports the number of submitted chunk copies.

@@ -1,0 +1,80 @@
+package acopy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAMemcpyWait is the steady-state submit→copy→complete cycle
+// at sizes spanning the inline (≤64-segment) and spilled bitmap paths.
+func BenchmarkAMemcpyWait(b *testing.B) {
+	for _, n := range []int{4 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dKB", n>>10), func(b *testing.B) {
+			cp := New(1)
+			defer cp.Close()
+			src := make([]byte, n)
+			dst := make([]byte, n)
+			b.SetBytes(int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := cp.AMemcpy(dst, src)
+				h.Wait()
+				h.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkAMemcpyCSyncPipeline overlaps per-chunk CSync consumption
+// with the background copy — the Copy-Use window pattern.
+func BenchmarkAMemcpyCSyncPipeline(b *testing.B) {
+	const n = 256 << 10
+	cp := New(1)
+	defer cp.Close()
+	src := make([]byte, n)
+	dst := make([]byte, n)
+	b.SetBytes(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cp.AMemcpy(dst, src)
+		for off := 0; off < n; off += 64 << 10 {
+			h.CSync(off, 64<<10)
+		}
+		h.Wait()
+		h.Release()
+	}
+}
+
+// BenchmarkRingPushPop measures the MPSC ring's uncontended round
+// trip.
+func BenchmarkRingPushPop(b *testing.B) {
+	r := newRing(1024)
+	h := &Handle{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.push(h)
+		if r.pop() == nil {
+			b.Fatal("lost handle")
+		}
+	}
+}
+
+// BenchmarkRingPopN measures the batched drain against b.N pushes in
+// groups of 16 with a single tail update per group.
+func BenchmarkRingPopN(b *testing.B) {
+	r := newRing(1024)
+	h := &Handle{}
+	var buf [16]*Handle
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += 16 {
+		for j := 0; j < 16; j++ {
+			r.push(h)
+		}
+		got := 0
+		for got < 16 {
+			got += r.popN(buf[:])
+		}
+	}
+}

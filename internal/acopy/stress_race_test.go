@@ -77,10 +77,11 @@ func TestStressBitmapMarking(t *testing.T) {
 	var handlerRuns atomic.Int32
 	h := &Handle{
 		dst:  make([]byte, nseg*SegSize),
-		bits: make([]atomic.Uint64, (nseg+63)/64),
 		nseg: nseg,
-		done: make(chan struct{}),
 	}
+	h.cond.L = &h.mu
+	h.spill = make([]atomic.Uint64, (nseg+63)/64)
+	h.bits = h.spill
 	h.handler = func() { handlerRuns.Add(1) }
 	h.left.Store(nseg)
 
@@ -147,6 +148,55 @@ func TestStressAMemcpyCSync(t *testing.T) {
 				t.Errorf("copy %d corrupted", i)
 			}
 		}(i)
+	}
+	wg.Wait()
+}
+
+// TestStressPooledHandleReuse hammers the pooled-handle fast path:
+// many goroutines run tight AMemcpy→CSync→Wait→Release loops over
+// small buffers, so the same Handle objects are recycled across
+// submitters at a high rate. The detector verifies the ownership
+// handoff chain: worker's final markSeg → completion → Wait return →
+// Release → pool → next reset. Every destination is verified after
+// every round, so a premature reuse (worker still touching a recycled
+// handle) shows up as corruption even when the detector misses it.
+func TestStressPooledHandleReuse(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+
+	const (
+		loopers = 8
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < loopers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g + 1)))
+			// Mix of inline-bitmap (≤64 seg) and spilled sizes.
+			size := 4096 + rnd.Intn(63*SegSize)
+			if g%4 == 0 {
+				size = 70 * SegSize // force the spill path
+			}
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			for i := 0; i < rounds; i++ {
+				src[0], src[size-1] = byte(i), byte(i>>8)
+				h := cp.AMemcpy(dst, src)
+				h.CSync(0, 64)
+				if dst[0] != byte(i) {
+					t.Errorf("looper %d round %d: head stale", g, i)
+					return
+				}
+				h.Wait()
+				if !h.Done() || dst[size-1] != byte(i>>8) {
+					t.Errorf("looper %d round %d: tail stale", g, i)
+					return
+				}
+				h.Release()
+			}
+		}(g)
 	}
 	wg.Wait()
 }

@@ -11,19 +11,19 @@ import (
 	"copier/internal/sim"
 )
 
-// runFig9Traced runs fig9 at Quick scale with a fresh recorder
+// runTraced runs one experiment at Quick scale with a fresh recorder
 // attached to every simulation environment the experiment creates,
 // returning the printed tables, the Perfetto export, and the recorder.
-func runFig9Traced(t *testing.T) (string, []byte, *obs.Recorder) {
+func runTraced(t *testing.T, id string) (string, []byte, *obs.Recorder) {
 	t.Helper()
 	rec := obs.NewRecorder(obs.DefaultRingCap)
 	prev := sim.OnNewEnv
 	sim.OnNewEnv = func(e *sim.Env) { e.SetRecorder(rec) }
 	defer func() { sim.OnNewEnv = prev }()
 
-	e, ok := ByID("fig9")
+	e, ok := ByID(id)
 	if !ok {
-		t.Fatal("fig9 not registered")
+		t.Fatalf("%s not registered", id)
 	}
 	var tbl strings.Builder
 	for _, table := range e.Run(Quick) {
@@ -46,8 +46,8 @@ func TestFig9Deterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs fig9 twice")
 	}
-	tbl1, exp1, rec := runFig9Traced(t)
-	tbl2, exp2, _ := runFig9Traced(t)
+	tbl1, exp1, rec := runTraced(t, "fig9")
+	tbl2, exp2, _ := runTraced(t, "fig9")
 
 	if tbl1 != tbl2 {
 		t.Errorf("printed series differ between runs:\n%s", lineDiff(tbl1, tbl2))
@@ -66,6 +66,38 @@ func TestFig9Deterministic(t *testing.T) {
 		if rec.LayerCount(l) == 0 {
 			t.Errorf("no events recorded from layer %s", l)
 		}
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events")
+	}
+}
+
+// TestFig12bDeterministic is the multi-client repeatability golden:
+// the fig12b proxy-scalability sweep runs many flows across several
+// proxy threads and copier service threads concurrently, so it leans
+// on exactly the machinery the batched hot paths touch — multiple
+// clients draining one service through PopN, cross-task DMA batches,
+// and timer-heavy thread scheduling. Two in-process runs must agree
+// byte for byte on both the printed tables and the Perfetto export;
+// any order sensitivity the single-client fig9 golden cannot see
+// (batch boundaries shifting completion interleavings between
+// clients) fails here with a diff.
+func TestFig12bDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig12b twice")
+	}
+	tbl1, exp1, rec := runTraced(t, "fig12b")
+	tbl2, exp2, _ := runTraced(t, "fig12b")
+
+	if tbl1 != tbl2 {
+		t.Errorf("printed series differ between runs:\n%s", lineDiff(tbl1, tbl2))
+	}
+	if !bytes.Equal(exp1, exp2) {
+		t.Errorf("obs exports differ between runs:\n%s",
+			lineDiff(string(exp1), string(exp2)))
+	}
+	if !json.Valid(exp1) {
+		t.Fatal("export is not valid JSON")
 	}
 	if rec.Total() == 0 {
 		t.Fatal("recorder saw no events")

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"copier/internal/acopy"
+	"copier/internal/core"
+	"copier/internal/sim"
+)
+
+// MicroResult is one hot-path microbenchmark data point, serialized
+// into BENCH_results.json by `copierbench -benchjson` (see `make
+// bench`). NsPerOp and AllocsPerOp track the simulator/service/acopy
+// fast paths; SimBytesPerSec reports payload bytes moved per wall
+// second for the benchmarks that copy data (simulated bytes for the
+// service workload, real bytes for the acopy runtime) and is zero for
+// pure scheduling benchmarks.
+type MicroResult struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	AllocBytesPerOp int64   `json:"alloc_bytes_per_op"`
+	SimBytesPerSec  float64 `json:"sim_bytes_per_sec,omitempty"`
+}
+
+// MicroReport is the top-level BENCH_results.json document.
+type MicroReport struct {
+	Schema  string        `json:"schema"`
+	Go      string        `json:"go"`
+	Results []MicroResult `json:"results"`
+}
+
+func micro(name string, simBytesPerOp int64, fn func(b *testing.B)) MicroResult {
+	r := testing.Benchmark(fn)
+	m := MicroResult{
+		Name:            name,
+		Iterations:      r.N,
+		NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:     r.AllocsPerOp(),
+		AllocBytesPerOp: r.AllocedBytesPerOp(),
+	}
+	if simBytesPerOp > 0 && r.T > 0 {
+		m.SimBytesPerSec = float64(simBytesPerOp) * float64(r.N) / r.T.Seconds()
+	}
+	return m
+}
+
+// RunMicrobenches runs the hot-path microbenchmarks covering the three
+// layers this repo optimizes — the simulator event queue, the service
+// ring/dispatch path, and the acopy userspace runtime — and returns
+// their results. These mirror the Benchmark* functions in the package
+// test files so the same numbers are reproducible with `go test
+// -bench`; this entry point exists so a normal binary can emit them as
+// JSON for trend tracking.
+func RunMicrobenches() MicroReport {
+	var results []MicroResult
+
+	// Simulator: one Schedule plus the Run loop that pops and fires it
+	// (mirrors sim.BenchmarkEventSchedulePop).
+	results = append(results, micro("sim/event-schedule-pop", 0, func(b *testing.B) {
+		e := sim.NewEnv()
+		nop := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(1, nop)
+			if err := e.Run(sim.Infinity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Simulator: sustained 64-deep event queue with pseudo-random
+	// reinsertion (mirrors sim.BenchmarkEventLoopDepth64) — the
+	// steady-state heap load of a busy service run.
+	results = append(results, micro("sim/event-loop-depth64", 0, func(b *testing.B) {
+		e := sim.NewEnv()
+		const depth = 64
+		fired := 0
+		n := b.N
+		rnd := uint64(1)
+		next := func() sim.Time {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			return sim.Time(rnd % 1024)
+		}
+		var fn func()
+		fn = func() {
+			fired++
+			if fired <= n {
+				e.Schedule(next()+1, fn)
+			}
+		}
+		for i := 0; i < depth; i++ {
+			e.Schedule(next(), fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := e.Run(sim.Infinity); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	// Simulator: coroutine handoff (mirrors sim.BenchmarkProcPingPong).
+	results = append(results, micro("sim/proc-ping-pong", 0, func(b *testing.B) {
+		e := sim.NewEnv()
+		n := b.N
+		for p := 0; p < 2; p++ {
+			e.Go("p", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					p.Wait(1)
+				}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := e.Run(sim.Infinity); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	// Service ring: batched drain — 16 publishes, one PopN, one tail
+	// update (mirrors core.BenchmarkRingPopN; one op = one 16-task
+	// round).
+	results = append(results, micro("core/ring-popn16", 0, func(b *testing.B) {
+		r := core.NewRing(1024)
+		t := &core.Task{}
+		var buf [16]*core.Task
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 16; j++ {
+				r.Push(t)
+			}
+			if got := r.PopN(buf[:]); got != 16 {
+				b.Fatalf("PopN = %d", got)
+			}
+		}
+	}))
+
+	// Service end-to-end: one op drives 40 back-to-back 64KB copies
+	// through submit → admit → dispatch → completion on the simulated
+	// machine; SimBytesPerSec is simulated payload per wall second, the
+	// figure of merit for the whole dispatch stack.
+	const svcSize, svcTasks = 64 << 10, 40
+	results = append(results, micro("service/throughput-64k", svcSize*svcTasks, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if copierThroughput(svcSize, svcTasks, 0, core.DefaultConfig()) <= 0 {
+				b.Fatal("service moved no bytes")
+			}
+		}
+	}))
+
+	// acopy runtime: pooled-handle submit → worker copy → Wait →
+	// Release round-trip at two sizes (mirrors
+	// acopy.BenchmarkAMemcpyWait); real bytes moved per wall second.
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 2 {
+		workers = 2
+	}
+	for _, size := range []int{4 << 10, 64 << 10} {
+		name := "acopy/amemcpy-4k"
+		if size == 64<<10 {
+			name = "acopy/amemcpy-64k"
+		}
+		size := size
+		results = append(results, micro(name, int64(size), func(b *testing.B) {
+			cp := acopy.New(workers)
+			defer cp.Close()
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := cp.AMemcpy(dst, src)
+				h.Wait()
+				h.Release()
+			}
+		}))
+	}
+
+	return MicroReport{
+		Schema:  "copier-microbench/v1",
+		Go:      runtime.Version(),
+		Results: results,
+	}
+}

@@ -76,7 +76,24 @@ type Client struct {
 	// backlogBytes tracks admitted-but-unexecuted copy bytes.
 	backlogBytes int64
 
+	// popBuf / uPopBuf are the PopN scratches for the batched admit
+	// drain. The user queue gets its own buffer because barrier
+	// handling drains it from inside an iteration over popBuf.
+	popBuf  [drainBatch]*Task
+	uPopBuf [drainBatch]*Task
+
 	closed bool
+}
+
+// drainBatch is the admit drain width: up to this many tasks come out
+// of a Copy Queue per tail update.
+const drainBatch = 16
+
+// popCost is the service-side cost of one batched drain of n tasks:
+// the tail update is paid once, each further slot only pays its
+// decode.
+func popCost(n int) sim.Time {
+	return sim.Time(cycles.TaskPop + (n-1)*cycles.TaskPopBatch)
 }
 
 // PendingTasks returns the number of admitted, unexecuted copy tasks.
@@ -219,43 +236,58 @@ func (c *Client) admit(ctx Ctx, svc *Service) {
 	for {
 		progressed := false
 		// Kernel queue first — kernel tasks are prioritized in the
-		// undetermined-concurrency case (§4.2.1).
+		// undetermined-concurrency case (§4.2.1). Drained in batches;
+		// barriers are handled in buffer order, so the interleaving
+		// with capped user admissions is identical to a one-at-a-time
+		// drain.
 		for {
-			t := c.K.Copy.Peek()
-			if t == nil {
+			n := c.K.Copy.PopN(c.popBuf[:])
+			if n == 0 {
 				break
 			}
-			c.K.Copy.Pop()
-			ctx.Exec(cycles.TaskPop)
+			ctx.Exec(popCost(n))
 			progressed = true
-			if t.Kind == KindBarrier {
-				if t.Return {
-					// Admit user tasks submitted before the return
-					// position, then lift the cap.
-					c.admitUserUpTo(ctx, t.UPos)
-					c.uCapSet = false
-				} else {
-					c.admitUserUpTo(ctx, t.UPos)
-					c.uCap = t.UPos
-					c.uCapSet = true
+			for i := 0; i < n; i++ {
+				t := c.popBuf[i]
+				c.popBuf[i] = nil
+				if t.Kind == KindBarrier {
+					if t.Return {
+						// Admit user tasks submitted before the return
+						// position, then lift the cap.
+						c.admitUserUpTo(ctx, t.UPos)
+						c.uCapSet = false
+					} else {
+						c.admitUserUpTo(ctx, t.UPos)
+						c.uCap = t.UPos
+						c.uCapSet = true
+					}
+					continue
 				}
-				continue
+				c.admitTask(t, svc)
 			}
-			c.admitTask(t, svc)
 		}
 		// User queue up to the cap.
 		for {
-			if c.uCapSet && c.uAdmitted >= c.uCap {
+			lim := drainBatch
+			if c.uCapSet {
+				if c.uAdmitted >= c.uCap {
+					break
+				}
+				if room := c.uCap - c.uAdmitted; room < uint64(lim) {
+					lim = int(room)
+				}
+			}
+			n := c.U.Copy.PopN(c.uPopBuf[:lim])
+			if n == 0 {
 				break
 			}
-			t := c.U.Copy.Pop()
-			if t == nil {
-				break
-			}
-			ctx.Exec(cycles.TaskPop)
+			ctx.Exec(popCost(n))
 			progressed = true
-			c.uAdmitted++
-			c.admitTask(t, svc)
+			c.uAdmitted += uint64(n)
+			for i := 0; i < n; i++ {
+				c.admitTask(c.uPopBuf[i], svc)
+				c.uPopBuf[i] = nil
+			}
 		}
 		if !progressed {
 			return
@@ -267,13 +299,20 @@ func (c *Client) admit(ctx Ctx, svc *Service) {
 // admitted and the ring has published tasks.
 func (c *Client) admitUserUpTo(ctx Ctx, pos uint64) {
 	for c.uAdmitted < pos {
-		t := c.U.Copy.Pop()
-		if t == nil {
+		lim := drainBatch
+		if room := pos - c.uAdmitted; room < uint64(lim) {
+			lim = int(room)
+		}
+		n := c.U.Copy.PopN(c.uPopBuf[:lim])
+		if n == 0 {
 			return
 		}
-		ctx.Exec(cycles.TaskPop)
-		c.uAdmitted++
-		c.admitTask(t, c.svc)
+		ctx.Exec(popCost(n))
+		c.uAdmitted += uint64(n)
+		for i := 0; i < n; i++ {
+			c.admitTask(c.uPopBuf[i], c.svc)
+			c.uPopBuf[i] = nil
+		}
 	}
 }
 

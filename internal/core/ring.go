@@ -64,18 +64,41 @@ func (r *Ring) Full() bool { return r.head-r.tail >= uint64(len(r.slots)) }
 // of user Copy Queue").
 func (r *Ring) AcquirePos() uint64 { return r.head }
 
+// Acquire advances the head (the fetch-and-add of §5.1) and returns
+// the acquired position, without publishing anything: the slot stays
+// invalid — and blocks consumption past it — until Publish sets the
+// valid bit. Returns false if the ring is full.
+func (r *Ring) Acquire() (uint64, bool) {
+	if r.Full() {
+		return 0, false
+	}
+	pos := r.head
+	r.head++
+	if r.slots[pos&r.mask].valid {
+		panic(fmt.Sprintf("core: ring slot %d reused while valid", pos&r.mask))
+	}
+	return pos, true
+}
+
+// Publish fills the slot acquired at pos and sets its valid bit,
+// making it (and any later already-published slots) consumable.
+func (r *Ring) Publish(pos uint64, t *Task) {
+	s := &r.slots[pos&r.mask]
+	if s.valid {
+		panic(fmt.Sprintf("core: publish to already-valid slot %d", pos&r.mask))
+	}
+	s.task = t
+	s.valid = true
+}
+
 // Push acquires a slot, fills it and publishes it in one step,
 // returning false if the ring is full.
 func (r *Ring) Push(t *Task) bool {
-	if r.Full() {
+	pos, ok := r.Acquire()
+	if !ok {
 		return false
 	}
-	idx := r.head & r.mask
-	r.head++
-	if r.slots[idx].valid {
-		panic(fmt.Sprintf("core: ring slot %d reused while valid", idx))
-	}
-	r.slots[idx] = ringSlot{valid: true, task: t}
+	r.Publish(pos, t)
 	return true
 }
 
@@ -95,6 +118,32 @@ func (r *Ring) Pop() *Task {
 	s.task = nil
 	r.tail++
 	return t
+}
+
+// PopN drains up to len(buf) published tasks into buf with a single
+// tail update, stopping early at the first unpublished (acquired but
+// not yet valid) slot. This is the batched form of the §5.1 consume
+// protocol: the consumer reads forward over valid slots and moves the
+// tail once for the whole batch, so the per-task synchronization cost
+// is amortized across the drain. Returns the number of tasks drained.
+func (r *Ring) PopN(buf []*Task) int {
+	n := 0
+	for n < len(buf) {
+		pos := r.tail + uint64(n)
+		if pos == r.head {
+			break
+		}
+		s := &r.slots[pos&r.mask]
+		if !s.valid {
+			break
+		}
+		buf[n] = s.task
+		s.valid = false
+		s.task = nil
+		n++
+	}
+	r.tail += uint64(n)
+	return n
 }
 
 // Peek returns the oldest published task without consuming it.

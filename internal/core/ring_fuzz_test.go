@@ -2,59 +2,128 @@ package core
 
 import "testing"
 
-// FuzzRing interprets the input as a push/pop/peek schedule and checks
-// the CSH ring against a model FIFO: every published task must come
-// out exactly once, in acquire order, and Len/Full/Cap/AcquirePos must
-// agree with the model at every step.
+// FuzzRing interprets the input as a schedule of ring operations and
+// checks the CSH ring against a model: a sequence of acquired slots,
+// each either published (valid, holding a task) or still unpublished.
+// Every published task must come out exactly once, in acquire order;
+// consumption (Pop, PopN, Peek) must stop at the first unpublished
+// slot — the §5.1 valid-bit protocol under concurrent producers that
+// acquired slots but have not yet filled them; and Len/Full/Cap/
+// AcquirePos must agree with the model at every step.
 func FuzzRing(f *testing.F) {
-	f.Add([]byte{4, 0, 0, 2, 1, 2, 3})
-	f.Add([]byte{1, 0, 0, 0, 0, 2, 2, 2, 2})
-	f.Add([]byte{16, 0, 1, 0, 1, 2, 3, 2, 3, 0, 2})
+	f.Add([]byte{4, 0, 0, 3, 4, 3, 5})
+	f.Add([]byte{1, 0, 0, 0, 0, 3, 3, 3, 3})
+	f.Add([]byte{16, 0, 1, 0, 1, 3, 5, 3, 5, 0, 3})
+	// Two-phase: acquire, push behind the gap, publish, drain.
+	f.Add([]byte{8, 1, 0, 0, 4, 2, 4, 4})
+	// Batched drains of various widths.
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0, 4, 28, 52})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return
 		}
 		r := NewRing(int(data[0]%16) + 1)
 		capN := r.Cap()
-		var model []*Task
+		// Model: acquired slots in order; t == nil marks an
+		// acquired-but-unpublished slot.
+		type mslot struct {
+			t   *Task
+			pos uint64
+		}
+		var model []mslot
 		var nextID uint64 = 1
 		acquired := uint64(0)
+		// npub is the length of the consumable prefix (leading
+		// published slots).
+		prefix := func() int {
+			n := 0
+			for n < len(model) && model[n].t != nil {
+				n++
+			}
+			return n
+		}
+		var buf [24]*Task
 		for _, b := range data[1:] {
-			switch b % 4 {
-			case 0, 1: // push
+			arg := int(b / 6)
+			switch b % 6 {
+			case 0: // push (acquire + publish in one step)
 				task := &Task{ID: nextID}
 				ok := r.Push(task)
 				if wantOK := len(model) < capN; ok != wantOK {
 					t.Fatalf("push accepted=%v with %d/%d queued", ok, len(model), capN)
 				}
 				if ok {
-					model = append(model, task)
+					model = append(model, mslot{t: task})
 					nextID++
 					acquired++
 				}
-			case 2: // pop
+			case 1: // acquire without publishing
+				pos, ok := r.Acquire()
+				if wantOK := len(model) < capN; ok != wantOK {
+					t.Fatalf("acquire ok=%v with %d/%d queued", ok, len(model), capN)
+				}
+				if ok {
+					if pos != acquired {
+						t.Fatalf("acquire pos=%d, want %d", pos, acquired)
+					}
+					model = append(model, mslot{pos: pos})
+					acquired++
+				}
+			case 2: // publish one unpublished slot (producers may
+				// publish out of acquire order)
+				var holes []int
+				for i := range model {
+					if model[i].t == nil {
+						holes = append(holes, i)
+					}
+				}
+				if len(holes) == 0 {
+					continue
+				}
+				i := holes[arg%len(holes)]
+				task := &Task{ID: nextID}
+				nextID++
+				r.Publish(model[i].pos, task)
+				model[i].t = task
+			case 3: // pop
 				got := r.Pop()
-				if len(model) == 0 {
+				if prefix() == 0 {
 					if got != nil {
-						t.Fatalf("pop returned task %d from empty ring", got.ID)
+						t.Fatalf("pop returned task %d past the valid prefix", got.ID)
 					}
 				} else {
 					if got == nil {
-						t.Fatalf("pop returned nil with %d queued", len(model))
+						t.Fatalf("pop returned nil with %d consumable", prefix())
 					}
-					if got != model[0] {
-						t.Fatalf("pop returned task %d, want %d (FIFO)", got.ID, model[0].ID)
+					if got != model[0].t {
+						t.Fatalf("pop returned task %d, want %d (FIFO)", got.ID, model[0].t.ID)
 					}
 					model = model[1:]
 				}
-			case 3: // peek
-				got := r.Peek()
-				if len(model) == 0 {
-					if got != nil {
-						t.Fatalf("peek returned task %d from empty ring", got.ID)
+			case 4: // popN: batched drain of up to arg+1 tasks
+				w := arg%len(buf) + 1
+				n := r.PopN(buf[:w])
+				want := prefix()
+				if want > w {
+					want = w
+				}
+				if n != want {
+					t.Fatalf("PopN(%d) = %d, want %d (prefix %d)", w, n, want, prefix())
+				}
+				for i := 0; i < n; i++ {
+					if buf[i] != model[i].t {
+						t.Fatalf("PopN[%d] = task %d, want %d", i, buf[i].ID, model[i].t.ID)
 					}
-				} else if got != model[0] {
-					t.Fatalf("peek returned %v, want task %d", got, model[0].ID)
+				}
+				model = model[n:]
+			case 5: // peek
+				got := r.Peek()
+				if prefix() == 0 {
+					if got != nil {
+						t.Fatalf("peek returned task %d past the valid prefix", got.ID)
+					}
+				} else if got != model[0].t {
+					t.Fatalf("peek returned %v, want task %d", got, model[0].t.ID)
 				}
 			}
 			if r.Len() != len(model) {
@@ -67,14 +136,29 @@ func FuzzRing(f *testing.F) {
 				t.Fatalf("AcquirePos() = %d, want %d", r.AcquirePos(), acquired)
 			}
 		}
-		// Drain: everything still queued must come out in order.
-		for _, want := range model {
-			got := r.Pop()
-			if got != want {
-				t.Fatalf("drain returned %v, want task %d", got, want.ID)
+		// Fill remaining holes so the ring can drain completely.
+		for i := range model {
+			if model[i].t == nil {
+				task := &Task{ID: nextID}
+				nextID++
+				r.Publish(model[i].pos, task)
+				model[i].t = task
 			}
 		}
-		if r.Pop() != nil || r.Peek() != nil || r.Len() != 0 {
+		// Drain with PopN: everything must come out in acquire order.
+		for len(model) > 0 {
+			n := r.PopN(buf[:])
+			if n == 0 {
+				t.Fatalf("PopN drained 0 with %d queued", len(model))
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != model[i].t {
+					t.Fatalf("drain[%d] = task %d, want %d", i, buf[i].ID, model[i].t.ID)
+				}
+			}
+			model = model[n:]
+		}
+		if r.Pop() != nil || r.Peek() != nil || r.Len() != 0 || r.PopN(buf[:]) != 0 {
 			t.Fatal("ring not empty after drain")
 		}
 	})

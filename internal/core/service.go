@@ -546,7 +546,11 @@ func (c *Client) runnable() bool {
 }
 
 // serveClient executes pending tasks FIFO up to budget bytes, fusing
-// small adjacent dependency-free tasks into e-piggyback rounds (§4.3).
+// adjacent dependency-free tasks into piggyback rounds (§4.3). A
+// small head opens an e-piggyback round capped at EPiggybackFuse,
+// exactly as before; a large head opens a round spanning the rest of
+// the copy slice, so the DMA submission cost is amortized across
+// tasks in the drained batch rather than only within one task.
 func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 	worked := false
 	for budget > 0 {
@@ -562,14 +566,16 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 			break
 		}
 		worked = true
+		// Round byte cap: e-piggyback fuse for a small head; the
+		// remaining slice for a large head (cross-task coalescing).
+		roundCap := s.cfg.EPiggybackFuse
 		if head.Len >= s.cfg.PiggybackThreshold {
-			// Large task: i-piggyback within the task.
-			s.executeWithDeps(ctx, c, head, 0, head.Len, 0)
-			budget -= int64(head.Len)
-			continue
+			roundCap = head.Len
+			if budget > int64(roundCap) {
+				roundCap = int(budget)
+			}
 		}
-		// Small task: fuse adjacent dependency-free tasks
-		// (e-piggyback).
+		// Fuse adjacent dependency-free tasks into the round.
 		batch := []*Task{head}
 		fused := head.Len
 		for _, t := range c.pending {
@@ -579,7 +585,7 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 			if t.orderIdx < head.orderIdx {
 				continue
 			}
-			if fused+t.Len > s.cfg.EPiggybackFuse {
+			if fused+t.Len > roundCap {
 				break
 			}
 			if s.dependsOnAny(ctx, c, t, batch) {

@@ -192,6 +192,10 @@ const (
 	PollIteration = 60
 	// TaskPop is dequeuing and decoding one task in the service.
 	TaskPop = 35
+	// TaskPopBatch is each additional task drained in the same batched
+	// PopN: the tail update and its synchronization are paid once for
+	// the batch, leaving only the decode of the slot contents.
+	TaskPopBatch = 12
 	// DependencyCheck is one reverse-traversal region-overlap
 	// comparison during data-dependency tracking (§4.2.2).
 	DependencyCheck = 15

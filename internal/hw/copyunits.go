@@ -215,6 +215,63 @@ func (d *DMAChannel) Enqueue(dst, src FrameRange) *DMARequest {
 	return d.submitAt(dst, src)
 }
 
+// EnqueueBatch enqueues all pairs back to back without charging any
+// submission cost (callers Exec the amortized batch cost themselves).
+// The channel drains its queue FIFO, so completion is driven by a
+// single live event that walks the batch in order: each step copies
+// the data, marks the request done, invokes onDone(i) and reschedules
+// itself for the next descriptor — one event in the heap per batch
+// instead of one per descriptor.
+func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int)) []*DMARequest {
+	if len(pairs) == 0 {
+		return nil
+	}
+	now := d.env.Now()
+	start := d.busyUntil
+	if start < now {
+		start = now
+	}
+	arena := make([]DMARequest, len(pairs))
+	reqs := make([]*DMARequest, len(pairs))
+	r := d.env.Recorder()
+	for i, pr := range pairs {
+		dst, src := pr[0], pr[1]
+		if dst.Len != src.Len {
+			panic(fmt.Sprintf("hw: DMA length mismatch %d != %d", dst.Len, src.Len))
+		}
+		dur := cycles.CopyCost(cycles.UnitDMA, src.Len)
+		req := &arena[i]
+		*req = DMARequest{dst: dst, src: src, CompleteAt: start + dur}
+		if r != nil {
+			r.Emit(obs.Event{T: int64(now), Kind: obs.EvDMASubmit, Layer: obs.LayerHW,
+				Track: "hw:DMA", Name: "submit", A: int64(src.Len)})
+			r.Emit(obs.Event{T: int64(start), Dur: int64(dur), Kind: obs.EvUnitBusyInterval,
+				Layer: obs.LayerHW, Track: "hw:DMA", Name: "xfer", A: int64(src.Len)})
+		}
+		start = req.CompleteAt
+		reqs[i] = req
+	}
+	d.busyUntil = start
+	d.Submitted += int64(len(pairs))
+	i := 0
+	var step func()
+	step = func() {
+		req := reqs[i]
+		n := CopyScatter(d.pm, []FrameRange{req.dst}, []FrameRange{req.src})
+		d.BytesCopied += int64(n)
+		req.done = true
+		if onDone != nil {
+			onDone(i)
+		}
+		i++
+		if i < len(reqs) {
+			d.env.Schedule(reqs[i].CompleteAt-d.env.Now(), step)
+		}
+	}
+	d.env.Schedule(reqs[0].CompleteAt-now, step)
+	return reqs
+}
+
 func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 	now := d.env.Now()
 	start := d.busyUntil

@@ -10,7 +10,9 @@
 //
 // The design mirrors classic process-based simulators (SimPy, OMNeT++):
 //
-//   - Env owns the virtual clock and the event heap.
+//   - Env owns the virtual clock and the event heap (a typed 4-ary
+//     index heap with slot recycling — see eventq.go; the steady-state
+//     schedule/pop cycle does not allocate).
 //   - Proc is a coroutine; it advances time with Wait, or blocks on a
 //     Signal/Queue until another process wakes it.
 //   - Events scheduled for the same instant fire in scheduling order
@@ -18,7 +20,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -31,54 +32,32 @@ type Time int64
 // Infinity is a time later than any event the simulator will produce.
 const Infinity Time = 1<<63 - 1
 
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among events at the same instant
-	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
-}
-
 // EventHandle allows a scheduled event to be canceled before it fires.
-type EventHandle struct{ ev *event }
+// Handles identify events by sequence number, so a handle outliving
+// its event (whose arena slot may have been recycled) cancels nothing.
+type EventHandle struct {
+	q    *eventQueue
+	slot int32
+	seq  uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
-		h.ev.canceled = true
+	if h.q == nil {
+		return
+	}
+	if ev := &h.q.arena[h.slot]; ev.seq == h.seq {
+		ev.canceled = true
 	}
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event { return h[0] }
-func (h eventHeap) empty() bool  { return len(h) == 0 }
 
 // Env is a simulation environment: a virtual clock plus an event heap.
 // It is not safe for concurrent use from outside the simulation; all
 // interaction happens from process bodies or between Run calls.
 type Env struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	yielded chan struct{} // a proc hands control back to the main loop
 	procs   []*Proc       // all spawned, for deadlock diagnosis
@@ -128,10 +107,10 @@ func (e *Env) Schedule(d Time, fn func()) EventHandle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	seq := e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventHandle{ev}
+	slot := e.events.schedule(e.now+d, seq, fn)
+	return EventHandle{q: &e.events, slot: slot, seq: seq}
 }
 
 // Proc is a simulation process (a coroutine). Exactly one Proc runs at
@@ -146,6 +125,17 @@ type Proc struct {
 	blockedOn string
 	finished  bool
 	started   bool
+	// handoffFn is the pre-allocated Schedule target for every wake
+	// path (Wait, Broadcast, Queue.Release), so the steady-state
+	// sleep/wake cycle allocates nothing.
+	handoffFn func()
+	// waitEpoch numbers this proc's blocking episodes: bumped on entry
+	// and exit of every Signal wait, so a stale waiter entry (left
+	// behind by a timeout) can never match the current episode.
+	waitEpoch uint64
+	// sigWoken records that the current episode's signal broadcast;
+	// valid only while waitEpoch identifies a live episode.
+	sigWoken bool
 }
 
 // Go spawns a new process whose body is fn. The process begins running
@@ -153,6 +143,7 @@ type Proc struct {
 // instant). fn receives its own *Proc.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p.handoffFn = p.handoff
 	e.procs = append(e.procs, p)
 	e.nlive++
 	e.Schedule(0, func() {
@@ -203,13 +194,8 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: proc %q waits negative %d", p.name, d))
 	}
-	if d == 0 {
-		// Still yield so same-instant events interleave fairly.
-		p.env.Schedule(0, func() { p.handoff() })
-		p.yield()
-		return
-	}
-	p.env.Schedule(d, func() { p.handoff() })
+	// d == 0 still yields so same-instant events interleave fairly.
+	p.env.Schedule(d, p.handoffFn)
 	p.yield()
 }
 
@@ -220,29 +206,44 @@ func (p *Proc) Tracef(format string, args ...any) {
 	}
 }
 
+// enterWait opens a blocking episode and returns its epoch.
+func (p *Proc) enterWait() uint64 {
+	p.waitEpoch++
+	p.sigWoken = false
+	return p.waitEpoch
+}
+
+// exitWait closes the episode, invalidating any waiter-list entries
+// still referencing it.
+func (p *Proc) exitWait() { p.waitEpoch++ }
+
 // Signal is a broadcast condition variable for simulation processes.
 // Waiters are released in FIFO order at the instant of the broadcast.
 type Signal struct {
 	name    string
-	waiters []*signalWaiter
+	blocked string // precomputed "signal:<name>" label, so Wait never concatenates
+	waiters []sigWaiter
 }
 
-type signalWaiter struct {
-	p        *Proc
-	woken    bool // broadcast reached this waiter
-	canceled bool // timed out before the broadcast
+// sigWaiter records one blocking episode by value: epoch pins which
+// episode the entry belongs to, so entries surviving a timeout are
+// recognized as stale instead of waking the proc spuriously.
+type sigWaiter struct {
+	p     *Proc
+	epoch uint64
 }
 
 // NewSignal returns a named signal (the name appears in deadlock
 // reports).
-func NewSignal(name string) *Signal { return &Signal{name: name} }
+func NewSignal(name string) *Signal { return &Signal{name: name, blocked: "signal:" + name} }
 
 // Wait blocks p until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
-	w := &signalWaiter{p: p}
-	s.waiters = append(s.waiters, w)
-	p.blockedOn = "signal:" + s.name
+	epoch := p.enterWait()
+	s.waiters = append(s.waiters, sigWaiter{p: p, epoch: epoch})
+	p.blockedOn = s.blocked
 	p.yield()
+	p.exitWait()
 	p.blockedOn = ""
 }
 
@@ -250,18 +251,19 @@ func (s *Signal) Wait(p *Proc) {
 // whichever comes first. It reports whether the broadcast fired
 // (false means the wait timed out).
 func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
-	w := &signalWaiter{p: p}
-	s.waiters = append(s.waiters, w)
+	epoch := p.enterWait()
+	s.waiters = append(s.waiters, sigWaiter{p: p, epoch: epoch})
 	h := p.env.Schedule(d, func() {
-		if !w.woken {
-			w.canceled = true
-			w.p.handoff()
+		if p.waitEpoch == epoch && !p.sigWoken {
+			p.handoff()
 		}
 	})
-	p.blockedOn = "signal:" + s.name
+	p.blockedOn = s.blocked
 	p.yield()
+	woken := p.sigWoken
+	p.exitWait()
 	p.blockedOn = ""
-	if w.woken {
+	if woken {
 		h.Cancel()
 		return true
 	}
@@ -273,14 +275,16 @@ func (s *Signal) WaitTimeout(p *Proc, d Time) bool {
 // process body or an event callback.
 func (s *Signal) Broadcast(e *Env) {
 	ws := s.waiters
-	s.waiters = nil
+	// Truncate in place: no proc runs during this loop (wakes are
+	// scheduled, not immediate), so the backing array is reusable for
+	// the next round of waiters without reallocating.
+	s.waiters = s.waiters[:0]
 	for _, w := range ws {
-		if w.canceled {
-			continue
+		if w.epoch != w.p.waitEpoch {
+			continue // stale entry: that episode already timed out
 		}
-		w := w
-		w.woken = true
-		e.Schedule(0, func() { w.p.handoff() })
+		w.p.sigWoken = true
+		e.Schedule(0, w.p.handoffFn)
 	}
 }
 
@@ -288,7 +292,7 @@ func (s *Signal) Broadcast(e *Env) {
 func (s *Signal) NWaiting() int {
 	n := 0
 	for _, w := range s.waiters {
-		if !w.canceled {
+		if w.epoch == w.p.waitEpoch {
 			n++
 		}
 	}
@@ -299,16 +303,17 @@ func (s *Signal) NWaiting() int {
 // the building block for resources and run queues.
 type Queue struct {
 	name    string
+	blocked string // precomputed "queue:<name>" label
 	waiters []*Proc
 }
 
 // NewQueue returns a named FIFO wait queue.
-func NewQueue(name string) *Queue { return &Queue{name: name} }
+func NewQueue(name string) *Queue { return &Queue{name: name, blocked: "queue:" + name} }
 
 // Wait appends p and blocks until a Release reaches it.
 func (q *Queue) Wait(p *Proc) {
 	q.waiters = append(q.waiters, p)
-	p.blockedOn = "queue:" + q.name
+	p.blockedOn = q.blocked
 	p.yield()
 	p.blockedOn = ""
 }
@@ -321,7 +326,7 @@ func (q *Queue) Release(e *Env) bool {
 	}
 	w := q.waiters[0]
 	q.waiters = q.waiters[1:]
-	e.Schedule(0, func() { w.handoff() })
+	e.Schedule(0, w.handoffFn)
 	return true
 }
 
@@ -392,17 +397,16 @@ func (e *Env) Run(until Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 	for !e.events.empty() {
-		ev := e.events.peek()
-		if ev.at > until {
+		if e.events.peekAt() > until {
 			e.now = until
 			return nil
 		}
-		heap.Pop(&e.events)
-		if ev.canceled {
+		at, fn, canceled := e.events.pop()
+		if canceled {
 			continue
 		}
-		e.now = ev.at
-		ev.fn()
+		e.now = at
+		fn()
 	}
 	if e.nlive > 0 {
 		var blocked []string

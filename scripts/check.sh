@@ -21,6 +21,10 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
+# The race build enables the //go:build race stress tests in
+# internal/acopy, including the pooled-handle reuse hammer
+# (TestStressPooledHandleReuse) that guards the zero-alloc
+# AMemcpy -> Wait -> Release recycling path.
 echo "== go test -race (concurrency-bearing packages) =="
 go test -race ./internal/acopy ./internal/core
 
