@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for
 # the tier-1 gate.
 
-.PHONY: check test bench fuzz
+.PHONY: check test bench fuzz chaos
 
 check:
 	./scripts/check.sh
@@ -18,5 +18,12 @@ bench:
 # Short continuation runs over the checked-in seed corpora.
 fuzz:
 	go test ./internal/core -run=^$$ -fuzz=FuzzRing -fuzztime=30s
+	go test ./internal/core -run=^$$ -fuzz=FuzzFaultSchedule -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s
+
+# Full chaos sweep: seeded fault injection + client death over the
+# copy service, plus the determinism goldens that run it twice.
+chaos:
+	go run ./cmd/copierbench -run chaos -full
+	go test -run 'TestChaos' -v ./internal/bench

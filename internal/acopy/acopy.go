@@ -27,12 +27,23 @@
 package acopy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrShutdown reports a copy failed because the Copier was shut down
+// before (or while) the copy ran. The destination may hold a partial
+// prefix of the data.
+var ErrShutdown = errors.New("acopy: copier shut down")
+
+// ErrIncomplete is returned by TryRelease for a handle whose copy has
+// not completed yet.
+var ErrIncomplete = errors.New("acopy: handle not complete")
 
 // SegSize is the copy segment granularity: workers publish progress
 // (descriptor bits) after each segment, letting CSync callers pipeline
@@ -64,6 +75,10 @@ type Handle struct {
 	completed atomic.Uint32
 	mu        sync.Mutex
 	cond      sync.Cond
+	// err is the copy's failure, if any. Written under mu strictly
+	// before the completed flip, so any reader that observed
+	// completed==1 reads it safely without the lock.
+	err error
 }
 
 // handlePool recycles handles across AMemcpy calls. cond.L is wired
@@ -94,6 +109,7 @@ func (h *Handle) reset(dst, src []byte, handler func()) {
 	}
 	h.left.Store(int32(nseg))
 	h.promoted.Store(0)
+	h.err = nil
 	h.completed.Store(0)
 }
 
@@ -108,8 +124,21 @@ func (h *Handle) Release() {
 	if h.completed.Load() == 0 {
 		panic("acopy: Release of incomplete handle")
 	}
-	h.dst, h.src, h.handler = nil, nil, nil
+	h.dst, h.src, h.handler, h.err = nil, nil, nil, nil
 	handlePool.Put(h)
+}
+
+// TryRelease is the error-returning variant of Release: it refuses
+// (without pooling the handle) when the copy has not completed, so
+// teardown paths can reclaim opportunistically instead of panicking.
+// The ownership contract is the same as Release's.
+func (h *Handle) TryRelease() error {
+	if h.completed.Load() == 0 {
+		return ErrIncomplete
+	}
+	h.dst, h.src, h.handler, h.err = nil, nil, nil, nil
+	handlePool.Put(h)
+	return nil
 }
 
 // Len returns the copy length in bytes.
@@ -170,6 +199,30 @@ func (h *Handle) complete() {
 	h.mu.Unlock()
 }
 
+// fail completes h with err without copying the remaining segments.
+// The post-copy handler does NOT run — the copy never happened, so
+// acting on it would be wrong. A handle that already completed keeps
+// its original outcome.
+func (h *Handle) fail(err error) {
+	h.mu.Lock()
+	if h.completed.Load() == 0 {
+		h.err = err
+		h.completed.Store(1)
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// Err reports the copy's failure. It returns nil both for a copy that
+// succeeded and for one still in flight; check Done (or call after
+// Wait) to distinguish.
+func (h *Handle) Err() error {
+	if h.completed.Load() == 0 {
+		return nil
+	}
+	return h.err
+}
+
 // Ready reports whether [off, off+n) has landed, without blocking.
 func (h *Handle) Ready(off, n int) bool {
 	if n <= 0 {
@@ -196,6 +249,12 @@ func (h *Handle) CSync(off, n int) {
 	// Task promotion: ask the worker to copy from this segment on.
 	h.promote(off / SegSize)
 	for spins := 0; !h.Ready(off, n); spins++ {
+		if h.completed.Load() == 1 {
+			// Completed without the range landing: the copy failed
+			// (shutdown). The data is not coming — return instead of
+			// spinning forever; Err reports why.
+			return
+		}
 		if spins < 64 {
 			runtime.Gosched()
 			continue
@@ -233,6 +292,28 @@ func (h *Handle) Wait() {
 
 // Done reports whether the whole copy completed, without blocking.
 func (h *Handle) Done() bool { return h.completed.Load() == 1 }
+
+// WaitContext blocks like Wait but gives up when ctx expires,
+// returning ctx's error. On normal completion it returns the copy's
+// outcome (nil, or ErrShutdown for a copy failed by Shutdown). A
+// ctx-abandoned copy keeps running — the handle must not be Released
+// until Done reports true; a watcher goroutine lingers until then.
+func (h *Handle) WaitContext(ctx context.Context) error {
+	if h.completed.Load() == 1 {
+		return h.err
+	}
+	done := make(chan struct{})
+	go func() {
+		h.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return h.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // ring is the lock-free MPSC ring of §5.1: producers acquire a slot
 // with a fetch-and-add on the head and publish it by storing the task
@@ -311,12 +392,16 @@ func (r *ring) popN(buf []*Handle) int {
 
 // Copier is a pool of background copy workers.
 type Copier struct {
-	rings   []*ring
-	next    atomic.Uint64 // round-robin submission counter
-	wake    []chan struct{}
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	pending atomic.Int64
+	rings []*ring
+	next  atomic.Uint64 // round-robin submission counter
+	wake  []chan struct{}
+	stop  chan struct{}
+	// down is the fast-abort flag set by Shutdown: submitters fail new
+	// handles instead of queueing, workers fail instead of copying.
+	down      atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	pending   atomic.Int64
 
 	// Stats
 	Submitted atomic.Int64
@@ -374,8 +459,21 @@ func (c *Copier) AMemcpyH(dst, src []byte, handler func()) *Handle {
 // submission order.
 func (c *Copier) submitTo(i int, h *Handle) {
 	c.Submitted.Add(1)
+	// Check down before touching pending: post-shutdown submissions
+	// must not make the reaper's pending==0 exit condition flicker.
+	if c.down.Load() {
+		h.fail(ErrShutdown)
+		return
+	}
 	c.pending.Add(1)
 	for !c.rings[i].push(h) {
+		if c.down.Load() {
+			// Shutting down mid-spin: the worker may never drain this
+			// ring again. Fail the handle ourselves.
+			c.pending.Add(-1)
+			h.fail(ErrShutdown)
+			return
+		}
 		// Ring full: help the worker by yielding.
 		runtime.Gosched()
 	}
@@ -406,6 +504,15 @@ func (c *Copier) worker(r *ring, wake chan struct{}) {
 	for {
 		n := r.popN(buf[:])
 		if n == 0 {
+			// Stop as soon as the ring is empty — don't burn the spin
+			// budget first. Close only closes stop once pending hits
+			// zero, and Shutdown reaps ring stragglers itself, so an
+			// empty ring means this worker is done.
+			select {
+			case <-c.stop:
+				return
+			default:
+			}
 			idle++
 			if idle < spin {
 				runtime.Gosched()
@@ -429,7 +536,11 @@ func (c *Copier) worker(r *ring, wake chan struct{}) {
 		}
 		idle = 0
 		for i := 0; i < n; i++ {
-			c.copyTask(buf[i])
+			if c.down.Load() {
+				buf[i].fail(ErrShutdown)
+			} else {
+				c.copyTask(buf[i])
+			}
 			buf[i] = nil
 			c.pending.Add(-1)
 		}
@@ -447,6 +558,13 @@ func (c *Copier) copyTask(h *Handle) {
 	copied := 0
 	seg := 0
 	for copied < nseg {
+		if c.down.Load() {
+			// Shutdown mid-copy: abandon the remainder. The completed
+			// prefix stays marked; Err tells the client not to trust
+			// the rest.
+			h.fail(ErrShutdown)
+			return
+		}
 		if p := h.promoted.Load(); p != 0 && !h.segReady(int(p-1)) {
 			seg = int(p - 1)
 		}
@@ -595,7 +713,7 @@ func (c *Copier) Close() {
 	for c.pending.Load() > 0 {
 		runtime.Gosched()
 	}
-	close(c.stop)
+	c.closeOnce.Do(func() { close(c.stop) })
 	for _, w := range c.wake {
 		select {
 		case w <- struct{}{}:
@@ -603,4 +721,61 @@ func (c *Copier) Close() {
 		}
 	}
 	c.wg.Wait()
+}
+
+// Shutdown stops the Copier promptly, failing every copy not yet
+// finished with ErrShutdown: queued handles, the remainders of copies
+// in flight, and submissions racing with the shutdown. Blocked Wait
+// and CSync callers unblock. It returns nil once every worker exited
+// and every pending handle has been failed, or ctx's error if that
+// takes longer than the deadline (remaining handles are then the
+// caller's problem — workers are told to stop regardless).
+//
+// Shutdown and Close are both idempotent-safe to combine; after
+// Shutdown, new AMemcpy calls return already-failed handles.
+func (c *Copier) Shutdown(ctx context.Context) error {
+	c.down.Store(true)
+	c.closeOnce.Do(func() { close(c.stop) })
+	for _, w := range c.wake {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Stragglers: a submitter that passed the down check before it was
+	// set may publish after the workers exited. We are the only
+	// consumer now; pop and fail until the pending count settles.
+	for c.pending.Load() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		progress := false
+		for _, r := range c.rings {
+			for {
+				h := r.pop()
+				if h == nil {
+					break
+				}
+				h.fail(ErrShutdown)
+				c.pending.Add(-1)
+				progress = true
+			}
+		}
+		if !progress {
+			// A submitter holds a pending slot but has not published
+			// yet; give it the CPU.
+			runtime.Gosched()
+		}
+	}
+	return nil
 }

@@ -1,0 +1,202 @@
+package acopy
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func buf(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestTryRelease(t *testing.T) {
+	c := New(1)
+	defer c.Close()
+	gate := make(chan struct{})
+	h := c.AMemcpyH(buf(SegSize, 0), buf(SegSize, 0xA1), func() { <-gate })
+	// The handler blocks the worker, so the handle cannot complete yet.
+	if err := h.TryRelease(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("TryRelease on in-flight handle: %v", err)
+	}
+	close(gate)
+	h.Wait()
+	if err := h.TryRelease(); err != nil {
+		t.Fatalf("TryRelease after Wait: %v", err)
+	}
+}
+
+func TestWaitContext(t *testing.T) {
+	c := New(1)
+	defer c.Close()
+	gate := make(chan struct{})
+	dst, src := buf(SegSize, 0), buf(SegSize, 0xB2)
+	h := c.AMemcpyH(dst, src, func() { <-gate })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := h.WaitContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitContext on stuck copy: %v", err)
+	}
+
+	// The copy keeps running after the context gave up.
+	close(gate)
+	if err := h.WaitContext(context.Background()); err != nil {
+		t.Fatalf("WaitContext after unblock: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("data missing after WaitContext success")
+	}
+	// Fast path: completed handle ignores an already-cancelled context.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := h.WaitContext(done); err != nil {
+		t.Fatalf("WaitContext fast path: %v", err)
+	}
+}
+
+func TestShutdownFailsPendingHandles(t *testing.T) {
+	c := New(1)
+	gate := make(chan struct{})
+	blocker := c.AMemcpyH(buf(SegSize, 0), buf(SegSize, 1), func() { <-gate })
+
+	// Queue copies behind the blocked worker.
+	const queued = 32
+	type pair struct {
+		h        *Handle
+		dst, src []byte
+	}
+	var ps []pair
+	for i := 0; i < queued; i++ {
+		d, s := buf(4*SegSize, 0), buf(4*SegSize, byte(i+2))
+		ps = append(ps, pair{c.AMemcpy(d, s), d, s})
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- c.Shutdown(ctx)
+	}()
+	// Let the shutdown land, then free the worker so it can drain.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	blocker.Wait() // must not hang
+	for i, p := range ps {
+		p.h.Wait() // every queued handle completes one way or the other
+		switch err := p.h.Err(); err {
+		case nil:
+			if !bytes.Equal(p.dst, p.src) {
+				t.Fatalf("handle %d reported success with wrong data", i)
+			}
+		default:
+			if !errors.Is(err, ErrShutdown) {
+				t.Fatalf("handle %d: %v", i, err)
+			}
+		}
+		if err := p.h.TryRelease(); err != nil {
+			t.Fatalf("TryRelease handle %d: %v", i, err)
+		}
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("pending = %d after shutdown", got)
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	c := New(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dst := buf(2*SegSize, 0)
+	h := c.AMemcpy(dst, buf(2*SegSize, 0xEE))
+	if !h.Done() {
+		t.Fatal("post-shutdown submit not failed synchronously")
+	}
+	if err := h.Err(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Err = %v", err)
+	}
+	h.Wait()       // no hang
+	h.CSync(0, 16) // early-exits on the failed handle instead of spinning
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("failed copy wrote data")
+		}
+	}
+	if err := h.TryRelease(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownUnderLoad hammers a small Copier from several submitters
+// while Shutdown races with them; every handle must resolve and the
+// pending count must return to zero. Run with -race.
+func TestShutdownUnderLoad(t *testing.T) {
+	c := New(2)
+	const submitters = 4
+	var (
+		mu      sync.Mutex
+		handles []*Handle
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+	)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := c.AMemcpy(buf(2*SegSize, 0), buf(2*SegSize, seed+byte(i)))
+				mu.Lock()
+				handles = append(handles, h)
+				mu.Unlock()
+			}
+		}(byte(s))
+	}
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		sbuf := make([]byte, 1<<20)
+		n := runtime.Stack(sbuf, true)
+		t.Fatalf("Shutdown: %v (pending=%d)\n%s", err, c.Pending(), sbuf[:n])
+	}
+	close(stop)
+	wg.Wait()
+	// Submissions racing with Shutdown either landed in a ring and were
+	// failed by the drain, or were failed synchronously by submitTo —
+	// resolve them all.
+	for deadline := time.Now().Add(10 * time.Second); c.Pending() != 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending stuck at %d", c.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, h := range handles {
+		h.Wait()
+		if err := h.Err(); err != nil && !errors.Is(err, ErrShutdown) {
+			t.Fatalf("handle %d: %v", i, err)
+		}
+	}
+	if len(handles) == 0 {
+		t.Fatal("no submissions raced the shutdown")
+	}
+}

@@ -82,8 +82,15 @@ type Client struct {
 	popBuf  [drainBatch]*Task
 	uPopBuf [drainBatch]*Task
 
+	// dying is set by Service.KillClient; the next service sweep runs
+	// the teardown protocol and then sets closed.
+	dying  bool
 	closed bool
 }
+
+// Closed reports whether the client has been unregistered (explicitly
+// or by death teardown).
+func (c *Client) Closed() bool { return c.closed }
 
 // drainBatch is the admit drain width: up to this many tasks come out
 // of a Copy Queue per tail update.

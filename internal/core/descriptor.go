@@ -145,6 +145,25 @@ func (d *Descriptor) MarkRange(off, n int) {
 	}
 }
 
+// ClearSeg unsets segment i.
+func (d *Descriptor) ClearSeg(i int) {
+	w, b := i/64, uint(i%64)
+	if d.bits[w]&(1<<b) != 0 {
+		d.bits[w] &^= 1 << b
+		d.nset--
+	}
+}
+
+// ClearRange unsets every segment covering [off, off+n) relative to
+// Base — the failure-recovery path un-issues segments whose transfer
+// failed so a later dispatch round re-copies them.
+func (d *Descriptor) ClearRange(off, n int) {
+	first, last := d.segRange(off, n)
+	for i := first; i <= last; i++ {
+		d.ClearSeg(i)
+	}
+}
+
 // Ready reports whether every segment covering [off, off+n) is marked.
 func (d *Descriptor) Ready(off, n int) bool {
 	first, last := d.segRange(off, n)

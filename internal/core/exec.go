@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"copier/internal/cycles"
+	"copier/internal/fault"
 	"copier/internal/hw"
 	"copier/internal/mem"
 	"copier/internal/obs"
@@ -144,7 +145,7 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 // is whole-task (conservative); execution honors the window, which is
 // how Sync Tasks raise the priority of individual segments (§4.1).
 func (s *Service) executeWithDeps(ctx Ctx, c *Client, t *Task, lo, hi, depth int) {
-	if t.executed || t.aborted || t.Kind != KindCopy {
+	if t.executed || t.aborted || t.pendingErr != nil || t.Kind != KindCopy {
 		return
 	}
 	if depth > 64 {
@@ -217,7 +218,7 @@ func (ch *chunk) dmaEligible(minLen int) bool {
 func (s *Service) executeBatch(ctx Ctx, c *Client, reqs []execReq) {
 	var plans []plan
 	for _, r := range reqs {
-		if r.t.executed || r.t.aborted {
+		if r.t.executed || r.t.aborted || r.t.pendingErr != nil {
 			continue
 		}
 		if rec := s.env.Recorder(); rec != nil && r.t.issued == nil {
@@ -244,20 +245,54 @@ func (s *Service) executeBatch(ctx Ctx, c *Client, reqs []execReq) {
 	c.removeExecuted()
 }
 
-// awaitInFlight spins until every issued segment of t has completed
-// (outstanding DMA landed). Needed before a later task may overwrite
-// t's destination or before t is finalized.
+// awaitInFlight spins until t has no outstanding DMA descriptors.
+// Needed before a later task may overwrite t's destination, before t
+// is finalized, and before teardown drops t's pins. Spinning on the
+// in-flight counter — not on descriptor bit comparison — means a
+// failed transfer (which never marks its segments) still unblocks the
+// waiter: the completion callback decrements the counter and
+// broadcasts on success and failure alike.
 func (s *Service) awaitInFlight(ctx Ctx, t *Task) {
-	if t.issued == nil || t.Desc == nil {
+	if t.inflight == 0 {
 		return
 	}
-	watch := t.Desc.Watch()
-	for t.Desc.nset < t.issued.nset {
+	var sig *sim.Signal
+	if t.Desc != nil {
+		sig = t.Desc.Watch()
+	} else {
+		sig = t.Client.Progress
+	}
+	for t.inflight > 0 {
 		ctx.Exec(cycles.DMACompletionCheck)
-		if t.Desc.nset >= t.issued.nset {
+		if t.inflight == 0 {
 			return
 		}
-		ctx.SpinUntil(watch)
+		ctx.SpinUntil(sig)
+	}
+}
+
+// noteFailure records one transient engine failure on t: bounded
+// exponential backoff while retries remain, otherwise a pending
+// permanent failure the next service sweep finalizes via failTask.
+func (s *Service) noteFailure(t *Task, err error) {
+	t.retries++
+	if t.retries > s.cfg.MaxRetries {
+		if t.pendingErr == nil {
+			t.pendingErr = fmt.Errorf("core: task %d gave up after %d transient failures: %w",
+				t.ID, t.retries-1, err)
+		}
+		return
+	}
+	shift := uint(t.retries - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	t.retryAt = s.now() + s.cfg.RetryBackoff<<shift
+	s.Stats.RetriedChunks++
+	s.trace("retry %s task %d (attempt %d, backoff to %d)", t.Client.Name, t.ID, t.retries, t.retryAt)
+	if rec := s.env.Recorder(); rec != nil {
+		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvTaskRetry, Layer: obs.LayerCore,
+			Track: "core:tasks", Name: t.Client.Name, A: int64(t.ID), B: int64(t.retries)})
 	}
 }
 
@@ -597,7 +632,20 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 	}
 
 	dmaSet := map[int]bool{}
-	if s.cfg.EnableDMA && total >= s.cfg.PiggybackThreshold {
+	useDMA := s.cfg.EnableDMA && total >= s.cfg.PiggybackThreshold
+	if useDMA && s.now() < s.dmaAvoidUntil {
+		// Graceful degradation: a recent DMA engine fault opened the
+		// cooldown window, so DMA-eligible work runs on the CPU
+		// engines until it passes.
+		useDMA = false
+		s.Stats.FallbackBytes += int64(total)
+		if rec := s.env.Recorder(); rec != nil {
+			rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvEngineFallback, Layer: obs.LayerCore,
+				Track: "core:tasks", Name: all[0].task.Client.Name,
+				A: int64(all[0].task.ID), B: int64(total)})
+		}
+	}
+	if useDMA {
 		// Walk from the back, greedily moving DMA-eligible chunks to
 		// the DMA engine while its estimated finish time stays below
 		// the AVX time for the remainder.
@@ -642,19 +690,34 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		env := ctx.Env()
 		for _, ch := range dmaChunks {
 			ch.task.issued.MarkRange(ch.dstOff, ch.length)
+			ch.task.inflight++
 			s.Stats.DMABytes += int64(ch.length)
 		}
 		s.inflightDMA += len(dmaPairs)
 		// Segments are marked as each transfer lands; the channel
-		// drains FIFO, so one completion walker serves the batch.
-		s.dma.EnqueueBatch(dmaPairs, func(i int) {
+		// drains FIFO, so one completion walker serves the batch. A
+		// transfer the fault layer failed is rolled back instead: its
+		// segments are un-issued so a later round re-copies them, the
+		// DMA cooldown window opens, and the task backs off (or, with
+		// retries exhausted, fails). Waiters are woken either way —
+		// awaitInFlight watches the in-flight counter, not the bits.
+		s.dma.EnqueueBatch(dmaPairs, func(i int, err error) {
 			ch := dmaChunks[i]
 			s.inflightDMA--
-			s.account(ch.task.Client, ch.length)
-			s.markChunk(ch)
-			if rec := env.Recorder(); rec != nil {
-				rec.Emit(obs.Event{T: int64(env.Now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
-					Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(ch.length)})
+			ch.task.inflight--
+			if err != nil {
+				s.Stats.DMAFaults++
+				s.Stats.DMABytes -= int64(ch.length)
+				ch.task.issued.ClearRange(ch.dstOff, ch.length)
+				s.dmaAvoidUntil = env.Now() + s.cfg.DMACooldown
+				s.noteFailure(ch.task, err)
+			} else {
+				s.account(ch.task.Client, ch.length)
+				s.markChunk(ch)
+				if rec := env.Recorder(); rec != nil {
+					rec.Emit(obs.Event{T: int64(env.Now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
+						Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(ch.length)})
+				}
 			}
 			ch.task.Client.Progress.Broadcast(env)
 			if ch.task.Desc != nil {
@@ -687,6 +750,26 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 			piece := segEnd - taskOff
 			if piece > ch.length-off {
 				piece = ch.length - off
+			}
+			if o := s.inj.At(fault.SiteCPU); o.Faulty() {
+				if o.Stall > 0 {
+					// Engine stall: the slice hiccups but still lands.
+					ctx.Exec(sim.Time(o.Stall))
+				}
+				if o.Fail {
+					// Transient CPU-engine failure: the attempt burns
+					// its cycles but no bytes land; the segment stays
+					// un-issued and the task backs off.
+					s.Stats.CPUFaults++
+					if rec := s.env.Recorder(); rec != nil {
+						rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvFaultInjected,
+							Layer: obs.LayerHW, Track: cpuTrack, Name: "fault", A: int64(piece), B: 1})
+					}
+					ctx.Exec(cycles.CopyCost(s.cpuUnit(), piece))
+					s.noteFailure(ch.task, hw.ErrEngine)
+					off += piece
+					continue
+				}
 			}
 			cost := cycles.CopyCost(s.cpuUnit(), piece) + cycles.SegmentUpdate
 			if rec := s.env.Recorder(); rec != nil {
@@ -816,6 +899,11 @@ func (s *Service) failTask(ctx Ctx, c *Client, t *Task, err error) {
 	c.backlogBytes -= int64(t.Len)
 	s.backlogBytes -= int64(t.Len)
 	s.Stats.FailedTasks++
+	s.trace("fail %s task %d: %v", c.Name, t.ID, err)
+	if rec := s.env.Recorder(); rec != nil {
+		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvTaskFailed, Layer: obs.LayerCore,
+			Track: "core:tasks", Name: c.Name, A: int64(t.ID), B: int64(t.retries)})
+	}
 	c.Progress.Broadcast(ctx.Env())
 	c.removeExecuted()
 }

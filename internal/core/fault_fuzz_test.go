@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/cycles"
+	"copier/internal/fault"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// FuzzFaultSchedule drives a small service instance under an arbitrary
+// fault schedule and checks the recovery invariants hold for every
+// schedule: the simulation terminates, every task ends executed (with
+// or without error), no pins or ring slots leak, and the backlog
+// accounting returns to zero.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), uint32(0), uint32(0), uint32(0), uint32(0), uint8(3))
+	f.Add(uint64(42), uint32(300_000), uint32(100_000), uint32(0), uint32(50_000), uint8(5))
+	f.Add(uint64(7), uint32(1_000_000), uint32(0), uint32(1_000_000), uint32(0), uint8(2))
+	f.Add(uint64(0xdead), uint32(50_000), uint32(900_000), uint32(200_000), uint32(500_000), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, dmaFail, dmaStall, cpuFail, cpuStall uint32, ntasks uint8) {
+		const ppmMax = 1_000_000
+		dmaFail %= ppmMax + 1
+		dmaStall %= ppmMax + 1
+		cpuFail %= ppmMax + 1
+		cpuStall %= ppmMax + 1
+		tasks := int(ntasks%8) + 1
+
+		env := sim.NewEnv()
+		pm := mem.NewPhysMem(32 << 20)
+		svc := NewService(env, pm, DefaultConfig())
+		svc.SetFaultInjector(fault.New(seed).
+			SetRates(fault.SiteDMA, fault.Rates{
+				FailPpm: dmaFail, StallPpm: dmaStall,
+				StallCycles: 5 * cycles.CyclesPerMicrosecond,
+			}).
+			SetRates(fault.SiteCPU, fault.Rates{
+				FailPpm: cpuFail, StallPpm: cpuStall,
+				StallCycles: 5 * cycles.CyclesPerMicrosecond,
+			}))
+		uas := mem.NewAddrSpace(pm)
+		kas := mem.NewAddrSpace(pm)
+		c := svc.NewClient("fuzz", uas, kas, nil)
+
+		alloc := func(size int, fill byte) mem.VA {
+			va := uas.MMap(int64(size), mem.PermRead|mem.PermWrite, "buf")
+			if _, err := uas.Populate(va, int64(size), true); err != nil {
+				t.Fatal(err)
+			}
+			if err := uas.WriteAt(va, bytes.Repeat([]byte{fill}, size)); err != nil {
+				t.Fatal(err)
+			}
+			return va
+		}
+
+		var all []*Task
+		for i := 0; i < tasks; i++ {
+			// Mix sizes around the piggyback threshold so both engines
+			// see work.
+			n := 4 << 10 << (i % 5)
+			src := alloc(n, byte(i+1))
+			dst := alloc(n, 0)
+			task := &Task{Src: src, Dst: dst, SrcAS: uas, DstAS: uas, Len: n,
+				Desc: NewDescriptor(dst, n, 0)}
+			if !c.SubmitCopy(task, false) {
+				t.Fatal("submit failed")
+			}
+			all = append(all, task)
+		}
+		env.Go("copierd", func(p *sim.Proc) { svc.ThreadMain(testCtx{p}, 0) })
+		if err := env.Run(5_000_000_000); err != nil {
+			t.Fatalf("sim error (stuck service thread?): %v", err)
+		}
+		svc.Stop()
+		if err := env.Run(5_100_000_000); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+
+		for i, task := range all {
+			if !task.Executed() && !task.Aborted() {
+				t.Fatalf("task %d stuck: retries=%d", i, task.Retries())
+			}
+			if task.Err() == nil && task.Executed() {
+				n := task.Len
+				got := make([]byte, n)
+				if err := uas.ReadAt(task.Dst, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, n)) {
+					t.Fatalf("task %d reported success with corrupt data", i)
+				}
+			}
+		}
+		for _, q := range []*Ring{c.U.Copy, c.U.Sync, c.K.Copy, c.K.Sync} {
+			if q.Len() != 0 {
+				t.Fatalf("ring slot leak: %d entries", q.Len())
+			}
+		}
+		if got := svc.Backlog(); got != 0 {
+			t.Fatalf("backlog drift: %d", got)
+		}
+		if r := uas.AuditLeaks(); !r.Clean() {
+			t.Fatalf("pin leak: %+v", r)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/fault"
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// TestDMAFaultRetryRecovers injects transient DMA engine failures and
+// checks the service retries the failed chunks until the data lands
+// intact.
+func TestDMAFaultRetryRecovers(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.svc.SetFaultInjector(fault.New(42).SetRates(fault.SiteDMA, fault.Rates{
+		FailPpm: 300_000, // ~30% of DMA descriptors fail
+	}))
+	const n = 64 << 10 // well above the piggyback threshold
+	const tasks = 8
+	var all []*Task
+	for i := 0; i < tasks; i++ {
+		src := h.alloc(t, h.uas, n, byte(i+1))
+		dst := h.alloc(t, h.uas, n, 0)
+		task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+		if !h.c.SubmitCopy(task, false) {
+			t.Fatal("submit failed")
+		}
+		all = append(all, task)
+	}
+	h.start()
+	h.run(t, 500_000_000)
+
+	for i, task := range all {
+		if !task.Executed() {
+			t.Fatalf("task %d not executed (retries=%d)", i, task.Retries())
+		}
+		if task.Err() != nil {
+			t.Fatalf("task %d: %v", i, task.Err())
+		}
+		got := h.read(t, h.uas, task.Dst, n)
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, n)) {
+			t.Fatalf("task %d data corrupted after retries", i)
+		}
+	}
+	if h.svc.Stats.DMAFaults == 0 {
+		t.Fatal("injector never fired — test exercised nothing")
+	}
+	if h.svc.Stats.RetriedChunks == 0 {
+		t.Fatal("no retries despite DMA faults")
+	}
+	if r := h.uas.AuditLeaks(); !r.Clean() {
+		t.Fatalf("leaked pins after recovery: %+v", r)
+	}
+}
+
+// TestPermanentFaultFailsTask pins every DMA attempt to fail; with
+// retries exhausted the task must complete with an error, propagate it
+// to the descriptor, and leak nothing.
+func TestPermanentFaultFailsTask(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 2
+	h := newHarness(t, cfg)
+	// Fail both engines: with only DMA failing, the cooldown diverts
+	// the retry to the CPU engines and the task (correctly) recovers.
+	h.svc.SetFaultInjector(fault.New(1).
+		SetRates(fault.SiteDMA, fault.Rates{FailPpm: 1_000_000}).
+		SetRates(fault.SiteCPU, fault.Rates{FailPpm: 1_000_000}))
+	const n = 64 << 10
+	src := h.alloc(t, h.uas, n, 0x77)
+	dst := h.alloc(t, h.uas, n, 0)
+	task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+	desc := NewDescriptor(dst, n, 0)
+	task.Desc = desc
+	if !h.c.SubmitCopy(task, false) {
+		t.Fatal("submit failed")
+	}
+	h.start()
+	h.run(t, 1_000_000_000)
+
+	if !task.Executed() {
+		t.Fatal("failed task never finalized")
+	}
+	if task.Err() == nil {
+		t.Fatal("task has no error despite both engines failing")
+	}
+	if desc.Err == nil {
+		t.Fatal("descriptor did not see the failure")
+	}
+	if h.svc.Stats.FailedTasks != 1 {
+		t.Fatalf("FailedTasks = %d", h.svc.Stats.FailedTasks)
+	}
+	if r := h.uas.AuditLeaks(); !r.Clean() {
+		t.Fatalf("failed task leaked pins: %+v", r)
+	}
+	if got := h.svc.Backlog(); got != 0 {
+		t.Fatalf("backlog = %d after failure", got)
+	}
+}
+
+// TestEngineFallbackCooldown: after a DMA fault the dispatcher must
+// divert DMA-eligible tasks to the CPU engines for the cooldown
+// window.
+func TestEngineFallbackCooldown(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	// Exactly the first DMA descriptor fails; everything after should
+	// hit the cooldown diversion.
+	h.svc.SetFaultInjector(fault.New(3).AddRule(fault.Rule{
+		Site: fault.SiteDMA, Nth: 1, Outcome: fault.Outcome{Fail: true},
+	}))
+	const n = 64 << 10
+	const tasks = 6
+	var all []*Task
+	for i := 0; i < tasks; i++ {
+		src := h.alloc(t, h.uas, n, byte(0x10+i))
+		dst := h.alloc(t, h.uas, n, 0)
+		task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+		if !h.c.SubmitCopy(task, false) {
+			t.Fatal("submit failed")
+		}
+		all = append(all, task)
+	}
+	h.start()
+	h.run(t, 500_000_000)
+
+	for i, task := range all {
+		if !task.Executed() || task.Err() != nil {
+			t.Fatalf("task %d: executed=%v err=%v", i, task.Executed(), task.Err())
+		}
+	}
+	if h.svc.Stats.DMAFaults != 1 {
+		t.Fatalf("DMAFaults = %d, want exactly the pinned one", h.svc.Stats.DMAFaults)
+	}
+	if h.svc.Stats.FallbackBytes == 0 {
+		t.Fatal("no CPU fallback during the post-fault cooldown")
+	}
+}
+
+// TestAbortUnderConcurrentSubmit streams submissions from one proc
+// while another fires range and descriptor aborts at the same buffers;
+// every task must end exactly executed or aborted, with no lost ring
+// slots, no backlog drift, and no leaked pins. The -race run of this
+// package covers the submit/abort interleavings.
+func TestAbortUnderConcurrentSubmit(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	const n = 16 << 10
+	const rounds = 40
+	type sub struct {
+		task *Task
+		desc *Descriptor
+	}
+	var (
+		subs    []sub
+		descs   = make(chan *Descriptor, rounds)
+		submits int
+	)
+	src := h.alloc(t, h.uas, n, 0xCD)
+	// Distinct destination per round so aborts target specific tasks.
+	dsts := make([]mem.VA, rounds)
+	for i := range dsts {
+		dsts[i] = h.alloc(t, h.uas, n, 0)
+	}
+
+	h.env.Go("submitter", func(p *sim.Proc) {
+		ctx := testCtx{p}
+		for i := 0; i < rounds; i++ {
+			d := NewDescriptor(dsts[i], n, 0)
+			task := &Task{Src: src, Dst: dsts[i], SrcAS: h.uas, DstAS: h.uas, Len: n, Desc: d}
+			if !h.c.SubmitCopy(task, false) {
+				// Ring full: let the service drain, try again later.
+				ctx.Exec(50_000)
+				i--
+				continue
+			}
+			submits++
+			subs = append(subs, sub{task, d})
+			descs <- d
+			ctx.Exec(2_000)
+		}
+		close(descs)
+	})
+	h.env.Go("aborter", func(p *sim.Proc) {
+		ctx := testCtx{p}
+		i := 0
+		for d := range descs {
+			// Alternate between descriptor-targeted and range aborts.
+			if i%2 == 0 {
+				h.c.SubmitAbortDesc(d, false)
+			} else {
+				h.c.SubmitAbort(d.Base, n, false)
+			}
+			i++
+			ctx.Exec(3_000)
+		}
+	})
+	h.start()
+	h.run(t, 2_000_000_000)
+
+	if submits != rounds {
+		t.Fatalf("submitted %d of %d", submits, rounds)
+	}
+	var executed, aborted int64
+	for i, s := range subs {
+		switch {
+		case s.task.Aborted() && !s.task.Executed():
+			aborted++
+		case s.task.Executed() && !s.task.Aborted():
+			executed++
+		default:
+			t.Fatalf("task %d in impossible state: executed=%v aborted=%v",
+				i, s.task.Executed(), s.task.Aborted())
+		}
+	}
+	if executed+aborted != rounds {
+		t.Fatalf("executed %d + aborted %d != %d", executed, aborted, rounds)
+	}
+	if h.svc.Stats.AbortedTasks != aborted {
+		t.Fatalf("Stats.AbortedTasks = %d, tasks aborted = %d", h.svc.Stats.AbortedTasks, aborted)
+	}
+	if aborted == 0 {
+		t.Fatal("no task was ever aborted — interleaving too tame to test anything")
+	}
+	// No lost ring slots: every queue drained.
+	for _, q := range []*Ring{h.c.U.Copy, h.c.U.Sync, h.c.K.Copy, h.c.K.Sync} {
+		if q.Len() != 0 {
+			t.Fatalf("ring not drained: %d entries", q.Len())
+		}
+	}
+	if got := h.svc.Backlog(); got != 0 {
+		t.Fatalf("backlog drift: %d", got)
+	}
+	if r := h.uas.AuditLeaks(); !r.Clean() {
+		t.Fatalf("leaked pins: %+v", r)
+	}
+}
+
+// TestServiceKillClientDirect covers teardown at the service level
+// without the kernel: kill a client with queued work, then check a
+// second client is unaffected.
+func TestServiceKillClientDirect(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	uas2 := mem.NewAddrSpace(h.pm)
+	c2 := h.svc.NewClient("other", uas2, h.kas, nil)
+
+	const n = 32 << 10
+	const tasks = 12
+	for i := 0; i < tasks; i++ {
+		src := h.alloc(t, h.uas, n, 0x31)
+		dst := h.alloc(t, h.uas, n, 0)
+		if !h.c.SubmitCopy(&Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}, false) {
+			t.Fatal("submit failed")
+		}
+	}
+	src2 := h.alloc(t, uas2, n, 0x99)
+	dst2 := h.alloc(t, uas2, n, 0)
+	t2 := &Task{Src: src2, Dst: dst2, SrcAS: uas2, DstAS: uas2, Len: n}
+	if !c2.SubmitCopy(t2, false) {
+		t.Fatal("submit failed")
+	}
+
+	// Kill the first client before the service ever runs: everything
+	// it queued must be reclaimed, and client 2 served normally.
+	h.svc.KillClient(h.c)
+	h.start()
+	h.run(t, 100_000_000)
+
+	if h.svc.Stats.ClientTeardowns != 1 {
+		t.Fatalf("ClientTeardowns = %d", h.svc.Stats.ClientTeardowns)
+	}
+	if h.svc.Stats.ReclaimedTasks+h.svc.Stats.AbortedTasks == 0 {
+		t.Fatal("teardown reclaimed nothing")
+	}
+	if !h.c.Closed() {
+		t.Fatal("dead client not closed")
+	}
+	if !t2.Executed() || t2.Err() != nil {
+		t.Fatalf("surviving client starved: executed=%v err=%v", t2.Executed(), t2.Err())
+	}
+	if !bytes.Equal(h.read(t, uas2, dst2, n), bytes.Repeat([]byte{0x99}, n)) {
+		t.Fatal("surviving client data corrupted")
+	}
+	if r := h.uas.AuditLeaks(); !r.Clean() {
+		t.Fatalf("dead client leaked pins: %+v", r)
+	}
+	if got := h.svc.Backlog(); got != 0 {
+		t.Fatalf("backlog = %d", got)
+	}
+}

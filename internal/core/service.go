@@ -1,14 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"copier/internal/cycles"
+	"copier/internal/fault"
 	"copier/internal/hw"
 	"copier/internal/mem"
+	"copier/internal/obs"
 	"copier/internal/sim"
 )
+
+// ErrClientDead is recorded on the descriptors of tasks reclaimed by
+// client-death teardown, so csync callers sharing the descriptor
+// observe the death instead of hanging.
+var ErrClientDead = errors.New("core: client died before copy completed")
 
 // PollMode selects how Copier threads wait for work (§4.5.1).
 type PollMode int
@@ -45,6 +53,17 @@ type Config struct {
 	// LazyPeriod is how long a Lazy Task may linger before forced
 	// execution (§4.4).
 	LazyPeriod sim.Time
+
+	// MaxRetries bounds transient engine failures absorbed per task
+	// before the task completes with an error.
+	MaxRetries int
+	// RetryBackoff is the base re-dispatch delay after a transient
+	// engine failure; it doubles per retry (capped at 64x).
+	RetryBackoff sim.Time
+	// DMACooldown is how long after a DMA engine fault the dispatcher
+	// diverts DMA-eligible work to the CPU engines (graceful
+	// degradation).
+	DMACooldown sim.Time
 
 	EnableDMA        bool
 	EnableAbsorption bool
@@ -88,6 +107,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LazyPeriod == 0 {
 		c.LazyPeriod = 2 * cycles.CyclesPerMicrosecond * 1000 // 2ms
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * cycles.CyclesPerMicrosecond
+	}
+	if c.DMACooldown == 0 {
+		c.DMACooldown = 100 * cycles.CyclesPerMicrosecond
 	}
 	if c.NAPIBudget == 0 {
 		// ~100us of busy polling before sleeping, like io_uring
@@ -133,6 +161,14 @@ type Stats struct {
 	Sleeps          int64
 	Wakeups         int64
 	LazyExpired     int64
+
+	// Failure-recovery counters.
+	DMAFaults       int64 // DMA descriptors that completed with an engine error
+	CPUFaults       int64 // CPU copy slices failed by the fault layer
+	RetriedChunks   int64 // backoff-rescheduled failures (retries granted)
+	FallbackBytes   int64 // DMA-eligible bytes diverted to CPU during cooldown
+	ClientTeardowns int64 // dead clients reclaimed
+	ReclaimedTasks  int64 // tasks (queued + pending) reclaimed by teardown
 }
 
 // Service is the Copier OS service instance.
@@ -163,6 +199,14 @@ type Service struct {
 	// keeps polling (and does not sleep) while any are pending so
 	// completions are finalized promptly.
 	inflightDMA int
+
+	// inj, when set, is the deterministic fault injector consulted on
+	// the CPU dispatch path (the DMA channel holds its own reference).
+	inj *fault.Injector
+	// dmaAvoidUntil opens after a DMA engine fault: until it passes,
+	// DMA-eligible chunks run on the CPU engines instead (graceful
+	// degradation; §4.3's piggybacking in reverse).
+	dmaAvoidUntil sim.Time
 
 	// threads active (for auto-scaling and client partitioning).
 	activeThreads int
@@ -213,6 +257,13 @@ func (s *Service) DMA() *hw.DMAChannel { return s.dma }
 
 // SetCache attaches a cache model observing service-side copies.
 func (s *Service) SetCache(c *hw.Cache) { s.cache = c }
+
+// SetFaultInjector attaches a deterministic fault injector to the
+// service and its DMA channel; nil detaches.
+func (s *Service) SetFaultInjector(in *fault.Injector) {
+	s.inj = in
+	s.dma.SetFaultInjector(in)
+}
 
 // SetKernelAS identifies the kernel address space (no pinning needed).
 func (s *Service) SetKernelAS(as *mem.AddrSpace) { s.kernelAS = as }
@@ -306,6 +357,89 @@ func (s *Service) NewClient(name string, uas, kas *mem.AddrSpace, group *CGroupA
 		}
 	}
 	return c
+}
+
+// KillClient marks a client dead (its process exited or was killed).
+// The service threads observe the flag at the next sweep and run the
+// teardown protocol: drain the CSH rings, abort admitted tasks after
+// waiting out their in-flight DMA, unpin pages, record ErrClientDead
+// on descriptors, and unregister the client — all without wedging.
+func (s *Service) KillClient(c *Client) {
+	if c == nil || c.closed || c.dying {
+		return
+	}
+	c.dying = true
+	// Wake sleeping service threads unconditionally: the doorbell only
+	// fires on submissions, and a dead client submits nothing more.
+	s.workSig.Broadcast(s.env)
+}
+
+// teardownClient reclaims everything a dead client left behind. Runs
+// in a service thread's context so pin releases and ring drains charge
+// cycles like any other service work.
+func (s *Service) teardownClient(ctx Ctx, c *Client) {
+	reclaimed := 0
+	// Drain every CSH ring, freeing the slots. Queued-but-unadmitted
+	// copy tasks never pinned anything — they are simply dropped.
+	for _, q := range []*QueueSet{c.K, c.U} {
+		for {
+			n := q.Copy.PopN(c.popBuf[:])
+			if n == 0 {
+				break
+			}
+			ctx.Exec(popCost(n))
+			for i := 0; i < n; i++ {
+				if c.popBuf[i].Kind == KindCopy {
+					reclaimed++
+				}
+				c.popBuf[i] = nil
+			}
+		}
+		for q.Sync.Pop() != nil {
+			ctx.Exec(cycles.TaskPop)
+		}
+	}
+	// Abort every admitted task: outstanding DMA still addresses the
+	// pinned frames, so wait it out before dropping the pins.
+	for _, t := range c.pending {
+		if t.executed || t.aborted {
+			continue
+		}
+		s.awaitInFlight(ctx, t)
+		s.unpinAll(ctx, t.pins)
+		t.pins = nil
+		t.aborted = true
+		t.err = ErrClientDead
+		if t.Desc != nil {
+			t.Desc.Err = ErrClientDead
+			t.Desc.NotifyProgress(ctx.Env())
+		}
+		c.backlogBytes -= int64(t.Len)
+		s.backlogBytes -= int64(t.Len)
+		s.Stats.AbortedTasks++
+		reclaimed++
+		// Kernel-side FUNCs still run — they reclaim kernel resources
+		// (skbs, kernel buffers) the dead process cannot. User FUNCs
+		// are dropped: there is no process left to run them.
+		if h := t.Handler; h != nil && h.Kernel {
+			ctx.Exec(cycles.HandlerDispatch + h.Cost)
+			if h.Fn != nil {
+				h.Fn()
+			}
+			s.Stats.KFuncsRun++
+		}
+	}
+	c.pending = c.pending[:0]
+	c.U.handlers = nil
+	s.Stats.ClientTeardowns++
+	s.Stats.ReclaimedTasks += int64(reclaimed)
+	s.trace("teardown %s: reclaimed %d tasks", c.Name, reclaimed)
+	if rec := s.env.Recorder(); rec != nil {
+		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvClientTeardown, Layer: obs.LayerCore,
+			Track: "core:clients", Name: c.Name, A: int64(c.ID), B: int64(reclaimed)})
+	}
+	c.Progress.Broadcast(ctx.Env())
+	s.CloseClient(c)
 }
 
 // CloseClient unregisters a client.
@@ -405,6 +539,18 @@ func (s *Service) ThreadMain(ctx Ctx, slot int) {
 			ctx.Exec(cycles.XSave)
 		}
 	}
+	// Final reclaim: a client killed just before Stop must not leak
+	// pins because the loop never saw it. Snapshot first — teardown
+	// unregisters clients from the list being walked.
+	var dying []*Client
+	for _, c := range s.clients {
+		if c.dying && !c.closed {
+			dying = append(dying, c)
+		}
+	}
+	for _, c := range dying {
+		s.teardownClient(ctx, c)
+	}
 	s.activeThreads--
 }
 
@@ -455,6 +601,22 @@ func (s *Service) clientsOf(slot int) []*Client {
 func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 	mine := s.clientsOf(slot)
 	worked := false
+	// Dead clients first: reclaim their state before serving anything
+	// else. Collected into a scratch slice because teardown unregisters
+	// the client, mutating the list mine may alias.
+	var dying []*Client
+	for _, c := range mine {
+		if c.dying && !c.closed {
+			dying = append(dying, c)
+		}
+	}
+	if len(dying) > 0 {
+		for _, c := range dying {
+			s.teardownClient(ctx, c)
+		}
+		worked = true
+		mine = s.clientsOf(slot)
+	}
 	for _, c := range mine {
 		if c.closed {
 			continue
@@ -473,13 +635,27 @@ func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 			}
 		}
 	}
-	// Finish tasks whose outstanding DMA completed since last sweep.
+	// Finish tasks whose outstanding DMA completed since last sweep,
+	// and finalize tasks whose retries are exhausted (failTask mutates
+	// the pending list, so failures are collected first).
 	for _, c := range mine {
+		var failed []*Task
 		for _, t := range c.pending {
-			if !t.executed && !t.aborted && t.Kind == KindCopy && t.segDone >= t.Len {
+			if t.executed || t.aborted || t.Kind != KindCopy {
+				continue
+			}
+			if t.pendingErr != nil && t.inflight == 0 {
+				failed = append(failed, t)
+				continue
+			}
+			if t.segDone >= t.Len {
 				s.finishTask(ctx, c, t)
 				worked = true
 			}
+		}
+		for _, t := range failed {
+			s.failTask(ctx, c, t, t.pendingErr)
+			worked = true
 		}
 		c.removeExecuted()
 	}
@@ -517,9 +693,10 @@ func (s *Service) pickClient(ctx Ctx, mine []*Client) *Client {
 		g *CGroupAccount
 		c *Client
 	}
+	now := s.now()
 	var best *cand
 	for _, c := range mine {
-		if c.closed || !c.runnable() {
+		if c.closed || !c.runnable(now) {
 			continue
 		}
 		g := c.Group
@@ -535,14 +712,23 @@ func (s *Service) pickClient(ctx Ctx, mine []*Client) *Client {
 	return best.c
 }
 
-// runnable reports whether the client has non-lazy pending work.
-func (c *Client) runnable() bool {
+// runnable reports whether the client has non-lazy pending work that
+// is dispatchable now (not backing off after a transient failure, not
+// awaiting failure finalization).
+func (c *Client) runnable(now sim.Time) bool {
 	for _, t := range c.pending {
-		if !t.executed && !t.aborted && !t.Lazy {
+		if t.dispatchable(now) {
 			return true
 		}
 	}
 	return false
+}
+
+// dispatchable reports whether the scheduler may hand t to the copy
+// units right now.
+func (t *Task) dispatchable(now sim.Time) bool {
+	return !t.executed && !t.aborted && !t.Lazy &&
+		t.pendingErr == nil && t.retryAt <= now
 }
 
 // serveClient executes pending tasks FIFO up to budget bytes, fusing
@@ -554,10 +740,13 @@ func (c *Client) runnable() bool {
 func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 	worked := false
 	for budget > 0 {
-		// Head = oldest non-lazy unexecuted task.
+		// Head = oldest non-lazy unexecuted task that is dispatchable
+		// (tasks backing off after a transient failure wait out their
+		// retryAt unless something depends on them).
+		now := s.now()
 		var head *Task
 		for _, t := range c.pending {
-			if !t.executed && !t.aborted && !t.Lazy {
+			if t.dispatchable(now) {
 				head = t
 				break
 			}
@@ -579,7 +768,7 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 		batch := []*Task{head}
 		fused := head.Len
 		for _, t := range c.pending {
-			if t == head || t.executed || t.aborted || t.Lazy {
+			if t == head || !t.dispatchable(now) {
 				continue
 			}
 			if t.orderIdx < head.orderIdx {

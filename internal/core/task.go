@@ -110,10 +110,28 @@ type Task struct {
 	// pins are the page ranges pinned for the in-flight execution.
 	pins []pinRec
 	err  error
+
+	// inflight counts outstanding DMA descriptors for this task. It —
+	// not descriptor bit comparison — is what awaitInFlight spins on,
+	// so a failed transfer (which never marks its segments) still
+	// unblocks aborts and teardown.
+	inflight int
+	// retries counts transient engine failures absorbed so far;
+	// retryAt defers re-dispatch until the backoff expires (virtual
+	// time, so replays stay deterministic).
+	retries int
+	retryAt sim.Time
+	// pendingErr is set when retries are exhausted: the next service
+	// sweep finalizes the task via failTask once inflight drains.
+	pendingErr error
 }
 
 // Err returns the failure recorded when the service dropped the task.
 func (t *Task) Err() error { return t.err }
+
+// Retries reports how many transient engine failures the task
+// absorbed.
+func (t *Task) Retries() int { return t.retries }
 
 // phys reports whether the task is physically addressed.
 func (t *Task) phys() bool { return len(t.PhysDst) > 0 }

@@ -1,0 +1,246 @@
+// Package fault is the deterministic fault-injection layer for the
+// simulated copy stack. An Injector is a pure function of its seed and
+// the per-site occurrence counters: the Nth consultation of a given
+// site always yields the same Outcome for the same seed, so any
+// failure found under a chaos schedule replays byte-identically.
+//
+// Two mechanisms compose:
+//
+//   - Rates: per-site probabilities (parts per million) drawn from a
+//     splitmix64 stream keyed on (seed, site, occurrence). This is the
+//     chaos-harness mode — "roughly 2% of DMA descriptors fail".
+//   - Rules: explicit (site, occurrence) → Outcome overrides. This is
+//     the targeted-test mode — "the 3rd DMA descriptor stalls 50k
+//     cycles then fails".
+//
+// The package imports only the standard library so every layer
+// (hw, core, kernel, bench) can depend on it without cycles. Virtual
+// time is carried as plain int64 cycles.
+package fault
+
+import "fmt"
+
+// Site identifies one class of injection point in the stack.
+type Site uint8
+
+const (
+	// SiteDMA is consulted once per DMA descriptor at submit time.
+	// Fail models a transient engine error (the descriptor completes
+	// with an error and only Partial permille of its bytes moved);
+	// Stall models an engine stall extending the transfer.
+	SiteDMA Site = iota
+	// SiteCPU is consulted once per CPU (AVX/ERMS) dispatch slice in
+	// the Copier service. Fail models a transient machine-check style
+	// copy failure: the slice moves no bytes and the task retries.
+	SiteCPU
+
+	NumSites
+)
+
+var siteNames = [NumSites]string{"dma", "cpu"}
+
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return "site?"
+}
+
+// Outcome is the injector's verdict for one consultation. The zero
+// Outcome means "no fault".
+type Outcome struct {
+	// Fail: the operation reports a transient error.
+	Fail bool
+	// Partial is how much of the operation's payload lands anyway,
+	// in permille (0..1000). Only meaningful when Fail is set; a
+	// failed DMA descriptor with Partial=250 moved the first quarter
+	// of its bytes before the engine errored.
+	Partial int
+	// Stall is extra virtual cycles added to the operation's latency
+	// (an engine stall). Stall composes with Fail.
+	Stall int64
+}
+
+// Faulty reports whether the outcome perturbs the operation at all.
+func (o Outcome) Faulty() bool { return o.Fail || o.Stall > 0 }
+
+// Rates configures probabilistic injection for one site. All
+// probabilities are parts per million of consultations.
+type Rates struct {
+	// FailPpm: probability the operation fails transiently.
+	FailPpm uint32
+	// PartialPpm: among failures, probability the failure is partial
+	// (a deterministic permille of the payload still lands).
+	PartialPpm uint32
+	// StallPpm: probability of an engine stall.
+	StallPpm uint32
+	// StallCycles: stall length; the drawn stall is in
+	// [StallCycles/2, StallCycles].
+	StallCycles int64
+}
+
+// Rule pins the Outcome of one exact consultation: the Nth time
+// (0-based) Site is consulted, Outcome is returned regardless of
+// rates.
+type Rule struct {
+	Site    Site
+	Nth     uint64
+	Outcome Outcome
+}
+
+// Stats counts what the injector actually did, per site.
+type Stats struct {
+	Consulted uint64
+	Fails     uint64
+	Partials  uint64
+	Stalls    uint64
+}
+
+// Injector decides fault outcomes. The zero value and the nil pointer
+// are both valid "inject nothing" injectors, so call sites need no
+// guard beyond the method call itself. Injector is not safe for
+// concurrent use; inside the discrete-event simulation exactly one
+// process runs at a time.
+type Injector struct {
+	seed  uint64
+	rates [NumSites]Rates
+	rules map[uint64]Outcome
+	stats [NumSites]Stats
+}
+
+// New returns an injector seeded with seed. With no rates or rules set
+// it injects nothing.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// Seed reports the injector's seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// SetRates installs probabilistic injection for site.
+func (in *Injector) SetRates(site Site, r Rates) *Injector {
+	in.rates[site] = r
+	return in
+}
+
+// AddRule pins the outcome of the Nth consultation of a site.
+func (in *Injector) AddRule(r Rule) *Injector {
+	if in.rules == nil {
+		in.rules = make(map[uint64]Outcome)
+	}
+	in.rules[ruleKey(r.Site, r.Nth)] = r.Outcome
+	return in
+}
+
+func ruleKey(site Site, nth uint64) uint64 {
+	return uint64(site)<<56 | nth&(1<<56-1)
+}
+
+// At consults the injector for the next occurrence of site. Safe on a
+// nil receiver (returns the zero Outcome).
+func (in *Injector) At(site Site) Outcome {
+	if in == nil {
+		return Outcome{}
+	}
+	st := &in.stats[site]
+	n := st.Consulted
+	st.Consulted++
+
+	var o Outcome
+	if pinned, ok := in.rules[ruleKey(site, n)]; ok {
+		o = pinned
+	} else {
+		o = in.draw(site, n)
+	}
+	if o.Fail {
+		st.Fails++
+		if o.Partial > 0 {
+			st.Partials++
+		}
+	}
+	if o.Stall > 0 {
+		st.Stalls++
+	}
+	return o
+}
+
+// draw derives the rate-based outcome for the Nth consultation of
+// site. Pure function of (seed, site, n).
+func (in *Injector) draw(site Site, n uint64) Outcome {
+	r := in.rates[site]
+	if r.FailPpm == 0 && r.StallPpm == 0 {
+		return Outcome{}
+	}
+	// Avalanche the seed before combining with the counter: small
+	// seeds XORed directly into n would yield almost the same key set
+	// as n alone, making fault totals nearly seed-invariant.
+	h := splitmix64(splitmix64(in.seed^uint64(site)*0x9e3779b97f4a7c15) ^ n)
+	var o Outcome
+	if uint32(h%1_000_000) < r.FailPpm {
+		o.Fail = true
+		h = splitmix64(h)
+		if uint32(h%1_000_000) < r.PartialPpm {
+			h = splitmix64(h)
+			o.Partial = 1 + int(h%999) // (0,1000): strictly partial
+		}
+	}
+	h = splitmix64(h + 1)
+	if uint32(h%1_000_000) < r.StallPpm && r.StallCycles > 0 {
+		h = splitmix64(h)
+		half := r.StallCycles / 2
+		o.Stall = half + int64(h%uint64(r.StallCycles-half+1))
+	}
+	return o
+}
+
+// StatsOf reports what the injector did at one site so far.
+func (in *Injector) StatsOf(site Site) Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats[site]
+}
+
+// TotalFaults sums injected faults (fails + stalls) across all sites.
+func (in *Injector) TotalFaults() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for i := range in.stats {
+		t += in.stats[i].Fails + in.stats[i].Stalls
+	}
+	return t
+}
+
+// String renders per-site counters for logs and tables.
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: off"
+	}
+	s := fmt.Sprintf("fault(seed=%#x)", in.seed)
+	for site := Site(0); site < NumSites; site++ {
+		st := in.stats[site]
+		if st.Consulted == 0 {
+			continue
+		}
+		s += fmt.Sprintf(" %s:{n=%d fail=%d partial=%d stall=%d}",
+			site, st.Consulted, st.Fails, st.Partials, st.Stalls)
+	}
+	return s
+}
+
+// splitmix64 is the canonical SplitMix64 finalizer: a bijective mixer
+// with full avalanche, giving an independent stream per (seed, site,
+// occurrence) triple.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

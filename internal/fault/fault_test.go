@@ -1,0 +1,105 @@
+package fault
+
+import "testing"
+
+// TestDeterministic: the same seed must yield the identical outcome
+// sequence — the property every chaos golden and replay depends on.
+func TestDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return New(0xfeed).
+			SetRates(SiteDMA, Rates{FailPpm: 100_000, PartialPpm: 500_000, StallPpm: 50_000, StallCycles: 10_000}).
+			SetRates(SiteCPU, Rates{FailPpm: 20_000})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10_000; i++ {
+		site := SiteDMA
+		if i%3 == 0 {
+			site = SiteCPU
+		}
+		oa, ob := a.At(site), b.At(site)
+		if oa != ob {
+			t.Fatalf("occurrence %d of %s diverged: %+v vs %+v", i, site, oa, ob)
+		}
+	}
+	if a.TotalFaults() == 0 {
+		t.Fatal("rates injected nothing over 10k draws")
+	}
+	if a.TotalFaults() != b.TotalFaults() {
+		t.Fatalf("fault totals diverged: %d vs %d", a.TotalFaults(), b.TotalFaults())
+	}
+}
+
+// TestSeedsDiverge: different seeds should not produce the same fault
+// pattern (sanity check that the seed actually feeds the stream).
+func TestSeedsDiverge(t *testing.T) {
+	r := Rates{FailPpm: 200_000}
+	a := New(1).SetRates(SiteDMA, r)
+	b := New(2).SetRates(SiteDMA, r)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.At(SiteDMA) != b.At(SiteDMA) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 1000-draw outcome streams")
+	}
+}
+
+// TestRules: explicit rules override rate draws at the pinned
+// occurrence and only there.
+func TestRules(t *testing.T) {
+	in := New(7).AddRule(Rule{Site: SiteDMA, Nth: 2, Outcome: Outcome{Fail: true, Partial: 250, Stall: 123}})
+	for i := 0; i < 5; i++ {
+		o := in.At(SiteDMA)
+		if i == 2 {
+			if !o.Fail || o.Partial != 250 || o.Stall != 123 {
+				t.Fatalf("pinned occurrence 2: got %+v", o)
+			}
+		} else if o.Faulty() {
+			t.Fatalf("occurrence %d should be clean (no rates set): got %+v", i, o)
+		}
+	}
+	st := in.StatsOf(SiteDMA)
+	if st.Consulted != 5 || st.Fails != 1 || st.Partials != 1 || st.Stalls != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestNilInjector: the nil injector is the valid "off" injector.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if o := in.At(SiteDMA); o.Faulty() {
+		t.Fatalf("nil injector injected %+v", o)
+	}
+	if in.TotalFaults() != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector has nonzero state")
+	}
+	if in.String() != "fault: off" {
+		t.Fatalf("nil injector String: %q", in.String())
+	}
+}
+
+// TestRateBounds: rates near the extremes behave as documented —
+// 0 never fires, 1e6 always fires, partial stays strictly inside
+// (0, 1000).
+func TestRateBounds(t *testing.T) {
+	never := New(3).SetRates(SiteDMA, Rates{FailPpm: 0, StallPpm: 0})
+	always := New(3).SetRates(SiteCPU, Rates{FailPpm: 1_000_000, PartialPpm: 1_000_000,
+		StallPpm: 1_000_000, StallCycles: 1000})
+	for i := 0; i < 2000; i++ {
+		if o := never.At(SiteDMA); o.Faulty() {
+			t.Fatalf("zero rates injected %+v at %d", o, i)
+		}
+		o := always.At(SiteCPU)
+		if !o.Fail || o.Stall <= 0 {
+			t.Fatalf("1e6 ppm did not fire at %d: %+v", i, o)
+		}
+		if o.Partial < 1 || o.Partial > 999 {
+			t.Fatalf("partial permille out of (0,1000): %d", o.Partial)
+		}
+		if o.Stall < 500 || o.Stall > 1000 {
+			t.Fatalf("stall out of [cycles/2, cycles]: %d", o.Stall)
+		}
+	}
+}

@@ -9,13 +9,20 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 
 	"copier/internal/cycles"
+	"copier/internal/fault"
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
 )
+
+// ErrEngine is the transient copy-engine failure reported by a DMA
+// descriptor the fault layer chose to fail. Callers treat it as
+// retryable.
+var ErrEngine = errors.New("hw: transient copy-engine failure")
 
 // FrameRange addresses a byte range in physical memory starting inside
 // frame Frame at offset Off and extending Len bytes across physically
@@ -153,10 +160,38 @@ type DMARequest struct {
 	// CompleteAt is when the engine finishes this transfer.
 	CompleteAt sim.Time
 	done       bool
+	// Err is non-nil when the descriptor completed with a transient
+	// engine failure (only Copied bytes landed).
+	Err error
+	// Copied is how many bytes actually moved (== Len on success).
+	Copied int
+	// fail/partial hold the injected outcome decided at submit time;
+	// applied when the transfer completes.
+	fail    bool
+	partial int
 }
 
 // Done reports whether the transfer has completed (data visible).
 func (r *DMARequest) Done() bool { return r.done }
+
+// complete performs the descriptor's data movement, honoring an
+// injected failure: a clean descriptor moves everything; a failed one
+// moves only its partial prefix and records ErrEngine.
+func (r *DMARequest) complete(pm *mem.PhysMem) int {
+	dst, src := r.dst, r.src
+	if r.fail {
+		n := src.Len * r.partial / 1000
+		dst.Len, src.Len = n, n
+		r.Err = ErrEngine
+	}
+	n := 0
+	if src.Len > 0 {
+		n = CopyScatter(pm, []FrameRange{dst}, []FrameRange{src})
+	}
+	r.Copied = n
+	r.done = true
+	return n
+}
 
 // DMAChannel is an on-chip DMA engine. Transfers proceed in background
 // virtual time without occupying any CPU; each descriptor requires the
@@ -170,6 +205,40 @@ type DMAChannel struct {
 	BytesCopied int64
 	// Submitted counts descriptors.
 	Submitted int64
+	// Faults counts descriptors the fault layer failed or stalled.
+	Faults int64
+	// inj, when non-nil, is consulted once per descriptor at submit
+	// time (nil-safe: a nil injector injects nothing).
+	inj *fault.Injector
+}
+
+// SetFaultInjector attaches a fault injector; nil detaches it.
+func (d *DMAChannel) SetFaultInjector(in *fault.Injector) { d.inj = in }
+
+// decideFault consults the injector for one descriptor of n bytes,
+// stamps the verdict on req, and returns the extra stall cycles to
+// fold into the transfer duration. Emits EvFaultInjected when the
+// outcome is faulty.
+func (d *DMAChannel) decideFault(req *DMARequest, n int) sim.Time {
+	o := d.inj.At(fault.SiteDMA)
+	if !o.Faulty() {
+		return 0
+	}
+	d.Faults++
+	req.fail = o.Fail
+	req.partial = o.Partial
+	code := int64(0)
+	if o.Fail {
+		code |= 1
+	}
+	if o.Stall > 0 {
+		code |= 2
+	}
+	if r := d.env.Recorder(); r != nil {
+		r.Emit(obs.Event{T: int64(d.env.Now()), Kind: obs.EvFaultInjected, Layer: obs.LayerHW,
+			Track: "hw:DMA", Name: "fault", A: int64(n), B: code})
+	}
+	return sim.Time(o.Stall)
 }
 
 // NewDMAChannel creates a DMA channel on the environment.
@@ -218,11 +287,13 @@ func (d *DMAChannel) Enqueue(dst, src FrameRange) *DMARequest {
 // EnqueueBatch enqueues all pairs back to back without charging any
 // submission cost (callers Exec the amortized batch cost themselves).
 // The channel drains its queue FIFO, so completion is driven by a
-// single live event that walks the batch in order: each step copies
-// the data, marks the request done, invokes onDone(i) and reschedules
-// itself for the next descriptor — one event in the heap per batch
-// instead of one per descriptor.
-func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int)) []*DMARequest {
+// single live event that walks the batch in order: each step performs
+// the descriptor's data movement (possibly partial under an injected
+// fault), marks the request done, invokes onDone(i, err) and
+// reschedules itself for the next descriptor — one event in the heap
+// per batch instead of one per descriptor. err is nil on success and
+// ErrEngine when the fault layer failed the descriptor.
+func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int, err error)) []*DMARequest {
 	if len(pairs) == 0 {
 		return nil
 	}
@@ -239,9 +310,12 @@ func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int)) []*
 		if dst.Len != src.Len {
 			panic(fmt.Sprintf("hw: DMA length mismatch %d != %d", dst.Len, src.Len))
 		}
-		dur := cycles.CopyCost(cycles.UnitDMA, src.Len)
 		req := &arena[i]
-		*req = DMARequest{dst: dst, src: src, CompleteAt: start + dur}
+		*req = DMARequest{dst: dst, src: src}
+		// An injected stall extends the transfer's occupancy of the
+		// engine, so later descriptors in the queue see it too.
+		dur := cycles.CopyCost(cycles.UnitDMA, src.Len) + d.decideFault(req, src.Len)
+		req.CompleteAt = start + dur
 		if r != nil {
 			r.Emit(obs.Event{T: int64(now), Kind: obs.EvDMASubmit, Layer: obs.LayerHW,
 				Track: "hw:DMA", Name: "submit", A: int64(src.Len)})
@@ -257,11 +331,9 @@ func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int)) []*
 	var step func()
 	step = func() {
 		req := reqs[i]
-		n := CopyScatter(d.pm, []FrameRange{req.dst}, []FrameRange{req.src})
-		d.BytesCopied += int64(n)
-		req.done = true
+		d.BytesCopied += int64(req.complete(d.pm))
 		if onDone != nil {
-			onDone(i)
+			onDone(i, req.Err)
 		}
 		i++
 		if i < len(reqs) {
@@ -278,8 +350,9 @@ func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 	if start < now {
 		start = now
 	}
-	dur := cycles.CopyCost(cycles.UnitDMA, src.Len)
-	req := &DMARequest{dst: dst, src: src, CompleteAt: start + dur}
+	req := &DMARequest{dst: dst, src: src}
+	dur := cycles.CopyCost(cycles.UnitDMA, src.Len) + d.decideFault(req, src.Len)
+	req.CompleteAt = start + dur
 	d.busyUntil = req.CompleteAt
 	d.Submitted++
 	if r := d.env.Recorder(); r != nil {
@@ -291,9 +364,7 @@ func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 			Layer: obs.LayerHW, Track: "hw:DMA", Name: "xfer", A: int64(src.Len)})
 	}
 	d.env.Schedule(req.CompleteAt-now, func() {
-		n := CopyScatter(d.pm, []FrameRange{dst}, []FrameRange{src})
-		d.BytesCopied += int64(n)
-		req.done = true
+		d.BytesCopied += int64(req.complete(d.pm))
 	})
 	return req
 }

@@ -310,6 +310,36 @@ func (m *Machine) ForkProcess(p *Process, name string) *Process {
 // Machine returns the owning machine.
 func (p *Process) Machine() *Machine { return p.m }
 
+// KillProcess simulates abrupt process death (exit(2) or a fatal
+// signal): the process's Copier client, if attached, is marked dead so
+// the service threads run the teardown protocol — drain its CSH rings,
+// wait out in-flight DMA, unpin its pages, fail its descriptors — and
+// the process leaves the machine's process table. Reclaim its memory
+// afterwards with ReapProcess (once teardown has dropped the pins).
+// The caller is responsible for the process's threads having exited
+// (or never touching process state again).
+func (m *Machine) KillProcess(p *Process) {
+	if m.copier != nil {
+		if a := m.copier.attach[p.PID]; a != nil {
+			m.copier.svc.KillClient(a.Client)
+			delete(m.copier.attach, p.PID)
+		}
+	}
+	for i, x := range m.procs {
+		if x == p {
+			m.procs = append(m.procs[:i], m.procs[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReapProcess returns a dead process's memory to the allocator. It
+// fails while the Copier service still holds pins on the address
+// space — i.e. before client teardown has finished.
+func (m *Machine) ReapProcess(p *Process) error {
+	return p.AS.ReleaseAll()
+}
+
 // Thread is a simulated kernel-schedulable thread. It satisfies the
 // execution-context interface Copier's service and library charge time
 // through.

@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/core"
+	"copier/internal/cycles"
+	"copier/internal/libcopier"
+	"copier/internal/mem"
+)
+
+// TestKillProcessMidCopyTeardown kills a process while its async
+// copies are queued and in flight. The service must reclaim everything
+// the dead client held — ring slots, pins, descriptors — stay live,
+// and serve a client attached after the kill.
+func TestKillProcessMidCopyTeardown(t *testing.T) {
+	m := newMachine(3)
+	svc := m.InstallCopier(core.DefaultConfig(), 1, 2)
+
+	victim := m.NewProcess("victim")
+	va := m.AttachCopier(victim)
+	free0 := m.Phys.FreeFrames()
+	const n = 64 << 10
+	const tasks = 24
+	src := mkbuf(t, victim, tasks*n, 0xAB)
+	dst := mkbuf(t, victim, tasks*n, 0)
+	held := free0 - m.Phys.FreeFrames()
+
+	fresh := m.NewProcess("fresh")
+	fsrc := mkbuf(t, fresh, n, 0x5A)
+	fdst := mkbuf(t, fresh, n, 0)
+
+	// The victim floods its copy queue and exits without csync, so
+	// tasks are pending (and some in flight) when the kill lands.
+	vt := m.Spawn(victim, "vt", func(th *Thread) {
+		for i := 0; i < tasks; i++ {
+			off := mem.VA(i * n)
+			err := va.Lib.Amemcpy(th, dst+off, src+off, n)
+			if err == libcopier.ErrQueueFull {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	killer := m.Spawn(nil, "killer", func(th *Thread) {
+		th.Join(vt)
+		m.KillProcess(victim)
+		// Give the service threads room to run the teardown protocol.
+		th.Sleep(2000 * cycles.CyclesPerMicrosecond)
+		// A client attached after the kill must be served normally.
+		a := m.AttachCopier(fresh)
+		if err := a.Lib.Amemcpy(th, fdst, fsrc, n); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Lib.Csync(th, fdst, n); err != nil {
+			t.Error(err)
+		}
+	})
+	runApps(t, m, vt, killer)
+
+	if m.Attachment(victim) != nil {
+		t.Fatal("victim attachment survived the kill")
+	}
+	if got := svc.Stats.ClientTeardowns; got != 1 {
+		t.Fatalf("ClientTeardowns = %d", got)
+	}
+	if svc.Stats.AbortedTasks+svc.Stats.ReclaimedTasks == 0 {
+		t.Fatal("kill landed after all work finished; no teardown coverage")
+	}
+	if got := svc.Backlog(); got != 0 {
+		t.Fatalf("backlog = %d after teardown", got)
+	}
+
+	// Teardown must have dropped every pin the service took on the
+	// victim's pages, so its memory is reclaimable.
+	if r := victim.AS.AuditLeaks(); !r.Clean() {
+		t.Fatalf("victim leaks pins: %+v", r)
+	}
+	freeBefore := m.Phys.FreeFrames()
+	if err := m.ReapProcess(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Phys.FreeFrames(); got != freeBefore+held {
+		t.Fatalf("reap returned %d frames, want %d", got-freeBefore, held)
+	}
+
+	// The fresh client's copy really happened.
+	data := make([]byte, n)
+	if err := fresh.AS.ReadAt(fdst, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0x5A}, n)) {
+		t.Fatal("fresh client copy corrupted after teardown")
+	}
+}
+
+// TestKillProcessWithoutAttachment: killing a process that never
+// attached to the Copier is a plain process-table removal.
+func TestKillProcessWithoutAttachment(t *testing.T) {
+	m := newMachine(2)
+	m.InstallCopier(core.DefaultConfig(), 1, 1)
+	p := m.NewProcess("loner")
+	mkbuf(t, p, 4*mem.PageSize, 0x11)
+	m.KillProcess(p)
+	if err := m.ReapProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if r := p.AS.AuditLeaks(); r.VMAs != 0 || r.MappedPages != 0 {
+		t.Fatalf("reap left mappings: %+v", r)
+	}
+}

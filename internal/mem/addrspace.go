@@ -460,6 +460,58 @@ func (as *AddrSpace) Fork() *AddrSpace {
 	return child
 }
 
+// LeakReport summarizes an address space's end-of-process audit: what
+// is still pinned or mapped at a point where teardown should have
+// released everything.
+type LeakReport struct {
+	PinnedPages int // pages with a nonzero pin count
+	PinCount    int // total outstanding pins across those pages
+	MappedPages int // present (frame-backed) pages still mapped
+	VMAs        int // VMAs still mapped
+}
+
+// Clean reports whether the audit found no leaked pins.
+func (r LeakReport) Clean() bool { return r.PinnedPages == 0 }
+
+// AuditLeaks walks the page table and reports outstanding pins and
+// mappings. Teardown tests assert Clean() after killing a client —
+// catching pin leaks as a checked invariant instead of only as a
+// panic deep inside Unpin. Counters only, so the report is
+// deterministic despite map iteration.
+func (as *AddrSpace) AuditLeaks() LeakReport {
+	var r LeakReport
+	for _, pte := range as.pages {
+		if pte.Pinned > 0 {
+			r.PinnedPages++
+			r.PinCount += pte.Pinned
+		}
+		if pte.Present {
+			r.MappedPages++
+		}
+	}
+	r.VMAs = len(as.vmas)
+	return r
+}
+
+// ReleaseAll unmaps every VMA, returning the backing frames to the
+// allocator — the end-of-process memory reclaim. It refuses (and
+// releases nothing) while pins are outstanding: the copy service must
+// have dropped its pins before process memory is reclaimed, and a
+// frame freed under an active pin would let in-flight DMA scribble on
+// reallocated memory.
+func (as *AddrSpace) ReleaseAll() error {
+	if r := as.AuditLeaks(); !r.Clean() {
+		return fmt.Errorf("mem: release with %d pinned pages (%d pins) outstanding",
+			r.PinnedPages, r.PinCount)
+	}
+	for len(as.vmas) > 0 {
+		if err := as.MUnmap(as.vmas[0].Start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FramesOf returns the frames backing [a, a+length). All pages must be
 // present (fault them in first).
 func (as *AddrSpace) FramesOf(a VA, length int) ([]Frame, error) {

@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+// TestAuditLeaks: the audit sees pins appear and disappear, and
+// ReleaseAll refuses to reclaim memory while pins are outstanding.
+func TestAuditLeaks(t *testing.T) {
+	pm := NewPhysMem(256 * PageSize)
+	baseline := pm.FreeFrames()
+	as := NewAddrSpace(pm)
+	va := as.MMap(8*PageSize, PermRead|PermWrite, "buf")
+	if _, err := as.Populate(va, 8*PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if r := as.AuditLeaks(); !r.Clean() || r.MappedPages != 8 || r.VMAs != 1 {
+		t.Fatalf("populated, unpinned: %+v", r)
+	}
+
+	if err := as.Pin(va, 3*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Pin(va, PageSize); err != nil { // double-pin page 0
+		t.Fatal(err)
+	}
+	r := as.AuditLeaks()
+	if r.Clean() || r.PinnedPages != 3 || r.PinCount != 4 {
+		t.Fatalf("after pins: %+v", r)
+	}
+
+	// ReleaseAll must refuse while pinned, and must not have unmapped
+	// anything.
+	if err := as.ReleaseAll(); err == nil {
+		t.Fatal("ReleaseAll succeeded with pins outstanding")
+	}
+	if r := as.AuditLeaks(); r.VMAs != 1 || r.MappedPages != 8 {
+		t.Fatalf("failed ReleaseAll modified the space: %+v", r)
+	}
+
+	as.Unpin(va, 3*PageSize)
+	as.Unpin(va, PageSize)
+	if r := as.AuditLeaks(); !r.Clean() {
+		t.Fatalf("after unpins: %+v", r)
+	}
+
+	// Clean release returns every frame to the allocator.
+	if err := as.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r := as.AuditLeaks(); r.VMAs != 0 || r.MappedPages != 0 {
+		t.Fatalf("after ReleaseAll: %+v", r)
+	}
+	if got := pm.FreeFrames(); got != baseline {
+		t.Fatalf("frame leak: %d free, want %d", got, baseline)
+	}
+}

@@ -67,6 +67,24 @@ const (
 	EvATCacheHit
 	EvATCacheMiss
 
+	// EvFaultInjected: the fault layer perturbed one operation.
+	// A = payload bytes affected, B = fault code (1 = fail,
+	// 2 = stall, 3 = fail+stall).
+	EvFaultInjected
+	// EvTaskRetry: a task's failed window was rescheduled with
+	// backoff. A = task ID, B = retry number (1-based).
+	EvTaskRetry
+	// EvTaskFailed: a task exhausted retries (or hit a permanent
+	// fault) and completed with an error. A = task ID.
+	EvTaskFailed
+	// EvEngineFallback: DMA-eligible work was forced onto the CPU
+	// engines because the DMA channel is faulted/cooling down.
+	// A = task ID, B = bytes diverted.
+	EvEngineFallback
+	// EvClientTeardown: a dead client's state was reclaimed by the
+	// service. A = client ID, B = tasks reclaimed (queued + pending).
+	EvClientTeardown
+
 	numEventKinds
 )
 
@@ -75,6 +93,8 @@ var kindNames = [numEventKinds]string{
 	"QueueDepthSample", "UnitBusyInterval", "TrapReturn",
 	"ProcStart", "ProcEnd", "ThreadRun", "DMASubmit",
 	"ATCacheHit", "ATCacheMiss",
+	"FaultInjected", "TaskRetry", "TaskFailed", "EngineFallback",
+	"ClientTeardown",
 }
 
 func (k EventKind) String() string {

@@ -24,8 +24,16 @@ go test ./...
 # The race build enables the //go:build race stress tests in
 # internal/acopy, including the pooled-handle reuse hammer
 # (TestStressPooledHandleReuse) that guards the zero-alloc
-# AMemcpy -> Wait -> Release recycling path.
+# AMemcpy -> Wait -> Release recycling path. internal/kernel rides
+# along for the process-kill teardown tests (client death must not
+# wedge service threads or leak pins).
 echo "== go test -race (concurrency-bearing packages) =="
-go test -race ./internal/acopy ./internal/core
+go test -race ./internal/acopy ./internal/core ./internal/kernel
+
+# Chaos smoke: one seeded fault-injection run over the fig9-style
+# workload; fails on leaked pins/ring slots, backlog drift, or
+# corrupted survivor data.
+echo "== chaos smoke =="
+go test -run 'TestChaosInvariants' ./internal/bench
 
 echo "ALL CHECKS PASSED"
