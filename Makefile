@@ -1,10 +1,15 @@
 # Convenience targets; scripts/check.sh is the source of truth for
 # the tier-1 gate.
 
-.PHONY: check test bench fuzz chaos
+.PHONY: check lint test bench fuzz chaos
 
 check:
 	./scripts/check.sh
+
+# Project-invariant static analysis (see internal/lint): determinism
+# hygiene, //copier:noalloc contracts, cost-model hygiene.
+lint:
+	go run ./cmd/copiervet ./...
 
 test:
 	go test ./...

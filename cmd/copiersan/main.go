@@ -1,38 +1,58 @@
 // Command copiersan demonstrates CopierSanitizer (§5.1.2): it runs a
-// small program with a deliberately missing csync and prints the
-// violations the shadow-memory checker reports.
+// small program violating each csync guideline once — reading the
+// destination, overwriting the destination, overwriting the source
+// and freeing the source, all while a copy is in flight — and prints
+// the violations the shadow-memory checker reports.
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"copier/internal/mem"
 	"copier/internal/sanitizer"
 )
 
-func main() {
+// run executes the demo program against w. The output is
+// deterministic (virtual address layout is fixed by mapping order)
+// and pinned by a golden test.
+func run(w io.Writer) {
 	pm := mem.NewPhysMem(16 << 20)
 	as := mem.NewAddrSpace(pm)
 	src := as.MMap(64<<10, mem.PermRead|mem.PermWrite, "src")
 	dst := as.MMap(64<<10, mem.PermRead|mem.PermWrite, "dst")
+	src2 := as.MMap(4<<10, mem.PermRead|mem.PermWrite, "src2")
+	tmp := as.MMap(4<<10, mem.PermRead|mem.PermWrite, "tmp")
 
 	sz := sanitizer.New(as)
-	fmt.Println("program: amemcpy(dst, src, 16KB); read dst; write src; csync; read dst; free(src)")
+	fmt.Fprintln(w, "program: amemcpy(dst, src, 16KB); read dst; write dst; write src;")
+	fmt.Fprintln(w, "         amemcpy(tmp, src2, 4KB); free(src2); csync; read dst; free(src)")
 
 	sz.OnAmemcpy(dst, src, 16<<10)
 
 	buf := make([]byte, 64)
-	_ = sz.Read(dst, buf)      // BUG: read before csync
+	_ = sz.Read(dst, buf)      // BUG: destination read before csync
+	_ = sz.Write(dst+128, buf) // BUG: destination written before csync
 	_ = sz.Write(src+100, buf) // BUG: source overwritten in flight
-	sz.OnCsync(dst, 16<<10)    // now everything is synced
-	_ = sz.Read(dst+4096, buf) // OK
-	sz.CheckFree(src, 64<<10)  // OK after csync
 
-	fmt.Printf("\n%d violation(s) detected:\n", len(sz.Reports))
+	sz.OnAmemcpy(tmp, src2, 4<<10)
+	sz.CheckFree(src2, 4<<10) // BUG: source freed before csync
+
+	sz.OnCsync(dst, 16<<10)
+	sz.OnCsync(tmp, 4<<10)
+	_ = sz.Read(dst+4096, buf) // OK: synced
+	sz.CheckFree(src, 64<<10)  // OK: synced
+
+	fmt.Fprintf(w, "\n%d violation(s) detected:\n", len(sz.Reports))
 	for _, r := range sz.Reports {
-		fmt.Printf("  %s\n", r)
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 	if len(sz.Reports) == 0 {
-		fmt.Println("  (none — unexpected!)")
+		fmt.Fprintln(w, "  (none — unexpected!)")
 	}
+}
+
+func main() {
+	run(os.Stdout)
 }

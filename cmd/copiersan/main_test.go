@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestRunGolden pins the demo's exact output and checks that the
+// program trips all four sanitizer bug kinds exactly once each.
+func TestRunGolden(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf)
+	out := buf.String()
+
+	for _, kind := range []string{
+		"read-before-csync",
+		"write-before-csync",
+		"write-src-before-csync",
+		"free-before-csync",
+	} {
+		if n := strings.Count(out, kind); n != 1 {
+			t.Errorf("output mentions %s %d time(s), want exactly 1", kind, n)
+		}
+	}
+
+	golden := filepath.Join("testdata", "copiersan.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output diverges from %s\n--- got ---\n%s--- want ---\n%s", golden, out, want)
+	}
+}

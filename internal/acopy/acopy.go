@@ -113,6 +113,29 @@ func (h *Handle) reset(dst, src []byte, handler func()) {
 	h.completed.Store(0)
 }
 
+// badRange reports an out-of-bounds CSync/Ready range out of line,
+// keeping the fmt boxing of the panic branch off the noalloc
+// fast-path functions.
+//
+//go:noinline
+func badRange(off, n, total int) {
+	panic(fmt.Sprintf("acopy: range [%d,%d) outside copy of %d bytes", off, off+n, total))
+}
+
+// panicIncomplete keeps even the constant-string interface boxing of
+// Release's misuse panic out of the annotated fast path.
+//
+//go:noinline
+func panicIncomplete() { panic("acopy: Release of incomplete handle") }
+
+// badLen reports an AMemcpy length mismatch out of line, for the same
+// reason.
+//
+//go:noinline
+func badLen(d, s int) {
+	panic(fmt.Sprintf("acopy: length mismatch %d != %d", d, s))
+}
+
 // Release returns the handle to the pool for reuse by a future
 // AMemcpy. Call it at most once, only after the copy completed (Wait
 // returned, or Done reported true), and only when no other goroutine
@@ -120,9 +143,11 @@ func (h *Handle) reset(dst, src []byte, handler func()) {
 // use-after-free class error: a concurrent AMemcpy may have already
 // handed it out again. Releasing is optional — an un-Released handle
 // is simply garbage collected.
+//
+//copier:noalloc
 func (h *Handle) Release() {
 	if h.completed.Load() == 0 {
-		panic("acopy: Release of incomplete handle")
+		panicIncomplete()
 	}
 	h.dst, h.src, h.handler, h.err = nil, nil, nil, nil
 	handlePool.Put(h)
@@ -132,6 +157,8 @@ func (h *Handle) Release() {
 // (without pooling the handle) when the copy has not completed, so
 // teardown paths can reclaim opportunistically instead of panicking.
 // The ownership contract is the same as Release's.
+//
+//copier:noalloc
 func (h *Handle) TryRelease() error {
 	if h.completed.Load() == 0 {
 		return ErrIncomplete
@@ -224,12 +251,14 @@ func (h *Handle) Err() error {
 }
 
 // Ready reports whether [off, off+n) has landed, without blocking.
+//
+//copier:noalloc
 func (h *Handle) Ready(off, n int) bool {
 	if n <= 0 {
 		return true
 	}
 	if off < 0 || off+n > len(h.dst) {
-		panic(fmt.Sprintf("acopy: range [%d,%d) outside copy of %d bytes", off, off+n, len(h.dst)))
+		badRange(off, n, len(h.dst))
 	}
 	for i := off / SegSize; i <= (off+n-1)/SegSize; i++ {
 		if !h.segReady(i) {
@@ -242,6 +271,8 @@ func (h *Handle) Ready(off, n int) bool {
 // CSync blocks until [off, off+n) of the destination holds the copied
 // data (csync, Table 2). It hints the worker to prioritize the
 // requested region, then spins with backoff.
+//
+//copier:noalloc
 func (h *Handle) CSync(off, n int) {
 	if h.Ready(off, n) {
 		return
@@ -279,6 +310,8 @@ func (h *Handle) promote(seg int) {
 }
 
 // Wait blocks until the whole copy (and its handler) completed.
+//
+//copier:noalloc
 func (h *Handle) Wait() {
 	if h.completed.Load() == 1 {
 		return
@@ -335,6 +368,8 @@ func newRing(capacity int) *ring {
 }
 
 // push publishes h; it returns false when the ring is full.
+//
+//copier:noalloc
 func (r *ring) push(h *Handle) bool {
 	for {
 		head := r.head.Load()
@@ -352,6 +387,8 @@ func (r *ring) push(h *Handle) bool {
 }
 
 // pop returns the oldest published task, or nil. Single consumer.
+//
+//copier:noalloc
 func (r *ring) pop() *Handle {
 	tail := atomic.LoadUint64(&r.tail)
 	if tail == r.head.Load() {
@@ -370,6 +407,8 @@ func (r *ring) pop() *Handle {
 // update, stopping at the first unpublished slot — the batched
 // consume of §5.1: per-task synchronization cost is paid once per
 // drain. Single consumer.
+//
+//copier:noalloc
 func (r *ring) popN(buf []*Handle) int {
 	tail := atomic.LoadUint64(&r.tail)
 	head := r.head.Load()
@@ -437,9 +476,11 @@ func (c *Copier) AMemcpy(dst, src []byte) *Handle {
 // AMemcpyH is AMemcpy with a post-copy handler, run by the worker
 // right after the last segment lands (delegation-based handling,
 // §4.1).
+//
+//copier:noalloc
 func (c *Copier) AMemcpyH(dst, src []byte, handler func()) *Handle {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("acopy: length mismatch %d != %d", len(dst), len(src)))
+		badLen(len(dst), len(src))
 	}
 	h := handlePool.Get().(*Handle)
 	h.reset(dst, src, handler)

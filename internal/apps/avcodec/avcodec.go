@@ -71,7 +71,7 @@ func Run(cfg Config) Result {
 	// up to 22%").
 	decodeCost := cycles.Mul(cfg.FrameSize, cycles.DecodeByteNum, cycles.DecodeByteDen)
 	copyCost := cycles.SyncCopyCost(cycles.UnitAVX, cfg.FrameSize)
-	postCost := sim.Time(cfg.FrameSize/8) + 800
+	postCost := sim.Time(cfg.FrameSize/cycles.FramePostBytesPerCycle) + cycles.FramePostFixed
 	frameBudget := decodeCost + postCost + copyCost/2
 	var totalLat sim.Time
 	drops := 0

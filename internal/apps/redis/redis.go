@@ -326,7 +326,7 @@ func serveOne(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAt
 	switch op {
 	case 1: // SET
 		// Key hashing / dict update.
-		t.Exec(cycles.Mul(8, cycles.HashByteNum, cycles.HashByteDen) + 200)
+		t.Exec(cycles.Mul(8, cycles.HashByteNum, cycles.HashByteDen) + cycles.DictUpdate)
 		// Copy value I/O buffer → database (copy 2 of §6.2.1).
 		switch cfg.Mode {
 		case ModeCopier:
@@ -359,7 +359,7 @@ func serveOne(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAt
 		writeRep(t, as, obuf, 0, 0)
 		reply(t, cfg, s, a, ub, zio, obuf, repHdr)
 	case 2: // GET
-		t.Exec(cycles.Mul(8, cycles.HashByteNum, cycles.HashByteDen) + 200)
+		t.Exec(cycles.Mul(8, cycles.HashByteNum, cycles.HashByteDen) + cycles.DictUpdate)
 		writeRep(t, as, obuf, 0, cfg.ValueSize)
 		// Copy value database → I/O buffer (copy 3), then send
 		// (copy 4); with Copier the send's kernel task absorbs or

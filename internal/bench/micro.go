@@ -43,6 +43,12 @@ func runIsolation(s Scale) []*Table {
 }
 
 func isolationRun(sharesA, sharesB int64) (int64, int64) {
+	// Harness windows, not hardware costs: how long the saturated
+	// phase runs and how long the service gets to drain after Stop.
+	const (
+		runWindow   sim.Time = 15_000_000
+		drainWindow sim.Time = 1_000_000
+	)
 	env := sim.NewEnv()
 	pm := mem.NewPhysMem(128 << 20)
 	svc := core.NewService(env, pm, core.DefaultConfig())
@@ -72,11 +78,11 @@ func isolationRun(sharesA, sharesB int64) (int64, int64) {
 	ca := mk("A", sharesA)
 	cb := mk("B", sharesB)
 	env.Go("copierd", func(p *sim.Proc) { svc.ThreadMain(benchCtx{p}, 0) })
-	if err := env.Run(15_000_000); err != nil {
+	if err := env.Run(runWindow); err != nil {
 		panic(err)
 	}
 	svc.Stop()
-	_ = env.Run(env.Now() + 1_000_000)
+	_ = env.Run(env.Now() + drainWindow)
 	return ca.TotalCopied, cb.TotalCopied
 }
 

@@ -83,13 +83,15 @@ func RunMicrobenches() MicroReport {
 		rnd := uint64(1)
 		next := func() sim.Time {
 			rnd = rnd*6364136223846793005 + 1442695040888963407
-			return sim.Time(rnd % 1024)
+			// 1..1024: Schedule rejects nothing, but a zero delay
+			// would re-fire at the same instant and skew the depth.
+			return sim.Time(rnd%1024 + 1)
 		}
 		var fn func()
 		fn = func() {
 			fired++
 			if fired <= n {
-				e.Schedule(next()+1, fn)
+				e.Schedule(next(), fn)
 			}
 		}
 		for i := 0; i < depth; i++ {

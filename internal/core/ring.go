@@ -64,10 +64,21 @@ func (r *Ring) Full() bool { return r.head-r.tail >= uint64(len(r.slots)) }
 // of user Copy Queue").
 func (r *Ring) AcquirePos() uint64 { return r.head }
 
+// badSlot reports a valid-bit protocol violation out of line, keeping
+// the fmt boxing of the (never-taken) panic branch off the noalloc
+// producer path.
+//
+//go:noinline
+func badSlot(what string, idx uint64) {
+	panic(fmt.Sprintf("core: %s slot %d", what, idx))
+}
+
 // Acquire advances the head (the fetch-and-add of §5.1) and returns
 // the acquired position, without publishing anything: the slot stays
 // invalid — and blocks consumption past it — until Publish sets the
 // valid bit. Returns false if the ring is full.
+//
+//copier:noalloc
 func (r *Ring) Acquire() (uint64, bool) {
 	if r.Full() {
 		return 0, false
@@ -75,17 +86,19 @@ func (r *Ring) Acquire() (uint64, bool) {
 	pos := r.head
 	r.head++
 	if r.slots[pos&r.mask].valid {
-		panic(fmt.Sprintf("core: ring slot %d reused while valid", pos&r.mask))
+		badSlot("reuse of still-valid", pos&r.mask)
 	}
 	return pos, true
 }
 
 // Publish fills the slot acquired at pos and sets its valid bit,
 // making it (and any later already-published slots) consumable.
+//
+//copier:noalloc
 func (r *Ring) Publish(pos uint64, t *Task) {
 	s := &r.slots[pos&r.mask]
 	if s.valid {
-		panic(fmt.Sprintf("core: publish to already-valid slot %d", pos&r.mask))
+		badSlot("publish to already-valid", pos&r.mask)
 	}
 	s.task = t
 	s.valid = true
@@ -104,6 +117,8 @@ func (r *Ring) Push(t *Task) bool {
 
 // Pop consumes the oldest published task, or returns nil if the tail
 // slot is empty or not yet published.
+//
+//copier:noalloc
 func (r *Ring) Pop() *Task {
 	if r.tail == r.head {
 		return nil
@@ -126,6 +141,8 @@ func (r *Ring) Pop() *Task {
 // protocol: the consumer reads forward over valid slots and moves the
 // tail once for the whole batch, so the per-task synchronization cost
 // is amortized across the drain. Returns the number of tasks drained.
+//
+//copier:noalloc
 func (r *Ring) PopN(buf []*Task) int {
 	n := 0
 	for n < len(buf) {

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// TestRingBatchAllocFree pins the //copier:noalloc contract on the
+// CSH ring dynamically: a warm produce/batched-drain cycle (the §5.1
+// protocol as the dispatcher drives it) performs zero heap
+// allocations.
+func TestRingBatchAllocFree(t *testing.T) {
+	r := NewRing(32)
+	tasks := make([]*Task, 16)
+	for i := range tasks {
+		tasks[i] = &Task{ID: uint64(i)}
+	}
+	buf := make([]*Task, len(tasks))
+	avg := testing.AllocsPerRun(200, func() {
+		for _, tk := range tasks {
+			if !r.Push(tk) {
+				t.Fatal("ring full")
+			}
+		}
+		if n := r.PopN(buf); n != len(tasks) {
+			t.Fatalf("drained %d tasks, want %d", n, len(tasks))
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm push/PopN cycle allocates %.2f per batch; want 0", avg)
+	}
+}

@@ -270,12 +270,12 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion
 		if err = as.Pin(buf, n); err != nil {
 			return
 		}
-		pages := sim.Time((n + mem.PageSize - 1) / mem.PageSize)
+		pages := (n + mem.PageSize - 1) / mem.PageSize
 		// Batched page-table work to share the pages with the device,
 		// plus one deferred shootdown round (§6.2.1: "TLB flush
 		// costs"). Calibrated to MSG_ZEROCOPY's documented >=10KB
 		// profitability and Fig. 10's >=32KB crossover against Copier.
-		t.Exec(cycles.PageRemap + (pages-1)*120 + cycles.TLBShootdown)
+		t.Exec(cycles.PageRemap + sim.Time(pages-1)*cycles.PageRemapBatch + cycles.TLBShootdown)
 		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
 		// The NIC reads user memory at transmit time.
 		skb := s.net.pool.alloc(t, n)
@@ -290,7 +290,7 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion
 		s.deliver(skb)
 		// Buffer ownership returns once the NIC has read the pages
 		// (line-rate DMA), well before end-to-end delivery.
-		env.Schedule(sim.Time(n/16)+500, func() {
+		env.Schedule(sim.Time(n/cycles.NICDMABytesPerCycle)+cycles.NICReclaimFixed, func() {
 			as.Unpin(buf, n)
 			z.done = true
 			z.sig.Broadcast(env)

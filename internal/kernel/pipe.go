@@ -119,7 +119,7 @@ func (p *Pipe) VmSplice(t *Thread, buf mem.VA, n int) error {
 			p.m.Phys.IncRef(f)
 		}
 		// Page-table reference work only — no data copied.
-		t.Exec(cycles.PageRemap + sim.Time(len(frames)-1)*120)
+		t.Exec(cycles.PageRemap + sim.Time(len(frames)-1)*cycles.PageRemapBatch)
 		p.segs = append(p.segs, pipeSeg{frames: frames, n: n})
 		p.bytes += n
 		p.ready.Broadcast(t.m.Env)

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// alloclint turns the repository's zero-alloc claims into
+// compile-time-checked contracts. A function carrying
+//
+//	//copier:noalloc
+//
+// in its doc comment promises that its body performs no heap
+// allocation. The check runs the real compiler's escape analysis
+// (`go build -gcflags=-m`) and fails on any "escapes to heap" /
+// "moved to heap" diagnostic positioned inside an annotated
+// function — so a refactor that quietly makes the sim event loop, a
+// ring drain or the pooled-handle fast path allocate is caught at
+// lint time, not when a benchmark happens to be re-read.
+//
+// Escape diagnostics are positional: code inlined *into* an annotated
+// function still reports at its original (callee) source lines, so
+// annotate every function making the promise, not just the entry
+// point; the AllocsPerRun regression tests cover whole call chains
+// dynamically.
+
+// NoallocAnnotation is the doc-comment marker.
+const NoallocAnnotation = "//copier:noalloc"
+
+// NoallocFunc is one annotated function.
+type NoallocFunc struct {
+	PkgPath string
+	Name    string // receiver-qualified, e.g. (*Ring).PopN
+	File    string // absolute path
+	// Body line span (inclusive); escape diagnostics inside it are
+	// violations.
+	StartLine, EndLine int
+}
+
+// CollectNoalloc gathers annotations from the packages and reports
+// misplaced markers (a marker anywhere but a function's doc block).
+func CollectNoalloc(pkgs []*Package) ([]NoallocFunc, []Finding) {
+	var fns []NoallocFunc
+	var bad []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			docMarked := make(map[*ast.Comment]bool)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if !isNoallocComment(c.Text) {
+						continue
+					}
+					docMarked[c] = true
+					pos := p.Position(fd.Pos())
+					fns = append(fns, NoallocFunc{
+						PkgPath:   p.Path,
+						Name:      funcDisplayName(fd),
+						File:      pos.Filename,
+						StartLine: pos.Line,
+						EndLine:   p.Position(fd.End()).Line,
+					})
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if isNoallocComment(c.Text) && !docMarked[c] {
+						bad = append(bad, Finding{
+							Pos:  p.Position(c.Pos()),
+							Rule: RuleNoallocMisplaced,
+							Msg:  "//copier:noalloc is not attached to a function declaration",
+							Hint: "put it in the doc comment of the function it constrains",
+						})
+					}
+				}
+			}
+		}
+	}
+	return fns, bad
+}
+
+func isNoallocComment(text string) bool {
+	return strings.TrimSpace(text) == NoallocAnnotation
+}
+
+// funcDisplayName renders "Name" or "(Recv).Name".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			b.WriteString("*" + id.Name)
+		}
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	}
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+// escapeLine matches one compiler diagnostic: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// isEscapeDiag picks the diagnostics that mean "this line heap-
+// allocates": variables moved to the heap and values escaping to it.
+// "leaking param" (a pointer flowing out) and "does not escape" are
+// not allocations.
+func isEscapeDiag(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// AllocLint checks every annotation by compiling the involved
+// packages with escape-analysis diagnostics enabled and mapping each
+// allocation diagnostic back to the annotated spans. moduleRoot
+// anchors the compiler's relative paths.
+func AllocLint(moduleRoot string, fns []NoallocFunc) ([]Finding, error) {
+	if len(fns) == 0 {
+		return nil, nil
+	}
+	pkgSet := make(map[string]bool)
+	var pkgList []string
+	for _, fn := range fns {
+		if !pkgSet[fn.PkgPath] {
+			pkgSet[fn.PkgPath] = true
+			pkgList = append(pkgList, fn.PkgPath)
+		}
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgList...)...)
+	cmd.Dir = moduleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+
+	// Index annotated spans by absolute file path.
+	byFile := make(map[string][]NoallocFunc)
+	for _, fn := range fns {
+		byFile[fn.File] = append(byFile[fn.File], fn)
+	}
+
+	var out []Finding
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil || !isEscapeDiag(m[4]) {
+			continue
+		}
+		path := m[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(moduleRoot, path)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, fn := range byFile[path] {
+			if lineNo < fn.StartLine || lineNo > fn.EndLine {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  token.Position{Filename: path, Line: lineNo, Column: col},
+				Rule: RuleNoallocEscape,
+				Msg:  fmt.Sprintf("heap allocation in //copier:noalloc func %s: %s", fn.Name, m[4]),
+				Hint: "keep the hot path alloc-free (preallocate, avoid boxing/closures) or move the cold path to a helper",
+			})
+			break
+		}
+	}
+	SortFindings(out)
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cyclelint keeps the calibrated cost model honest. All virtual-time
+// costs flow through internal/cycles, whose constants are documented
+// against paper statements; two rots are possible as the tree grows:
+//
+//   - cycles-literal: code starts adding raw integer literals to
+//     sim.Time accumulators ("t += 35") instead of naming a model
+//     constant, silently forking the cost model.
+//   - cycles-dead: a model constant loses its last non-test
+//     reference and lingers, documented but unenforced.
+
+// CycleConfig parameterizes cyclelint so tests can point it at
+// snippet packages instead of the real tree.
+type CycleConfig struct {
+	// CyclesPath is the cost-model package; the literal rule is not
+	// applied inside it (it is where literals are supposed to live).
+	CyclesPath string
+	// TimePkg/TimeName identify the virtual-time type.
+	TimePkg  string
+	TimeName string
+}
+
+// DefaultCycleConfig matches this repository.
+var DefaultCycleConfig = CycleConfig{
+	CyclesPath: "copier/internal/cycles",
+	TimePkg:    "copier/internal/sim",
+	TimeName:   "Time",
+}
+
+// CycleLiterals flags raw integer literals combined arithmetically
+// with sim.Time values inside function bodies. Constant declarations
+// are exempt (defining a named cost is exactly the fix).
+func CycleLiterals(p *Package, cfg CycleConfig) []Finding {
+	if p.Path == cfg.CyclesPath {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, what string) {
+		out = append(out, Finding{
+			Pos:  p.Position(pos),
+			Rule: RuleCyclesLiteral,
+			Msg:  fmt.Sprintf("raw integer literal %s a sim.Time value", what),
+			Hint: "name the cost in internal/cycles and reference it",
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.ADD && n.Op != token.SUB {
+						return true
+					}
+					if !isTimeType(p, cfg, n.X) && !isTimeType(p, cfg, n.Y) {
+						return true
+					}
+					if intLiteral(n.X) != nil || intLiteral(n.Y) != nil {
+						report(n.Pos(), "added to/subtracted from")
+					}
+				case *ast.AssignStmt:
+					if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+						return true
+					}
+					if len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+						isTimeType(p, cfg, n.Lhs[0]) && intLiteral(n.Rhs[0]) != nil {
+						report(n.Pos(), "accumulated (+=/-=) into")
+					}
+				case *ast.IncDecStmt:
+					if isTimeType(p, cfg, n.X) {
+						report(n.Pos(), "++/-- applied to")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isTimeType reports whether expr's type is the named virtual-time
+// type (possibly behind an untyped-constant conversion).
+func isTimeType(p *Package, cfg CycleConfig, expr ast.Expr) bool {
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == cfg.TimePkg && obj.Name() == cfg.TimeName
+}
+
+// intLiteral unwraps parens/unary minus and returns the integer
+// literal, or nil. A literal 0 is tolerated: it names "no cost"
+// unambiguously (loop seeds, clamps), not a model entry.
+func intLiteral(expr ast.Expr) *ast.BasicLit {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.SUB && e.Op != token.ADD {
+				return nil
+			}
+			expr = e.X
+		case *ast.BasicLit:
+			if e.Kind == token.INT && e.Value != "0" {
+				return e
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// DeadCycleConsts reports exported constants of the cost-model
+// package that no loaded non-test file references (the declaration
+// itself and test files do not count; go list excludes test files
+// from the load). Pass the full module load for a meaningful answer.
+func DeadCycleConsts(pkgs []*Package, cfg CycleConfig) []Finding {
+	var cyclesPkg *Package
+	for _, p := range pkgs {
+		if p.Path == cfg.CyclesPath {
+			cyclesPkg = p
+			break
+		}
+	}
+	if cyclesPkg == nil || cyclesPkg.Types == nil {
+		return nil
+	}
+	scope := cyclesPkg.Types.Scope()
+	consts := make(map[types.Object]bool) // object -> referenced
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		c, ok := obj.(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		consts[c] = false
+	}
+	for _, p := range pkgs {
+		for _, obj := range p.Info.Uses {
+			if _, tracked := consts[obj]; tracked {
+				consts[obj] = true
+			}
+		}
+		// References from other packages resolve to re-imported
+		// objects, not the defining package's own *types.Const — match
+		// those by package path + name.
+		if p == cyclesPkg {
+			continue
+		}
+		for _, obj := range p.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok || c.Pkg() == nil || c.Pkg().Path() != cfg.CyclesPath {
+				continue
+			}
+			if orig := scope.Lookup(c.Name()); orig != nil {
+				if _, tracked := consts[orig]; tracked {
+					consts[orig] = true
+				}
+			}
+		}
+	}
+	var out []Finding
+	for obj, used := range consts {
+		if used {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  cyclesPkg.Position(obj.Pos()),
+			Rule: RuleCyclesDead,
+			Msg:  fmt.Sprintf("exported cost-model constant %s.%s has no non-test reference", pathBase(cfg.CyclesPath), obj.Name()),
+			Hint: "wire it into the model or delete the dead entry",
+		})
+	}
+	SortFindings(out)
+	return out
+}

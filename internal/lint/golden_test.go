@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden corpus lives in compilable snippet packages under
+// testdata/src (the loader builds real export data for them, so the
+// analyzers run with full type information, exactly as on the real
+// tree). Each test runs the full driver over one corpus and compares
+// the formatted findings against a golden file.
+//
+// Regenerate with: go test ./internal/lint -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// snipConfig is the CycleConfig pointing cyclelint at the stand-in
+// packages of the cyclesnip corpus.
+var snipConfig = CycleConfig{
+	CyclesPath: "copier/internal/lint/testdata/src/cyclesnip/costs",
+	TimePkg:    "copier/internal/lint/testdata/src/cyclesnip/simx",
+	TimeName:   "Time",
+}
+
+func runGolden(t *testing.T, goldenName string, opts Options) {
+	t.Helper()
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TypeErrorCount != 0 {
+		t.Errorf("corpus has %d package(s) with type errors; snippets must compile", res.TypeErrorCount)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, f := range res.Findings {
+		f.Pos.Filename = filepath.ToSlash(RelPath(cwd, f.Pos.Filename))
+		fmt.Fprintln(&buf, f.String())
+	}
+
+	goldenPath := filepath.Join("testdata", goldenName)
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, buf.String(), want)
+	}
+}
+
+func TestDetlintGolden(t *testing.T) {
+	runGolden(t, "detsnip.golden", Options{
+		Dir:       ".",
+		Patterns:  []string{"./testdata/src/detsnip"},
+		DomainAll: true,
+	})
+}
+
+func TestCyclelintGolden(t *testing.T) {
+	runGolden(t, "cyclesnip.golden", Options{
+		Dir: ".",
+		Patterns: []string{
+			"./testdata/src/cyclesnip",
+			"./testdata/src/cyclesnip/costs",
+			"./testdata/src/cyclesnip/simx",
+		},
+		Cycles:    snipConfig,
+		DomainAll: true,
+	})
+}
+
+func TestAlloclintGolden(t *testing.T) {
+	runGolden(t, "allocsnip.golden", Options{
+		Dir:       ".",
+		Patterns:  []string{"./testdata/src/allocsnip"},
+		DomainAll: true,
+	})
+}
+
+// TestTreeIsClean is the acceptance criterion in executable form:
+// the real tree must produce zero findings (every violation fixed or
+// carrying a justified, used suppression).
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and escape-compiles the whole module")
+	}
+	res, err := Run(Options{Dir: "."})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked target package. Type errors
+// do not abort analysis: Info is filled for everything that resolved,
+// and the analyzers degrade to syntactic checks where it did not.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, parsed with comments
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints (missing export
+	// data, snippet packages referencing undeclared names, ...).
+	TypeErrors []error
+}
+
+// Position resolves a node position against the package file set.
+func (p *Package) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Loader resolves package patterns with the go tool and type-checks
+// targets against compiler export data, so analysis sees the exact
+// types the build does — offline, stdlib-only.
+type Loader struct {
+	// Dir is where `go list` runs (any directory inside the module).
+	Dir string
+	// ModuleRoot and ModulePath identify the enclosing module; filled
+	// by Load.
+	ModuleRoot string
+	ModulePath string
+
+	exports map[string]string // import path -> export data file
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...", explicit directories) into
+// parsed, type-checked Packages. Dependency packages are consumed as
+// export data only.
+func Load(dir string, patterns ...string) ([]*Package, *Loader, error) {
+	ld := &Loader{Dir: dir}
+	if err := ld.moduleInfo(); err != nil {
+		return nil, nil, err
+	}
+
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	ld.exports = make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := ld.check(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, ld, nil
+}
+
+// moduleInfo fills ModuleRoot/ModulePath from the go tool.
+func (ld *Loader) moduleInfo() error {
+	out, err := goOutput(ld.Dir, "env", "GOMOD")
+	if err != nil {
+		return err
+	}
+	gomod := strings.TrimSpace(out)
+	if gomod == "" || gomod == os.DevNull {
+		return fmt.Errorf("lint: not inside a module (go env GOMOD empty)")
+	}
+	ld.ModuleRoot = filepath.Dir(gomod)
+	mod, err := goOutput(ld.Dir, "list", "-m")
+	if err != nil {
+		return err
+	}
+	ld.ModulePath = strings.TrimSpace(mod)
+	return nil
+}
+
+func goOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+	return string(out), nil
+}
+
+// check parses and type-checks one target package.
+func (ld *Loader) check(t *listPkg) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Path: t.ImportPath, Dir: t.Dir, Fset: fset}
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	// The gc importer reads the export data `go list -export` wrote to
+	// the build cache; lookup serves each import path's file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	// Check returns the first error too; conf.Error already captured
+	// it, so analysis proceeds with whatever resolved.
+	pkg.Types, _ = conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// RelPath renders an absolute file path relative to root (for stable
+// report and golden-file output); it falls back to the input.
+func RelPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}

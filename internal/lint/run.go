@@ -1,0 +1,152 @@
+package lint
+
+import "strings"
+
+// DomainDirs are the module-relative package prefixes subject to the
+// determinism and cost-model rules — everything that executes inside
+// (or feeds) the discrete-event simulation. internal/acopy and the
+// commands are real-time by design and exempt; internal/lint is the
+// checker itself.
+var DomainDirs = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/hw",
+	"internal/kernel",
+	"internal/mem",
+	"internal/bench",
+	"internal/fault",
+	"internal/obs",
+	"internal/copiergen",
+	"internal/cycles",
+	"internal/libcopier",
+	"internal/baseline",
+	"internal/apps",
+	"internal/model",
+	"internal/sanitizer",
+}
+
+// Options configures a copiervet run.
+type Options struct {
+	// Dir is where package patterns resolve (any dir in the module).
+	Dir string
+	// Patterns are go package patterns; default ["./..."].
+	Patterns []string
+	// Rules restricts the run to these rule IDs (nil = all).
+	Rules []string
+	// Cycles configures cyclelint; zero value selects the defaults.
+	Cycles CycleConfig
+	// DomainAll treats every target package as simulator-domain
+	// (used by tests over snippet packages).
+	DomainAll bool
+}
+
+// Result is a completed run.
+type Result struct {
+	Findings []Finding
+	Counts   map[string]int
+	// TypeErrorCount tallies packages whose type check did not fully
+	// resolve (analysis still ran, possibly degraded).
+	TypeErrorCount int
+	ModuleRoot     string
+}
+
+// Run loads the packages and executes every analyzer, returning the
+// surviving (unsuppressed) findings sorted by position.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
+	if opts.Cycles == (CycleConfig{}) {
+		opts.Cycles = DefaultCycleConfig
+	}
+	pkgs, ld, err := Load(opts.Dir, opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	enabled := func(rule string) bool {
+		if len(opts.Rules) == 0 {
+			return true
+		}
+		for _, r := range opts.Rules {
+			if r == rule {
+				return true
+			}
+		}
+		return false
+	}
+
+	var findings []Finding
+	res := &Result{ModuleRoot: ld.ModuleRoot}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			res.TypeErrorCount++
+		}
+		if opts.DomainAll || inDomain(ld.ModulePath, p.Path) {
+			if enabled(RuleDetTime) || enabled(RuleDetRand) || enabled(RuleDetGo) ||
+				enabled(RuleDetSync) || enabled(RuleDetMapOrder) {
+				findings = append(findings, Detlint(p)...)
+			}
+			if enabled(RuleCyclesLiteral) {
+				findings = append(findings, CycleLiterals(p, opts.Cycles)...)
+			}
+		}
+	}
+	if enabled(RuleCyclesDead) {
+		findings = append(findings, DeadCycleConsts(pkgs, opts.Cycles)...)
+	}
+	if enabled(RuleNoallocEscape) || enabled(RuleNoallocMisplaced) {
+		fns, misplaced := CollectNoalloc(pkgs)
+		findings = append(findings, misplaced...)
+		escapes, err := AllocLint(ld.ModuleRoot, fns)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, escapes...)
+	}
+
+	// Drop findings for disabled rules (analyzers may bundle rules).
+	if len(opts.Rules) > 0 {
+		var filtered []Finding
+		for _, f := range findings {
+			if enabled(f.Rule) {
+				filtered = append(filtered, f)
+			}
+		}
+		findings = filtered
+	}
+
+	sups, bad := CollectSuppressions(pkgs)
+	findings = ApplySuppressions(findings, sups)
+	if len(opts.Rules) > 0 {
+		// A restricted run cannot tell a stale suppression from one
+		// whose rule simply was not checked.
+		var filtered []Finding
+		for _, f := range findings {
+			if f.Rule != RuleSuppressUnused {
+				filtered = append(filtered, f)
+			}
+		}
+		findings = filtered
+	}
+	findings = append(findings, bad...)
+	SortFindings(findings)
+	res.Findings = findings
+	res.Counts = CountByRule(findings)
+	return res, nil
+}
+
+// inDomain reports whether import path pkg falls under a domain dir
+// of the module.
+func inDomain(modulePath, pkg string) bool {
+	rel := strings.TrimPrefix(pkg, modulePath+"/")
+	if rel == pkg {
+		return false // outside the module (or the root package)
+	}
+	for _, d := range DomainDirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}

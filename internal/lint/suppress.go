@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppressions make intentional rule exceptions visible and justified
+// at the point of violation:
+//
+//	//copiervet:ignore det-sync the scheduler mutex guards ... because ...
+//	//copiervet:ignore det-go,det-sync <reason>
+//	//copiervet:ignore-file det-sync <reason>   (whole file)
+//
+// A line-scoped ignore covers findings on its own line and on the
+// line directly below (so it can sit above the offending statement).
+// Malformed suppressions (no reason, unknown rule) and suppressions
+// that matched nothing are themselves findings — dead exceptions rot
+// exactly like dead cost-model entries.
+
+const (
+	ignorePrefix     = "//copiervet:ignore "
+	ignoreFilePrefix = "//copiervet:ignore-file "
+)
+
+// Suppression is one parsed ignore directive.
+type Suppression struct {
+	Pos       token.Position
+	Rules     []string
+	Reason    string
+	FileScope bool
+	used      bool
+}
+
+func (s *Suppression) matches(f *Finding) bool {
+	if f.Pos.Filename != s.Pos.Filename {
+		return false
+	}
+	if !s.FileScope && f.Pos.Line != s.Pos.Line && f.Pos.Line != s.Pos.Line+1 {
+		return false
+	}
+	for _, r := range s.Rules {
+		if r == f.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectSuppressions parses ignore directives from the packages'
+// comments. Malformed directives are returned as findings and do not
+// suppress anything.
+func CollectSuppressions(pkgs []*Package) ([]*Suppression, []Finding) {
+	var sups []*Suppression
+	var bad []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					var rest string
+					fileScope := false
+					switch {
+					case strings.HasPrefix(text, ignoreFilePrefix):
+						rest = text[len(ignoreFilePrefix):]
+						fileScope = true
+					case strings.HasPrefix(text, ignorePrefix):
+						rest = text[len(ignorePrefix):]
+					case text == strings.TrimSpace(ignorePrefix) || text == strings.TrimSpace(ignoreFilePrefix):
+						bad = append(bad, Finding{
+							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
+							Msg:  "copiervet:ignore names no rule",
+							Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
+						})
+						continue
+					default:
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad = append(bad, Finding{
+							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
+							Msg:  "copiervet:ignore names no rule",
+							Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
+						})
+						continue
+					}
+					rules := strings.Split(fields[0], ",")
+					ok := true
+					for _, r := range rules {
+						if !KnownRule(r) {
+							bad = append(bad, Finding{
+								Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
+								Msg:  "copiervet:ignore names unknown rule " + r,
+								Hint: "rules: " + strings.Join(AllRules, " "),
+							})
+							ok = false
+						}
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+					if reason == "" {
+						bad = append(bad, Finding{
+							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
+							Msg:  "copiervet:ignore has no reason",
+							Hint: "say why the exception is sound, in-line",
+						})
+						ok = false
+					}
+					if !ok {
+						continue
+					}
+					sups = append(sups, &Suppression{
+						Pos:       p.Position(c.Pos()),
+						Rules:     rules,
+						Reason:    reason,
+						FileScope: fileScope,
+					})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ApplySuppressions filters findings through the suppressions and
+// appends hygiene findings for directives that matched nothing.
+func ApplySuppressions(findings []Finding, sups []*Suppression) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(&f) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			kept = append(kept, Finding{
+				Pos:  s.Pos,
+				Rule: RuleSuppressUnused,
+				Msg:  "copiervet:ignore(" + strings.Join(s.Rules, ",") + ") suppresses nothing",
+				Hint: "delete the stale suppression",
+			})
+		}
+	}
+	return kept
+}

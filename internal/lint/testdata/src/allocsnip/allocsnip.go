@@ -1,0 +1,44 @@
+// Package allocsnip is the alloclint golden corpus: //copier:noalloc
+// promises that hold, promises the compiler's escape analysis
+// refutes, and a misplaced annotation.
+package allocsnip
+
+// Sum keeps its promise: nothing escapes.
+//
+//copier:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Box breaks it: returning x as an interface boxes it on the heap.
+//
+//copier:noalloc
+func Box(x int) any {
+	return x
+}
+
+// Leak breaks it: v outlives the frame and is moved to the heap.
+//
+//copier:noalloc
+func Leak() *int {
+	v := 0
+	return &v
+}
+
+// Grow allocates but makes no promise: not a finding.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// The annotation below is attached to a variable, not a function:
+// noalloc-misplaced.
+//
+//copier:noalloc
+var scratch [64]byte
+
+// use keeps scratch referenced.
+func use() byte { return scratch[0] }

@@ -1,0 +1,21 @@
+// Package costs is a stand-in cost-model package (the CyclesPath of
+// the golden test's CycleConfig). Literal arithmetic in here is
+// exempt from cycles-literal — this is where raw numbers are supposed
+// to live — and every exported constant must be referenced by some
+// loaded package or it is reported dead.
+package costs
+
+import "copier/internal/lint/testdata/src/cyclesnip/simx"
+
+const (
+	// Used is referenced by package cyclesnip.
+	Used simx.Time = 100
+	// Dead has no reference anywhere: cycles-dead must report it.
+	Dead simx.Time = 250
+)
+
+// Derived shows the exemption: inside the model package, composing
+// costs from raw literals is the point.
+func Derived(base simx.Time) simx.Time {
+	return base + 17
+}

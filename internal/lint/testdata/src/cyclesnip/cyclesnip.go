@@ -1,0 +1,34 @@
+// Package cyclesnip is the cyclelint golden corpus: cost-model
+// hygiene violations and their sanctioned forms, against the
+// stand-in simx.Time / costs packages.
+package cyclesnip
+
+import (
+	"copier/internal/lint/testdata/src/cyclesnip/costs"
+	"copier/internal/lint/testdata/src/cyclesnip/simx"
+)
+
+// drain is package-level const arithmetic: naming a window this way
+// is exactly the fix cyclelint asks for, so declarations are exempt
+// (only function bodies are scanned).
+const drain = costs.Used + 50
+
+// modeled charges a named cost: no finding.
+func modeled(t simx.Time) simx.Time {
+	return t + costs.Used
+}
+
+// forked fuses raw literals into virtual time three ways.
+func forked(t simx.Time) simx.Time {
+	t += 35
+	t++
+	return t + 120
+}
+
+// reset shows the zero tolerance: 0 names "no cost", not a model
+// entry.
+func reset() simx.Time {
+	var t simx.Time
+	t += 0
+	return t + drain
+}

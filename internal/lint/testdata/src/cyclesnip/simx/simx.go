@@ -1,0 +1,7 @@
+// Package simx is a stand-in virtual-time package for the cyclelint
+// golden tests: the test's CycleConfig points TimePkg at it instead
+// of the real internal/sim.
+package simx
+
+// Time mirrors sim.Time: virtual time in CPU cycles.
+type Time int64

@@ -1,0 +1,141 @@
+// Package detsnip is the detlint golden corpus: each function below
+// either violates one determinism rule (and must appear in the golden
+// output at exactly its line) or shows the sanctioned alternative
+// (and must not). It compiles — the loader builds export data for
+// it — but is never imported.
+package detsnip
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// clocks reads the wall clock three ways.
+func clocks() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// tick shows that pure time values (Duration constants) are fine.
+const tick = 5 * time.Millisecond
+
+// globalRand draws from the process-global, nondeterministically
+// seeded source.
+func globalRand() int {
+	return rand.Intn(6)
+}
+
+// seededRand is the sanctioned form: a caller-seeded generator.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// cryptoBytes uses crypto/rand, nondeterministic by design.
+func cryptoBytes(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+// spawn uses a real goroutine and channel operations.
+func spawn(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// mu is a real lock; one simulated process runs at a time, so locks
+// only smuggle scheduler nondeterminism in.
+var mu sync.Mutex
+
+// count uses sync/atomic.
+func count(x *int64) {
+	atomic.AddInt64(x, 1)
+}
+
+// fanIn selects over a channel.
+func fanIn(c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	default:
+		return 0
+	}
+}
+
+// shut closes a channel; drain ranges over one.
+func shut(c chan int) {
+	close(c)
+}
+
+func drain(c chan int) int {
+	t := 0
+	for v := range c {
+		t += v
+	}
+	return t
+}
+
+// leakOrder lets map iteration order escape through a collected
+// slice that is never sorted.
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the collect-then-sort idiom: deterministic, no
+// finding.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// dump prints in map iteration order.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// total only aggregates — order-insensitive, no finding.
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// suppressed carries a justified ignore: the det-time finding on the
+// next line must be swallowed.
+//
+//copiervet:ignore det-time golden corpus: proves a justified ignore swallows the finding
+func suppressed() time.Time { return time.Now() }
+
+// noReason's ignore names a rule but no reason: suppress-bare.
+//
+//copiervet:ignore det-go
+func noReason() {}
+
+// unknownRule's ignore names a rule that does not exist.
+//
+//copiervet:ignore no-such-rule the rule name is wrong on purpose
+func unknownRule() {}
+
+// stale's ignore matches nothing on its lines: suppress-unused.
+//
+//copiervet:ignore det-rand golden corpus: stale on purpose, nothing to suppress here
+func stale() {}

@@ -48,6 +48,8 @@ func (q *eventQueue) less(a, b int32) bool {
 
 // schedule fills a recycled (or fresh) slot and pushes it, returning
 // the slot index for cancellation handles.
+//
+//copier:noalloc
 func (q *eventQueue) schedule(at Time, seq uint64, fn func()) int32 {
 	var slot int32
 	if n := len(q.free); n > 0 {
@@ -67,6 +69,8 @@ func (q *eventQueue) schedule(at Time, seq uint64, fn func()) int32 {
 // fields. Caller checks empty(). The slot is released before fn runs,
 // which is safe: handles identify events by seq, not by slot, so a
 // reused slot cannot be canceled through a stale handle.
+//
+//copier:noalloc
 func (q *eventQueue) pop() (at Time, fn func(), canceled bool) {
 	top := q.heap[0]
 	ev := &q.arena[top]

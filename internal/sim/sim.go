@@ -19,6 +19,13 @@
 //     (a monotone sequence number breaks ties), never concurrently.
 package sim
 
+// The goroutines and channels in this file are not simulated
+// concurrency — they are the coroutine mechanism that gives every
+// other package deterministic virtual time: exactly one process runs
+// at any instant, control handed over through unbuffered channels, so
+// heap order (not channel or scheduler order) decides execution.
+//copiervet:ignore-file det-go,det-sync this file implements the sim.Proc coroutine handoff; the channels/goroutines here are the sanctioned substrate everything else is checked against
+
 import (
 	"fmt"
 	"sort"
@@ -100,12 +107,23 @@ func (e *Env) SetTracer(fn func(t Time, format string, args ...any)) { e.tracer 
 // Tracer returns the installed trace function, or nil.
 func (e *Env) Tracer() func(t Time, format string, args ...any) { return e.tracer }
 
+// badDelay reports a negative delay out of line: keeping the fmt
+// boxing in a helper keeps the noalloc schedule/wait paths free of
+// escape-analysis hits from the (never-taken) panic branch.
+//
+//go:noinline
+func badDelay(who string, d Time) {
+	panic(fmt.Sprintf("sim: %s: negative delay %d", who, d))
+}
+
 // Schedule registers fn to run at now+d. It may be called from process
 // bodies or before Run. fn runs in the event loop, not in a process
 // context; it must not block.
+//
+//copier:noalloc
 func (e *Env) Schedule(d Time, fn func()) EventHandle {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
+		badDelay("Schedule", d)
 	}
 	seq := e.seq
 	e.seq++
@@ -190,9 +208,11 @@ func (p *Proc) Now() Time { return p.env.now }
 
 // Wait advances virtual time by d cycles from this process's
 // perspective: the process sleeps and other events run meanwhile.
+//
+//copier:noalloc
 func (p *Proc) Wait(d Time) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: proc %q waits negative %d", p.name, d))
+		badDelay(p.name, d)
 	}
 	// d == 0 still yields so same-instant events interleave fairly.
 	p.env.Schedule(d, p.handoffFn)

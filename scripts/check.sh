@@ -15,6 +15,14 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
+# copiervet (cmd/copiervet, internal/lint) machine-checks the project
+# invariants: determinism hygiene in simulator-domain packages,
+# //copier:noalloc escape-analysis contracts, cost-model hygiene. It
+# prints every finding plus a per-rule count summary and exits
+# nonzero on any unsuppressed finding.
+echo "== copiervet ./... =="
+go run ./cmd/copiervet ./...
+
 echo "== go build ./... =="
 go build ./...
 
