@@ -6,8 +6,13 @@
 check:
 	./scripts/check.sh
 
-# Project-invariant static analysis (see internal/lint): determinism
-# hygiene, //copier:noalloc contracts, cost-model hygiene.
+# Project-invariant static analysis (see internal/lint): five
+# analyzers over one shared package load — determinism hygiene
+# (detlint), //copier:noalloc contracts (alloclint), cost-model
+# hygiene (cyclelint), dimensional safety of units.Bytes/units.Pages/
+# sim.Time (unitlint), and all-or-nothing sync/atomic field access in
+# the real-concurrency packages (atomiclint). Add -v for per-analyzer
+# timing.
 lint:
 	go run ./cmd/copiervet ./...
 
@@ -26,6 +31,7 @@ fuzz:
 	go test ./internal/core -run=^$$ -fuzz=FuzzFaultSchedule -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s
+	go test ./internal/lint -run=^$$ -fuzz=FuzzSuppress -fuzztime=30s
 
 # Full chaos sweep: seeded fault injection + client death over the
 # copy service, plus the determinism goldens that run it twice.

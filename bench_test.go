@@ -18,6 +18,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/hw"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 // runExperiment drives one registered experiment per iteration and
@@ -100,7 +101,7 @@ func BenchmarkACopyOverlap(b *testing.B) {
 					if end > n {
 						end = n
 					}
-					h.CSync(off, end-off)
+					h.CSync(units.Bytes(off), units.Bytes(end-off))
 					acc += consume(dst[off:end])
 				}
 				h.Wait()
@@ -137,7 +138,7 @@ func BenchmarkDescriptorMarkReady(b *testing.B) {
 	d := core.NewDescriptor(0, 256<<10, 1024)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		off := (i * 1024) % (256 << 10)
+		off := units.Bytes((i * 1024) % (256 << 10))
 		d.MarkRange(off, 1024)
 		if !d.Ready(off, 1024) {
 			b.Fatal("not ready")
@@ -160,7 +161,7 @@ func BenchmarkCopyScatter(b *testing.B) {
 func BenchmarkCostModel(b *testing.B) {
 	var acc int64
 	for i := 0; i < b.N; i++ {
-		acc += int64(cycles.SyncCopyCost(cycles.UnitAVX, i%(1<<20)))
+		acc += int64(cycles.SyncCopyCost(cycles.UnitAVX, units.Bytes(i%(1<<20))))
 	}
 	sinkInt = acc
 }

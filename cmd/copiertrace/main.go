@@ -26,6 +26,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 func main() {
@@ -156,17 +157,17 @@ func describe(e *obs.Event) string {
 	}
 }
 
-func mustBuf(p *kernel.Process, n int) mem.VA {
-	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+func mustBuf(p *kernel.Process, n units.Bytes) mem.VA {
+	va := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func mustKBuf(kas *mem.AddrSpace, n int) mem.VA {
-	va := kas.MMap(int64(n), mem.PermRead|mem.PermWrite, "kbuf")
-	if _, err := kas.Populate(va, int64(n), true); err != nil {
+func mustKBuf(kas *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := kas.MMap(n, mem.PermRead|mem.PermWrite, "kbuf")
+	if _, err := kas.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va

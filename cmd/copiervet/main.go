@@ -1,24 +1,33 @@
 // Command copiervet is the project-invariant static-analysis suite:
 // it machine-checks the properties that make this reproduction
 // trustworthy — byte-determinism of the simulator domain, zero-alloc
-// hot paths, and cost-model hygiene — the way the paper's own
-// CopierSanitizer (§5.1.2) checks programs against the Copier model.
+// hot paths, cost-model hygiene, dimensional safety of the typed
+// quantities, and all-or-nothing atomicity on the real-concurrency
+// fast paths — the way the paper's own CopierSanitizer (§5.1.2)
+// checks programs against the Copier model.
 //
 // Usage:
 //
-//	copiervet [-rules det-time,noalloc-escape,...] [packages]
+//	copiervet [-rules det-time,unit-conv,...] [-v] [packages]
 //
 // With no packages it walks ./... from the current directory. Each
-// finding prints as file:line:col: rule: message (fix: hint); the
-// exit status is 1 if any unsuppressed finding remains, and a
-// per-rule count summary is printed on failure. See internal/lint
-// for the rule inventory and the //copiervet:ignore suppression
-// syntax.
+// finding prints as file:line:col: rule: message (fix: hint), sorted
+// by (file, line, column, rule) so output is byte-stable; a per-rule
+// count summary is printed on failure. -v reports how long the shared
+// package load and each analyzer took. See internal/lint for the rule
+// inventory and the //copiervet:ignore suppression syntax.
+//
+// Exit status is part of the contract scripts build on:
+//
+//	0 — no findings
+//	1 — at least one unsuppressed finding
+//	2 — the run itself failed (bad flags, unknown rule, load error)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,28 +35,39 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated rule IDs to check (default: all)")
-	list := flag.Bool("list", false, "list known rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: copiervet [-rules r1,r2] [-list] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(vetMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// vetMain is the whole command, separated from main so tests can pin
+// the output and exit-code contract without spawning a process.
+func vetMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("copiervet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule IDs to check (default: all)")
+	list := fs.Bool("list", false, "list known rules and exit")
+	verbose := fs.Bool("v", false, "print per-analyzer timing to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: copiervet [-rules r1,r2] [-list] [-v] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, r := range lint.AllRules {
-			fmt.Println(r)
+			fmt.Fprintln(stdout, r)
 		}
-		return
+		return 0
 	}
 
-	opts := lint.Options{Dir: ".", Patterns: flag.Args()}
+	opts := lint.Options{Dir: ".", Patterns: fs.Args()}
 	if *rules != "" {
 		for _, r := range strings.Split(*rules, ",") {
 			r = strings.TrimSpace(r)
 			if !lint.KnownRule(r) {
-				fmt.Fprintf(os.Stderr, "copiervet: unknown rule %q (try -list)\n", r)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "copiervet: unknown rule %q (try -list)\n", r)
+				return 2
 			}
 			opts.Rules = append(opts.Rules, r)
 		}
@@ -55,17 +75,24 @@ func main() {
 
 	res, err := lint.Run(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "copiervet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "copiervet: %v\n", err)
+		return 2
+	}
+
+	if *verbose {
+		for _, pt := range res.Timings {
+			fmt.Fprintf(stderr, "copiervet: %-10s %v\n", pt.Name, pt.D)
+		}
 	}
 
 	cwd, _ := os.Getwd()
 	for _, f := range res.Findings {
 		f.Pos.Filename = lint.RelPath(cwd, f.Pos.Filename)
-		fmt.Println(f.String())
+		fmt.Fprintln(stdout, f.String())
 	}
 	if n := len(res.Findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "copiervet: %d finding(s): %s\n", n, lint.FormatCounts(res.Counts))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "copiervet: %d finding(s): %s\n", n, lint.FormatCounts(res.Counts))
+		return 1
 	}
+	return 0
 }

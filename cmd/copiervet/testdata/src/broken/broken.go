@@ -1,0 +1,19 @@
+// Package broken seeds one violation per analyzer family that runs
+// under the default configuration, so the command-level tests can pin
+// the exit-code and output contract against real findings.
+package broken
+
+import "copier/internal/units"
+
+// A bytes-for-pages mixup: 4096x calibration error, compiles fine.
+func pagesOfBytes(b units.Bytes) units.Pages {
+	return units.Pages(b)
+}
+
+// Laundered mixed-dimension arithmetic.
+func sum(b units.Bytes, p units.Pages) int {
+	return int(b) + int(p)
+}
+
+//copiervet:ignore det-time
+var _ = 0

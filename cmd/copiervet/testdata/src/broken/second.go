@@ -1,0 +1,9 @@
+package broken
+
+import "copier/internal/units"
+
+// Same mixup in a second file, so the sorted-output test sees
+// findings from more than one file.
+func moreBytesToPages(b units.Bytes) units.Pages {
+	return units.Pages(b + 1)
+}

@@ -9,6 +9,7 @@ import (
 
 	"copier/internal/apps/redis"
 	"copier/internal/cycles"
+	"copier/internal/units"
 )
 
 func main() {
@@ -21,7 +22,7 @@ func main() {
 	fmt.Printf("%-10s %12s %12s %14s\n", "mode", "avg (us)", "p99 (us)", "ops/ms")
 	var base float64
 	for _, mode := range []redis.Mode{redis.ModeSync, redis.ModeCopier, redis.ModeZIO, redis.ModeUB, redis.ModeZeroCopy} {
-		res := redis.Run(redis.Config{Mode: mode, Op: *op, ValueSize: *size, Clients: 4, OpsPerClient: *ops})
+		res := redis.Run(redis.Config{Mode: mode, Op: *op, ValueSize: units.Bytes(*size), Clients: 4, OpsPerClient: *ops})
 		avg := cycles.ToMicroseconds(res.Avg())
 		if mode == redis.ModeSync {
 			base = avg

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"copier/internal/acopy"
+	"copier/internal/units"
 )
 
 func main() {
@@ -53,7 +54,7 @@ func main() {
 			if end > n {
 				end = n
 			}
-			h.CSync(off, end-off)
+			h.CSync(units.Bytes(off), units.Bytes(end-off))
 			sink ^= consume(dst[off:end])
 		}
 		h.Wait()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"copier/internal/apps/proxy"
+	"copier/internal/units"
 )
 
 func main() {
@@ -18,7 +19,7 @@ func main() {
 	fmt.Printf("TinyProxy forwarding, %d-byte messages\n\n", *size)
 	var base float64
 	for _, mode := range []proxy.Mode{proxy.ModeSync, proxy.ModeZIO, proxy.ModeCopier} {
-		res := proxy.Run(proxy.Config{Mode: mode, MsgSize: *size, Flows: 2, MsgsPerFlow: *msgs})
+		res := proxy.Run(proxy.Config{Mode: mode, MsgSize: units.Bytes(*size), Flows: 2, MsgsPerFlow: *msgs})
 		if mode == proxy.ModeSync {
 			base = res.MPS()
 		}

@@ -11,6 +11,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/kernel"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 func main() {
@@ -67,9 +68,9 @@ func main() {
 		svc.Stats.TasksExecuted, svc.Stats.AVXBytes, svc.Stats.DMABytes)
 }
 
-func mustBuf(p *kernel.Process, n int) mem.VA {
-	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+func mustBuf(p *kernel.Process, n units.Bytes) mem.VA {
+	va := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va

@@ -34,6 +34,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"copier/internal/units"
 )
 
 // ErrShutdown reports a copy failed because the Copier was shut down
@@ -118,7 +120,7 @@ func (h *Handle) reset(dst, src []byte, handler func()) {
 // fast-path functions.
 //
 //go:noinline
-func badRange(off, n, total int) {
+func badRange(off, n units.Bytes, total int) {
 	panic(fmt.Sprintf("acopy: range [%d,%d) outside copy of %d bytes", off, off+n, total))
 }
 
@@ -169,7 +171,7 @@ func (h *Handle) TryRelease() error {
 }
 
 // Len returns the copy length in bytes.
-func (h *Handle) Len() int { return len(h.dst) }
+func (h *Handle) Len() units.Bytes { return units.Bytes(len(h.dst)) }
 
 // segReady reports whether segment i has been copied.
 func (h *Handle) segReady(i int) bool {
@@ -253,14 +255,14 @@ func (h *Handle) Err() error {
 // Ready reports whether [off, off+n) has landed, without blocking.
 //
 //copier:noalloc
-func (h *Handle) Ready(off, n int) bool {
+func (h *Handle) Ready(off, n units.Bytes) bool {
 	if n <= 0 {
 		return true
 	}
-	if off < 0 || off+n > len(h.dst) {
+	if off < 0 || int(off+n) > len(h.dst) {
 		badRange(off, n, len(h.dst))
 	}
-	for i := off / SegSize; i <= (off+n-1)/SegSize; i++ {
+	for i := int(off / SegSize); i <= int((off+n-1)/SegSize); i++ {
 		if !h.segReady(i) {
 			return false
 		}
@@ -273,12 +275,12 @@ func (h *Handle) Ready(off, n int) bool {
 // requested region, then spins with backoff.
 //
 //copier:noalloc
-func (h *Handle) CSync(off, n int) {
+func (h *Handle) CSync(off, n units.Bytes) {
 	if h.Ready(off, n) {
 		return
 	}
 	// Task promotion: ask the worker to copy from this segment on.
-	h.promote(off / SegSize)
+	h.promote(int(off / SegSize))
 	for spins := 0; !h.Ready(off, n); spins++ {
 		if h.completed.Load() == 1 {
 			// Completed without the range landing: the copy failed

@@ -1,6 +1,7 @@
 package acopy
 
 import (
+	"copier/internal/units"
 	"fmt"
 	"testing"
 )
@@ -39,7 +40,7 @@ func BenchmarkAMemcpyCSyncPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h := cp.AMemcpy(dst, src)
-		for off := 0; off < n; off += 64 << 10 {
+		for off := units.Bytes(0); off < units.Bytes(n); off += 64 << 10 {
 			h.CSync(off, 64<<10)
 		}
 		h.Wait()

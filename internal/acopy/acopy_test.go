@@ -2,6 +2,7 @@ package acopy
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"crypto/sha256"
 	"math/rand"
 	"sync"
@@ -19,7 +20,7 @@ func TestAMemcpyBasic(t *testing.T) {
 	if !bytes.Equal(dst, src) {
 		t.Fatal("copy wrong")
 	}
-	if !h.Done() || !h.Ready(0, len(dst)) {
+	if !h.Done() || !h.Ready(0, units.Bytes(len(dst))) {
 		t.Fatal("completion state wrong")
 	}
 }
@@ -39,7 +40,7 @@ func TestCSyncPartial(t *testing.T) {
 		t.Fatal("first bytes not synced")
 	}
 	// Sync a tail range (exercises promotion).
-	off := len(src) - 5000
+	off := units.Bytes(len(src) - 5000)
 	h.CSync(off, 5000)
 	if !bytes.Equal(dst[off:], src[off:]) {
 		t.Fatal("tail not synced")
@@ -123,7 +124,7 @@ func TestManyConcurrentSubmitters(t *testing.T) {
 				rnd.Read(src)
 				dst := make([]byte, n)
 				h := cp.AMemcpy(dst, src)
-				h.CSync(0, min(n, 64))
+				h.CSync(0, units.Bytes(min(n, 64)))
 				if !bytes.Equal(dst[:min(n, 64)], src[:min(n, 64)]) {
 					errs <- "head mismatch"
 				}
@@ -164,7 +165,7 @@ func TestCSyncProperty(t *testing.T) {
 		h := cp.AMemcpy(dst, data)
 		off := int(offRaw) % len(data)
 		n := int(nRaw) % (len(data) - off)
-		h.CSync(off, n)
+		h.CSync(units.Bytes(off), units.Bytes(n))
 		if !bytes.Equal(dst[off:off+n], data[off:off+n]) {
 			return false
 		}
@@ -192,7 +193,7 @@ func TestPipelineConsumption(t *testing.T) {
 		if end > len(dst) {
 			end = len(dst)
 		}
-		h.CSync(off, end-off)
+		h.CSync(units.Bytes(off), units.Bytes(end-off))
 		sum.Write(dst[off:end])
 	}
 	want := sha256.Sum256(src)

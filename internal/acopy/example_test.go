@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"copier/internal/acopy"
+	"copier/internal/units"
 )
 
 // The canonical copy-use pipeline: start an asynchronous copy, then
@@ -23,7 +24,7 @@ func ExampleCopier() {
 	var sum int
 	const chunk = 64 << 10
 	for off := 0; off < len(dst); off += chunk {
-		h.CSync(off, chunk) // wait only for this chunk
+		h.CSync(units.Bytes(off), chunk) // wait only for this chunk
 		for _, b := range dst[off : off+chunk] {
 			sum += int(b)
 		}

@@ -14,12 +14,13 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Config parameterizes one playback run.
 type Config struct {
 	// FrameSize is the decoded frame size in bytes.
-	FrameSize int
+	FrameSize units.Bytes
 	// Frames to decode.
 	Frames int
 	// FPS is the playback rate; a frame missing its vsync slot is a
@@ -71,7 +72,7 @@ func Run(cfg Config) Result {
 	// up to 22%").
 	decodeCost := cycles.Mul(cfg.FrameSize, cycles.DecodeByteNum, cycles.DecodeByteDen)
 	copyCost := cycles.SyncCopyCost(cycles.UnitAVX, cfg.FrameSize)
-	postCost := sim.Time(cfg.FrameSize/cycles.FramePostBytesPerCycle) + cycles.FramePostFixed
+	postCost := cycles.AtRate(cfg.FrameSize, cycles.FramePostBytesPerCycle) + cycles.FramePostFixed
 	frameBudget := decodeCost + postCost + copyCost/2
 	var totalLat sim.Time
 	drops := 0
@@ -101,7 +102,7 @@ func Run(cfg Config) Result {
 				// Subsequent logic before the data is used by
 				// rendering: codec state update, buffer rotation,
 				// render-pass setup.
-				t.Exec(sim.Time(cfg.FrameSize / 8))
+				t.Exec(cycles.AtRate(cfg.FrameSize, 8))
 				if err := attach.Lib.Csync(t, fbuf, cfg.FrameSize); err != nil {
 					panic(err)
 				}
@@ -109,7 +110,7 @@ func Run(cfg Config) Result {
 				if err := t.UserCopy(fbuf, inner, cfg.FrameSize); err != nil {
 					panic(err)
 				}
-				t.Exec(sim.Time(cfg.FrameSize / 8))
+				t.Exec(cycles.AtRate(cfg.FrameSize, 8))
 			}
 			// Hand off to rendering.
 			t.Exec(800)
@@ -132,9 +133,9 @@ func Run(cfg Config) Result {
 	}
 }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va

@@ -12,12 +12,13 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Config parameterizes one run.
 type Config struct {
 	// ImageSize is the encoded image size.
-	ImageSize int
+	ImageSize units.Bytes
 	// Images to decode.
 	Images int
 	Copier bool
@@ -71,8 +72,8 @@ func Run(cfg Config) Result {
 			}
 			// Header parse + decoder setup before the first row.
 			t.Exec(800)
-			for off := 0; off < cfg.ImageSize; off += strip {
-				n := strip
+			for off := units.Bytes(0); off < cfg.ImageSize; off += strip {
+				n := units.Bytes(strip)
 				if off+n > cfg.ImageSize {
 					n = cfg.ImageSize - off
 				}
@@ -100,15 +101,15 @@ func Run(cfg Config) Result {
 	}
 }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func min(a, b int) int {
+func min(a, b units.Bytes) units.Bytes {
 	if a < b {
 		return a
 	}

@@ -1,6 +1,10 @@
 package pngmini
 
-import "testing"
+import (
+	"testing"
+
+	"copier/internal/units"
+)
 
 func TestDecodeCompletes(t *testing.T) {
 	for _, copier := range []bool{false, true} {
@@ -12,7 +16,7 @@ func TestDecodeCompletes(t *testing.T) {
 }
 
 func TestCopierHidesReadCopy(t *testing.T) {
-	for _, n := range []int{16 << 10, 64 << 10} {
+	for _, n := range []units.Bytes{16 << 10, 64 << 10} {
 		base := Run(Config{ImageSize: n, Images: 6})
 		cop := Run(Config{ImageSize: n, Images: 6, Copier: true})
 		if cop.AvgLatency >= base.AvgLatency {

@@ -15,14 +15,15 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Config parameterizes one run.
 type Config struct {
 	// MsgSize is the serialized message size.
-	MsgSize int
+	MsgSize units.Bytes
 	// FieldSize is the average field payload size.
-	FieldSize int
+	FieldSize units.Bytes
 	// Messages bounds the run.
 	Messages int
 	// Copier selects the async path.
@@ -58,13 +59,13 @@ func Run(cfg Config) Result {
 
 	// Build the serialized message in the sender: repeated
 	// [fieldLen u32][payload] records.
-	nFields := cfg.MsgSize / (4 + cfg.FieldSize)
+	nFields := int(cfg.MsgSize / (4 + cfg.FieldSize))
 	if nFields == 0 {
 		nFields = 1
 	}
-	msgLen := nFields * (4 + cfg.FieldSize)
+	msgLen := units.Bytes(nFields) * (4 + cfg.FieldSize)
 	sbuf := mustBuf(sender.AS, msgLen)
-	off := 0
+	off := units.Bytes(0)
 	for f := 0; f < nFields; f++ {
 		var hdr [4]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(cfg.FieldSize))
@@ -108,8 +109,8 @@ func Run(cfg Config) Result {
 				// Sync in >=2KB strides — "apps can sync once every
 				// one to few KB of data used" (§5.1) — instead of per
 				// field.
-				synced := 0
-				deserialize(t, app.AS, rbuf, obj, msgLen, func(off, n int) {
+				synced := units.Bytes(0)
+				deserialize(t, app.AS, rbuf, obj, msgLen, func(off, n units.Bytes) {
 					if off+n <= synced {
 						return
 					}
@@ -141,8 +142,8 @@ func Run(cfg Config) Result {
 // deserialize walks the fields, optionally csyncing each range before
 // touching it, charging per-byte decode cost and copying payloads into
 // the object.
-func deserialize(t *kernel.Thread, as *mem.AddrSpace, buf, obj mem.VA, msgLen int, csync func(off, n int)) {
-	off := 0
+func deserialize(t *kernel.Thread, as *mem.AddrSpace, buf, obj mem.VA, msgLen units.Bytes, csync func(off, n units.Bytes)) {
+	off := units.Bytes(0)
 	for off+4 <= msgLen {
 		if csync != nil {
 			csync(off, 4)
@@ -151,7 +152,7 @@ func deserialize(t *kernel.Thread, as *mem.AddrSpace, buf, obj mem.VA, msgLen in
 		if err := as.ReadAt(buf+mem.VA(off), hdr[:]); err != nil {
 			panic(err)
 		}
-		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		n := units.Bytes(binary.LittleEndian.Uint32(hdr[:]))
 		if n == 0 || off+4+n > msgLen {
 			panic(fmt.Sprintf("protomini: bad field len %d at %d", n, off))
 		}
@@ -168,15 +169,15 @@ func deserialize(t *kernel.Thread, as *mem.AddrSpace, buf, obj mem.VA, msgLen in
 	}
 }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func min(a, b int) int {
+func min(a, b units.Bytes) units.Bytes {
 	if a < b {
 		return a
 	}

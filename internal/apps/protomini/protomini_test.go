@@ -1,6 +1,10 @@
 package protomini
 
-import "testing"
+import (
+	"testing"
+
+	"copier/internal/units"
+)
 
 func TestDeserializeCompletes(t *testing.T) {
 	for _, copier := range []bool{false, true} {
@@ -13,7 +17,7 @@ func TestDeserializeCompletes(t *testing.T) {
 
 func TestCopierOverlapHelps(t *testing.T) {
 	// Fig. 13-a: 4-33% latency reduction.
-	for _, n := range []int{16 << 10, 64 << 10} {
+	for _, n := range []units.Bytes{16 << 10, 64 << 10} {
 		base := Run(Config{MsgSize: n, Messages: 8})
 		cop := Run(Config{MsgSize: n, Messages: 8, Copier: true})
 		if cop.AvgLatency >= base.AvgLatency {

@@ -18,6 +18,7 @@ import (
 	"copier/internal/libcopier"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Mode selects the copy backend (Fig. 12-a series).
@@ -48,7 +49,7 @@ const headerLen = 128
 // Config parameterizes one run.
 type Config struct {
 	Mode    Mode
-	MsgSize int
+	MsgSize units.Bytes
 	// Flows is the number of concurrent client↔upstream pairs.
 	Flows int
 	// MsgsPerFlow bounds the run.
@@ -189,7 +190,7 @@ func Run(cfg Config) Result {
 				if err := p.AS.ReadAt(rbuf+mem.VA(got-1), b[:1]); err != nil {
 					panic(err)
 				}
-				if b[0] != payloadByte(got-1) {
+				if b[0] != payloadByte(int(got-1)) {
 					panic(fmt.Sprintf("proxy corrupted byte %d: %#x", got-1, b[0]))
 				}
 			}
@@ -234,7 +235,7 @@ func Run(cfg Config) Result {
 }
 
 // forward relays one message from the client socket to the upstream.
-func forward(t *kernel.Thread, cfg Config, a *kernel.CopierAttachment, zio *baseline.ZIO, f *flowRef, ibuf, mbuf mem.VA, n int) {
+func forward(t *kernel.Thread, cfg Config, a *kernel.CopierAttachment, zio *baseline.ZIO, f *flowRef, ibuf, mbuf mem.VA, n units.Bytes) {
 	switch cfg.Mode {
 	case ModeCopier:
 		// recv as a lazy copy: the message body is never read by the
@@ -294,7 +295,7 @@ type flowRef struct {
 }
 
 // recvLazy performs the Copier recv with the copy task marked lazy.
-func recvLazy(t *kernel.Thread, a *kernel.CopierAttachment, s *kernel.Socket, buf mem.VA, n int) {
+func recvLazy(t *kernel.Thread, a *kernel.CopierAttachment, s *kernel.Socket, buf mem.VA, n units.Bytes) {
 	t.Syscall("recv", func() {
 		t.Exec(cycles.SocketBookkeeping)
 		skb := s.WaitSkb(t)
@@ -317,7 +318,7 @@ func recvLazy(t *kernel.Thread, a *kernel.CopierAttachment, s *kernel.Socket, bu
 	})
 }
 
-func writePayload(as *mem.AddrSpace, va mem.VA, n int) {
+func writePayload(as *mem.AddrSpace, va mem.VA, n units.Bytes) {
 	buf := make([]byte, n)
 	for i := range buf {
 		buf[i] = payloadByte(i)
@@ -329,15 +330,15 @@ func writePayload(as *mem.AddrSpace, va mem.VA, n int) {
 
 func payloadByte(i int) byte { return byte(i*131 + 17) }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func min(a, b int) int {
+func min(a, b units.Bytes) units.Bytes {
 	if a < b {
 		return a
 	}

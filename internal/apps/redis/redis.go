@@ -22,6 +22,7 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Mode selects the copy backend, matching Fig. 11's series.
@@ -54,7 +55,7 @@ func (m Mode) String() string {
 // Config parameterizes one run.
 type Config struct {
 	Mode      Mode
-	ValueSize int
+	ValueSize units.Bytes
 	// Op is "set" or "get" (the paper reports them separately).
 	Op string
 	// Clients is the number of parallel closed-loop clients
@@ -290,7 +291,7 @@ func buildInstance(m *kernel.Machine, cfg Config, inst int, latencies *[]sim.Tim
 // serveOne handles one request on socket s.
 func serveOne(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAttachment, zio *baseline.ZIO, ub *baseline.UB, db []mem.VA, ibuf, obuf mem.VA) {
 	as := t.Proc.AS
-	var got int
+	var got units.Bytes
 	switch cfg.Mode {
 	case ModeCopier:
 		got, _ = s.RecvCopier(t, ibuf, reqHdr+cfg.ValueSize)
@@ -382,7 +383,7 @@ func serveOne(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAt
 	}
 }
 
-func reply(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAttachment, ub *baseline.UB, zio *baseline.ZIO, buf mem.VA, n int) {
+func reply(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAttachment, ub *baseline.UB, zio *baseline.ZIO, buf mem.VA, n units.Bytes) {
 	switch cfg.Mode {
 	case ModeZIO:
 		// zIO's interposed send gathers aliased ranges straight from
@@ -416,19 +417,19 @@ func reply(t *kernel.Thread, cfg Config, s *kernel.Socket, a *kernel.CopierAttac
 	}
 }
 
-func send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) {
+func send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n units.Bytes) {
 	if err := s.Send(t, buf, n); err != nil {
 		panic(err)
 	}
 }
 
-func recvFull(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) {
+func recvFull(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n units.Bytes) {
 	if _, err := s.Recv(t, buf, n); err != nil {
 		panic(err)
 	}
 }
 
-func writeHdr(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, op byte, key, valLen int) {
+func writeHdr(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, op byte, key int, valLen units.Bytes) {
 	var h [reqHdr]byte
 	h[0] = op
 	binary.LittleEndian.PutUint32(h[1:], uint32(key))
@@ -439,16 +440,16 @@ func writeHdr(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, op byte, key, val
 	t.Exec(50)
 }
 
-func readHdr(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA) (op byte, key, valLen int) {
+func readHdr(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA) (op byte, key int, valLen units.Bytes) {
 	var h [reqHdr]byte
 	if err := as.ReadAt(buf, h[:]); err != nil {
 		panic(err)
 	}
 	t.Exec(30)
-	return h[0], int(binary.LittleEndian.Uint32(h[1:])), int(binary.LittleEndian.Uint32(h[5:]))
+	return h[0], int(binary.LittleEndian.Uint32(h[1:])), units.Bytes(binary.LittleEndian.Uint32(h[5:]))
 }
 
-func writeRep(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, status byte, valLen int) {
+func writeRep(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, status byte, valLen units.Bytes) {
 	var h [repHdr]byte
 	h[0] = status
 	binary.LittleEndian.PutUint32(h[1:], uint32(valLen))
@@ -461,15 +462,15 @@ func writeRep(t *kernel.Thread, as *mem.AddrSpace, buf mem.VA, status byte, valL
 // keyFill is the deterministic preload byte of a key's value.
 func keyFill(k int) byte { return byte(0x20 + k%200) }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func fillVA(as *mem.AddrSpace, va mem.VA, n int, b byte) {
+func fillVA(as *mem.AddrSpace, va mem.VA, n units.Bytes, b byte) {
 	buf := make([]byte, n)
 	for i := range buf {
 		buf[i] = b

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 func run(t *testing.T, cfg Config) Result {
@@ -62,7 +63,7 @@ func TestZeroCopyOnlyHelpsLargeGETs(t *testing.T) {
 	// Fig. 11: zero-copy send is "only efficient when the value
 	// length is >=32KB"; for small values its remap + ownership
 	// costs make it no better (or worse) than baseline.
-	small := 4 << 10
+	small := units.Bytes(4 << 10)
 	base := run(t, Config{Mode: ModeSync, Op: "get", ValueSize: small})
 	zc := run(t, Config{Mode: ModeZeroCopy, Op: "get", ValueSize: small})
 	if zc.Avg() < base.Avg()*95/100 {
@@ -75,8 +76,8 @@ func TestUBHelpsOnlySmall(t *testing.T) {
 	// 32KB (Fig. 11: "UB can only optimize SETs and GETs of <=4KB").
 	// Measured single-client: multi-client queueing noise swamps the
 	// small absolute trap savings.
-	sm, lg := 1<<10, 32<<10
-	cfg := func(mode Mode, n int) Config {
+	sm, lg := units.Bytes(1<<10), units.Bytes(32<<10)
+	cfg := func(mode Mode, n units.Bytes) Config {
 		return Config{Mode: mode, Op: "get", ValueSize: n, Clients: 1, OpsPerClient: 40}
 	}
 	baseSm := Run(cfg(ModeSync, sm))

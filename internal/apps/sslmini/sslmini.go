@@ -12,6 +12,7 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // RecordMax is the TLS maximum record size.
@@ -20,7 +21,7 @@ const RecordMax = 16 << 10
 // Config parameterizes one run.
 type Config struct {
 	// MsgSize is the application message size (split into records).
-	MsgSize  int
+	MsgSize  units.Bytes
 	Messages int
 	Copier   bool
 }
@@ -47,14 +48,14 @@ func Run(cfg Config) Result {
 	}
 	ssock, asock := m.Net().SocketPair("tx", "rx")
 
-	records := (cfg.MsgSize + RecordMax - 1) / RecordMax
+	records := int((cfg.MsgSize + RecordMax - 1) / RecordMax)
 	sbuf := mustBuf(sender.AS, RecordMax)
 	fill(sender.AS, sbuf, RecordMax)
 
 	tx := m.Spawn(sender, "tx", func(t *kernel.Thread) {
 		for i := 0; i < cfg.Messages*records; i++ {
-			n := RecordMax
-			if rem := cfg.MsgSize - (i%records)*RecordMax; rem < n {
+			n := units.Bytes(RecordMax)
+			if rem := cfg.MsgSize - units.Bytes((i%records))*RecordMax; rem < n {
 				n = rem
 			}
 			if err := ssock.Send(t, sbuf, n); err != nil {
@@ -71,8 +72,8 @@ func Run(cfg Config) Result {
 		for i := 0; i < cfg.Messages; i++ {
 			start := t.Now()
 			for r := 0; r < records; r++ {
-				n := RecordMax
-				if rem := cfg.MsgSize - r*RecordMax; rem < n {
+				n := units.Bytes(RecordMax)
+				if rem := cfg.MsgSize - units.Bytes(r)*RecordMax; rem < n {
 					n = rem
 				}
 				if cfg.Copier {
@@ -81,7 +82,7 @@ func Run(cfg Config) Result {
 					}
 					// Record header/IV processing before payload use.
 					t.Exec(400)
-					decrypt(t, app.AS, rbuf, pbuf, n, func(off, ln int) {
+					decrypt(t, app.AS, rbuf, pbuf, n, func(off, ln units.Bytes) {
 						if err := attach.Lib.Csync(t, rbuf+mem.VA(off), ln); err != nil {
 							panic(err)
 						}
@@ -107,10 +108,10 @@ func Run(cfg Config) Result {
 // rate, csyncing each chunk first on the Copier path. Decrypted data
 // is one-time use (§5.1: "in OpenSSL the data is never reused after
 // being decrypted"), so chunk-level csync is the natural pattern.
-func decrypt(t *kernel.Thread, as *mem.AddrSpace, in, out mem.VA, n int, csync func(off, ln int)) {
+func decrypt(t *kernel.Thread, as *mem.AddrSpace, in, out mem.VA, n units.Bytes, csync func(off, ln units.Bytes)) {
 	const chunk = 1024
-	for off := 0; off < n; off += chunk {
-		ln := chunk
+	for off := units.Bytes(0); off < n; off += chunk {
+		ln := units.Bytes(chunk)
 		if off+ln > n {
 			ln = n - off
 		}
@@ -132,15 +133,15 @@ func decrypt(t *kernel.Thread, as *mem.AddrSpace, in, out mem.VA, n int, csync f
 	}
 }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func fill(as *mem.AddrSpace, va mem.VA, n int) {
+func fill(as *mem.AddrSpace, va mem.VA, n units.Bytes) {
 	buf := make([]byte, n)
 	for i := range buf {
 		buf[i] = byte(i*37) ^ 0x5A

@@ -1,6 +1,10 @@
 package sslmini
 
-import "testing"
+import (
+	"testing"
+
+	"copier/internal/units"
+)
 
 func TestSSLReadCompletes(t *testing.T) {
 	for _, copier := range []bool{false, true} {
@@ -16,7 +20,7 @@ func TestSSLReadCompletes(t *testing.T) {
 
 func TestCopierSpeedupModestAndFlatBeyond16K(t *testing.T) {
 	// Fig. 13-b: 1.4%-8.4% reduction, stable for sizes >= 16KB.
-	speedup := func(n int) float64 {
+	speedup := func(n units.Bytes) float64 {
 		base := Run(Config{MsgSize: n, Messages: 6})
 		cop := Run(Config{MsgSize: n, Messages: 6, Copier: true})
 		return 1 - float64(cop.AvgLatency)/float64(base.AvgLatency)

@@ -10,6 +10,7 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // WindowBlock is the sliding-window advance unit.
@@ -18,7 +19,7 @@ const WindowBlock = 32 << 10
 // Config parameterizes one run.
 type Config struct {
 	// InputSize is the uncompressed input length.
-	InputSize  int
+	InputSize  units.Bytes
 	Iterations int
 	Copier     bool
 }
@@ -50,14 +51,14 @@ func Run(cfg Config) Result {
 	// memcpy) and the next input block in.
 	window := mustBuf(app.AS, 2*WindowBlock)
 
-	blocks := (cfg.InputSize + WindowBlock - 1) / WindowBlock
+	blocks := int((cfg.InputSize + WindowBlock - 1) / WindowBlock)
 	var total sim.Time
 	th := m.Spawn(app, "deflate", func(t *kernel.Thread) {
 		for it := 0; it < cfg.Iterations; it++ {
 			start := t.Now()
 			for b := 0; b < blocks; b++ {
-				off := b * WindowBlock
-				n := WindowBlock
+				off := units.Bytes(b) * WindowBlock
+				n := units.Bytes(WindowBlock)
 				if off+n > cfg.InputSize {
 					n = cfg.InputSize - off
 				}
@@ -74,8 +75,8 @@ func Run(cfg Config) Result {
 						panic(err)
 					}
 					const chunk = 4096
-					for c := 0; c < n; c += chunk {
-						ln := chunk
+					for c := units.Bytes(0); c < n; c += chunk {
+						ln := units.Bytes(chunk)
 						if c+ln > n {
 							ln = n - c
 						}
@@ -113,15 +114,15 @@ func Run(cfg Config) Result {
 	return Result{AvgLatency: total / sim.Time(cfg.Iterations), Iterations: cfg.Iterations}
 }
 
-func mustBuf(as *mem.AddrSpace, n int) mem.VA {
-	va := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(n), true); err != nil {
+func mustBuf(as *mem.AddrSpace, n units.Bytes) mem.VA {
+	va := as.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va
 }
 
-func fill(as *mem.AddrSpace, va mem.VA, n int) {
+func fill(as *mem.AddrSpace, va mem.VA, n units.Bytes) {
 	buf := make([]byte, n)
 	for i := range buf {
 		buf[i] = byte(i % 97)

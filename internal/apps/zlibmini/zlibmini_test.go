@@ -1,6 +1,10 @@
 package zlibmini
 
-import "testing"
+import (
+	"testing"
+
+	"copier/internal/units"
+)
 
 func TestDeflateCompletes(t *testing.T) {
 	for _, copier := range []bool{false, true} {
@@ -13,7 +17,7 @@ func TestDeflateCompletes(t *testing.T) {
 
 func TestCopierPipelineSpeedup(t *testing.T) {
 	// §6.2.3: up to 18.8% speedup under 256KB.
-	for _, n := range []int{64 << 10, 256 << 10} {
+	for _, n := range []units.Bytes{64 << 10, 256 << 10} {
 		base := Run(Config{InputSize: n, Iterations: 3})
 		cop := Run(Config{InputSize: n, Iterations: 3, Copier: true})
 		if cop.AvgLatency >= base.AvgLatency {

@@ -8,20 +8,21 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 func newM(cores int) *kernel.Machine {
 	return kernel.NewMachine(kernel.Config{Cores: cores, MemBytes: 256 << 20})
 }
 
-func mkbuf(t *testing.T, p *kernel.Process, n int, fill byte) mem.VA {
+func mkbuf(t *testing.T, p *kernel.Process, n units.Bytes, fill byte) mem.VA {
 	t.Helper()
-	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+	va := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, n, true); err != nil {
 		t.Fatal(err)
 	}
 	if fill != 0 {
-		if err := p.AS.WriteAt(va, bytes.Repeat([]byte{fill}, n)); err != nil {
+		if err := p.AS.WriteAt(va, bytes.Repeat([]byte{fill}, int(n))); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"copier/internal/kernel"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // UB models Userspace Bypass (OSDI '23): syscall-adjacent user code is
@@ -33,7 +34,7 @@ func (u *UB) Slow(d sim.Time) sim.Time {
 
 // SendNT is send(2) under UB: no trap/return (the caller already runs
 // in kernel context), same kernel work.
-func (u *UB) SendNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error {
+func (u *UB) SendNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n units.Bytes) error {
 	var err error
 	// Same path as Socket.Send minus the privilege crossings.
 	t.Exec(cycles.SocketBookkeeping)
@@ -48,7 +49,7 @@ func (u *UB) SendNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error
 }
 
 // RecvNT is recv(2) under UB.
-func (u *UB) RecvNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) (int, error) {
+func (u *UB) RecvNT(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n units.Bytes) (units.Bytes, error) {
 	t.Exec(cycles.SocketBookkeeping)
 	skb := s.WaitSkb(t)
 	if skb == nil {
@@ -90,9 +91,9 @@ type SQE struct {
 	Sock  *kernel.Socket
 	Proc  *kernel.Process
 	Buf   mem.VA
-	Len   int
+	Len   units.Bytes
 	Done  bool
-	Got   int
+	Got   units.Bytes
 	Err   error
 	owner *IOUring
 }

@@ -8,6 +8,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/kernel"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 // ZIO models zIO (OSDI '22): it transparently intercepts large
@@ -24,7 +25,7 @@ type ZIO struct {
 	m *kernel.Machine
 	// Threshold is the smallest copy zIO intercepts (§6:
 	// "We set zIO's threshold to 4KB").
-	Threshold int
+	Threshold units.Bytes
 
 	// aliases records intercepted copies deferred by indirection:
 	// the destination logically holds the source's data but no bytes
@@ -42,11 +43,11 @@ type ZIO struct {
 // zioAlias is one deferred copy.
 type zioAlias struct {
 	dst, src mem.VA
-	n        int
+	n        units.Bytes
 }
 
 // NewZIO wraps a machine with a zIO interceptor for one process.
-func NewZIO(m *kernel.Machine, threshold int) *ZIO {
+func NewZIO(m *kernel.Machine, threshold units.Bytes) *ZIO {
 	if threshold <= 0 {
 		threshold = 16 << 10
 	}
@@ -56,7 +57,7 @@ func NewZIO(m *kernel.Machine, threshold int) *ZIO {
 // Memcpy performs dst←src in t's process, using zero-copy remapping
 // when profitable, library indirection for large copies with
 // incongruent offsets, and falling back to a real copy otherwise.
-func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n int) error {
+func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n units.Bytes) error {
 	as := t.Proc.AS
 	if n < z.Threshold {
 		z.FellBack++
@@ -82,9 +83,9 @@ func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n int) error {
 		t.Exec(400) // copy-set bookkeeping
 		return nil
 	}
-	headLen := 0
+	headLen := units.Bytes(0)
 	if !src.PageAligned() {
-		headLen = mem.PageSize - src.Offset()
+		headLen = units.Bytes(mem.PageSize - src.Offset())
 	}
 	midLen := (n - headLen) &^ (mem.PageSize - 1)
 	tailLen := n - headLen - midLen
@@ -116,7 +117,7 @@ func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n int) error {
 		remapFixed   = 300 // mmap_lock fast path, deferred shootdown share
 		remapPerPage = 120 // batched PTE update + local invalidation
 	)
-	pages := midLen / mem.PageSize
+	pages := int(midLen / mem.PageSize)
 	mid := mem.VA(headLen)
 	t.Exec(remapFixed)
 	for p := 0; p < pages; p++ {
@@ -151,7 +152,7 @@ func (z *ZIO) Memcpy(t *kernel.Thread, dst, src mem.VA, n int) error {
 // dropAliasesOnto removes aliases whose destination is fully covered
 // by a new write of [dst, dst+n): the deferred data is superseded
 // before anyone observed it.
-func (z *ZIO) dropAliasesOnto(dst mem.VA, n int) {
+func (z *ZIO) dropAliasesOnto(dst mem.VA, n units.Bytes) {
 	out := z.aliases[:0]
 	for _, a := range z.aliases {
 		if a.dst >= dst && a.dst+mem.VA(a.n) <= dst+mem.VA(n) {
@@ -165,7 +166,7 @@ func (z *ZIO) dropAliasesOnto(dst mem.VA, n int) {
 // materializeOverlapping performs the deferred copies of aliases whose
 // source (or, with dstSide, destination) overlaps [va, va+n), charging
 // the interception fault plus the real copy.
-func (z *ZIO) materializeOverlapping(t *kernel.Thread, va mem.VA, n int, dstSide bool) error {
+func (z *ZIO) materializeOverlapping(t *kernel.Thread, va mem.VA, n units.Bytes, dstSide bool) error {
 	out := z.aliases[:0]
 	var pendingErr error
 	for _, a := range z.aliases {
@@ -191,19 +192,19 @@ func (z *ZIO) materializeOverlapping(t *kernel.Thread, va mem.VA, n int, dstSide
 // before the caller overwrites the region — the interposed recv()
 // path calls this on buffer reuse (the Redis input-buffer problem,
 // §6.2.1).
-func (z *ZIO) InvalidateSource(t *kernel.Thread, va mem.VA, n int) error {
+func (z *ZIO) InvalidateSource(t *kernel.Thread, va mem.VA, n units.Bytes) error {
 	return z.materializeOverlapping(t, va, n, false)
 }
 
 // Send transmits [buf, buf+n), resolving aliases by gathering directly
 // from their sources — the deferred user copy never happens (zIO's
 // I/O interposition win).
-func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error {
+func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n units.Bytes) error {
 	// Build the outgoing bytes from alias sources where applicable.
 	type piece struct {
 		from mem.VA
-		off  int // offset in the message
-		n    int
+		off  units.Bytes // offset in the message
+		n    units.Bytes
 	}
 	pieces := []piece{{buf, 0, n}}
 	for _, a := range z.aliases {
@@ -221,7 +222,7 @@ func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error 
 			}
 			// Split p into [lo, alo) [max(lo,alo), min(hi,ahi)) [ahi, hi).
 			if alo > lo {
-				next = append(next, piece{p.from, p.off, int(alo - lo)})
+				next = append(next, piece{p.from, p.off, units.Bytes(alo - lo)})
 			}
 			clo, chi := alo, ahi
 			if lo > clo {
@@ -230,9 +231,9 @@ func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error 
 			if hi < chi {
 				chi = hi
 			}
-			next = append(next, piece{a.src + (clo - a.dst), p.off + int(clo-lo), int(chi - clo)})
+			next = append(next, piece{a.src + (clo - a.dst), p.off + units.Bytes(clo-lo), units.Bytes(chi - clo)})
 			if hi > ahi {
-				next = append(next, piece{p.from + (ahi - lo), p.off + int(ahi-lo), int(hi - ahi)})
+				next = append(next, piece{p.from + (ahi - lo), p.off + units.Bytes(ahi-lo), units.Bytes(hi - ahi)})
 			}
 		}
 		pieces = next
@@ -259,7 +260,7 @@ func (z *ZIO) Send(t *kernel.Thread, s *kernel.Socket, buf mem.VA, n int) error 
 // imminent overwrite of [va, va+n) WITHOUT copying their old contents
 // (the overwrite replaces everything) — what zIO's recv interposition
 // does before reusing a donated buffer.
-func (z *ZIO) PrepareOverwrite(t *kernel.Thread, va mem.VA, n int) error {
+func (z *ZIO) PrepareOverwrite(t *kernel.Thread, va mem.VA, n units.Bytes) error {
 	as := t.Proc.AS
 	for pva := va & ^mem.VA(mem.PageSize-1); pva < va+mem.VA(n); pva += mem.PageSize {
 		if pva < va || pva+mem.PageSize > va+mem.VA(n) {
@@ -287,14 +288,14 @@ func (z *ZIO) Aliases() int { return len(z.aliases) }
 // TouchRead models the process reading an aliased destination: the
 // access faults (zIO protects unmaterialized ranges) and the deferred
 // copy materializes on demand.
-func (z *ZIO) TouchRead(t *kernel.Thread, va mem.VA, n int) error {
+func (z *ZIO) TouchRead(t *kernel.Thread, va mem.VA, n units.Bytes) error {
 	return z.materializeOverlapping(t, va, n, true)
 }
 
 // TouchWrite models the process writing to a zIO-shared buffer: CoW
 // faults materialize the deferred copy, page by page (the on-demand
 // copy path).
-func (z *ZIO) TouchWrite(t *kernel.Thread, va mem.VA, n int) error {
+func (z *ZIO) TouchWrite(t *kernel.Thread, va mem.VA, n units.Bytes) error {
 	as := t.Proc.AS
 	for pva := va & ^mem.VA(mem.PageSize-1); pva < va+mem.VA(n); pva += mem.PageSize {
 		if as.Classify(pva, true) != mem.FaultCoW {

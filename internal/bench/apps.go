@@ -13,6 +13,7 @@ import (
 	"copier/internal/core"
 	"copier/internal/cycles"
 	"copier/internal/hw"
+	"copier/internal/units"
 )
 
 func init() {
@@ -49,7 +50,7 @@ func runFig2a(s Scale) []*Table {
 	if s == Full {
 		ops = 25
 	}
-	share := func(op string, n int) string {
+	share := func(op string, n units.Bytes) string {
 		res := redis.Run(redis.Config{Mode: redis.ModeSync, Op: op, ValueSize: n,
 			Clients: 2, OpsPerClient: ops})
 		// Count client copies out: use machine-wide copy cycles over
@@ -58,26 +59,26 @@ func runFig2a(s Scale) []*Table {
 	}
 	t.AddRow("Redis SET", share("set", 16<<10), share("set", 256<<10), "26% / 33%")
 	t.AddRow("Redis GET", share("get", 16<<10), share("get", 256<<10), "19% / 32%")
-	zl := func(n int) string {
+	zl := func(n units.Bytes) string {
 		base := zlibmini.Run(zlibmini.Config{InputSize: n, Iterations: 2})
 		// zlib's copy is the window copy: copy cost / total.
 		copyC := float64(cycles.SyncCopyCost(cycles.UnitAVX, n))
 		return fmt.Sprintf("%.0f%%", copyC/float64(base.AvgLatency)*100)
 	}
 	t.AddRow("zlib deflate", zl(16<<10), zl(256<<10), "11% / 15%")
-	ssl := func(n int) string {
+	ssl := func(n units.Bytes) string {
 		base := sslmini.Run(sslmini.Config{MsgSize: n, Messages: 3})
 		copyC := float64(cycles.SyncCopyCost(cycles.UnitERMS, n))
 		return fmt.Sprintf("%.0f%%", copyC/float64(base.AvgLatency)*100)
 	}
 	t.AddRow("OpenSSL recv+dec", ssl(16<<10), ssl(64<<10), "~20%")
-	pb := func(n int) string {
+	pb := func(n units.Bytes) string {
 		base := protomini.Run(protomini.Config{MsgSize: n, Messages: 3})
 		copyC := float64(cycles.SyncCopyCost(cycles.UnitERMS, n))
 		return fmt.Sprintf("%.0f%%", copyC/float64(base.AvgLatency)*100)
 	}
 	t.AddRow("Protobuf recv+deser", pb(16<<10), pb(64<<10), "~25%")
-	png := func(n int) string {
+	png := func(n units.Bytes) string {
 		res := pngmini.Run(pngmini.Config{ImageSize: n, Images: 4})
 		return fmt.Sprintf("%.0f%%", float64(res.CopyCycles)/float64(res.Busy)*100)
 	}
@@ -92,10 +93,10 @@ func runFig2a(s Scale) []*Table {
 func runFig2b(s Scale) []*Table {
 	t := &Table{ID: "fig2b", Title: "Copy share on the smartphone model",
 		Columns: []string{"scenario", "frame/buffer", "copy share", "paper"}}
-	row := func(name string, frame int, paper string) {
+	row := func(name string, frame units.Bytes, paper string) {
 		res := avcodec.Run(avcodec.Config{FrameSize: frame, Frames: 16})
 		copyC := float64(cycles.SyncCopyCost(cycles.UnitAVX, frame))
-		t.AddRow(name, kb(frame), fmt.Sprintf("%.0f%%", copyC/float64(res.AvgFrameLatency)*100), paper)
+		t.AddRow(name, kb(int(frame)), fmt.Sprintf("%.0f%%", copyC/float64(res.AvgFrameLatency)*100), paper)
 	}
 	row("Video recording", 512<<10, "6%-16%")
 	row("Video playing (HD)", 1<<20, "4%-15%")
@@ -107,10 +108,10 @@ func runFig2b(s Scale) []*Table {
 // runFig11 reproduces the Redis evaluation across value sizes and
 // systems.
 func runFig11(s Scale) []*Table {
-	sizes := []int{4 << 10, 16 << 10}
+	sizes := []units.Bytes{4 << 10, 16 << 10}
 	ops := 12
 	if s == Full {
-		sizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+		sizes = []units.Bytes{1 << 10, 4 << 10, 16 << 10, 64 << 10}
 		ops = 25
 	}
 	var tables []*Table
@@ -126,7 +127,7 @@ func runFig11(s Scale) []*Table {
 				r := results[m]
 				return fmt.Sprintf("%d/%d/%.0f", r.Avg(), r.P99(), r.ThroughputOpsPerMs())
 			}
-			t.AddRow(kb(n), cell(redis.ModeSync), cell(redis.ModeCopier), cell(redis.ModeZIO),
+			t.AddRow(kb(int(n)), cell(redis.ModeSync), cell(redis.ModeCopier), cell(redis.ModeZIO),
 				cell(redis.ModeUB), cell(redis.ModeZeroCopy),
 				pct(float64(results[redis.ModeCopier].Avg()), float64(results[redis.ModeSync].Avg())))
 		}
@@ -138,10 +139,10 @@ func runFig11(s Scale) []*Table {
 
 // runFig12a reproduces TinyProxy forwarding throughput.
 func runFig12a(s Scale) []*Table {
-	sizes := []int{16 << 10, 64 << 10}
+	sizes := []units.Bytes{16 << 10, 64 << 10}
 	msgs := 12
 	if s == Full {
-		sizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+		sizes = []units.Bytes{4 << 10, 16 << 10, 64 << 10, 256 << 10}
 		msgs = 25
 	}
 	t := &Table{ID: "fig12a", Title: "TinyProxy throughput (messages/s, virtual)",
@@ -150,7 +151,7 @@ func runFig12a(s Scale) []*Table {
 		base := proxy.Run(proxy.Config{Mode: proxy.ModeSync, MsgSize: n, Flows: 2, MsgsPerFlow: msgs})
 		zio := proxy.Run(proxy.Config{Mode: proxy.ModeZIO, MsgSize: n, Flows: 2, MsgsPerFlow: msgs})
 		cop := proxy.Run(proxy.Config{Mode: proxy.ModeCopier, MsgSize: n, Flows: 2, MsgsPerFlow: msgs})
-		t.AddRow(kb(n),
+		t.AddRow(kb(int(n)),
 			fmt.Sprintf("%.0f", base.MPS()), fmt.Sprintf("%.0f", zio.MPS()), fmt.Sprintf("%.0f", cop.MPS()),
 			pct(cop.MPS(), base.MPS()), kb(int(cop.Stats.AbsorbedBytes)))
 	}
@@ -185,7 +186,7 @@ func runFig12c(s Scale) []*Table {
 	t := &Table{ID: "fig12c", Title: "Proxy improvement breakdown (messages/s)",
 		Columns: []string{"message", "baseline", "async only", "+hardware", "+absorption"}}
 	msgs := 12
-	for _, n := range []int{1 << 10, 256 << 10} {
+	for _, n := range []units.Bytes{1 << 10, 256 << 10} {
 		base := proxy.Run(proxy.Config{Mode: proxy.ModeSync, MsgSize: n, Flows: 2, MsgsPerFlow: msgs})
 		asyncOnly := core.DefaultConfig()
 		asyncOnly.EnableDMA = false
@@ -197,7 +198,7 @@ func runFig12c(s Scale) []*Table {
 			r := proxyWithConfig(n, msgs, cc)
 			return r.MPS()
 		}
-		t.AddRow(kb(n), fmt.Sprintf("%.0f", base.MPS()),
+		t.AddRow(kb(int(n)), fmt.Sprintf("%.0f", base.MPS()),
 			fmt.Sprintf("%.0f (%s)", run(asyncOnly), pct(run(asyncOnly), base.MPS())),
 			fmt.Sprintf("%.0f (%s)", run(plusHW), pct(run(plusHW), base.MPS())),
 			fmt.Sprintf("%.0f (%s)", run(full), pct(run(full), base.MPS())))
@@ -207,23 +208,23 @@ func runFig12c(s Scale) []*Table {
 }
 
 // proxyWithConfig runs the Copier proxy with a custom service config.
-func proxyWithConfig(msgSize, msgs int, cc core.Config) proxy.Result {
+func proxyWithConfig(msgSize units.Bytes, msgs int, cc core.Config) proxy.Result {
 	return proxy.Run(proxy.Config{Mode: proxy.ModeCopier, MsgSize: msgSize,
 		Flows: 2, MsgsPerFlow: msgs, CopierConfig: &cc})
 }
 
 // runFig13a reproduces the Protobuf latency series.
 func runFig13a(s Scale) []*Table {
-	sizes := []int{16 << 10, 64 << 10}
+	sizes := []units.Bytes{16 << 10, 64 << 10}
 	if s == Full {
-		sizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+		sizes = []units.Bytes{4 << 10, 16 << 10, 64 << 10, 256 << 10}
 	}
 	t := &Table{ID: "fig13a", Title: "Protobuf receive+deserialize latency (cycles)",
 		Columns: []string{"message", "baseline", "Copier", "reduction"}}
 	for _, n := range sizes {
 		base := protomini.Run(protomini.Config{MsgSize: n, Messages: 8})
 		cop := protomini.Run(protomini.Config{MsgSize: n, Messages: 8, Copier: true})
-		t.AddRow(kb(n), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
+		t.AddRow(kb(int(n)), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
 			pct(float64(cop.AvgLatency), float64(base.AvgLatency)))
 	}
 	t.Note("paper: -4%% to -33%%")
@@ -232,13 +233,13 @@ func runFig13a(s Scale) []*Table {
 
 // runFig13b reproduces the OpenSSL SSL_read latency series.
 func runFig13b(s Scale) []*Table {
-	sizes := []int{4 << 10, 16 << 10, 64 << 10}
+	sizes := []units.Bytes{4 << 10, 16 << 10, 64 << 10}
 	t := &Table{ID: "fig13b", Title: "OpenSSL SSL_read (AES-GCM) latency (cycles)",
 		Columns: []string{"message", "baseline", "Copier", "reduction"}}
 	for _, n := range sizes {
 		base := sslmini.Run(sslmini.Config{MsgSize: n, Messages: 6})
 		cop := sslmini.Run(sslmini.Config{MsgSize: n, Messages: 6, Copier: true})
-		t.AddRow(kb(n), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
+		t.AddRow(kb(int(n)), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
 			pct(float64(cop.AvgLatency), float64(base.AvgLatency)))
 	}
 	t.Note("paper: -1.4%% to -8.4%%, stable beyond the 16KB TLS record size")
@@ -247,16 +248,16 @@ func runFig13b(s Scale) []*Table {
 
 // runZlib reproduces the deflate speedup.
 func runZlib(s Scale) []*Table {
-	sizes := []int{64 << 10, 256 << 10}
+	sizes := []units.Bytes{64 << 10, 256 << 10}
 	if s == Full {
-		sizes = []int{16 << 10, 64 << 10, 128 << 10, 256 << 10}
+		sizes = []units.Bytes{16 << 10, 64 << 10, 128 << 10, 256 << 10}
 	}
 	t := &Table{ID: "zlib", Title: "zlib deflate_fast latency (cycles)",
 		Columns: []string{"input", "baseline", "Copier", "speedup"}}
 	for _, n := range sizes {
 		base := zlibmini.Run(zlibmini.Config{InputSize: n, Iterations: 3})
 		cop := zlibmini.Run(zlibmini.Config{InputSize: n, Iterations: 3, Copier: true})
-		t.AddRow(kb(n), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
+		t.AddRow(kb(int(n)), fmt.Sprintf("%d", base.AvgLatency), fmt.Sprintf("%d", cop.AvgLatency),
 			speedup(float64(base.AvgLatency), float64(cop.AvgLatency)))
 	}
 	t.Note("paper: up to 18.8%% speedup for inputs under 256KB")

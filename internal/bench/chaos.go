@@ -60,8 +60,8 @@ func chaosRun(seed uint64, tasks int) chaosResult {
 	cB := svc.NewClient("victim", uasB, kas, nil)
 
 	alloc := func(as *mem.AddrSpace, fill byte) mem.VA {
-		va := as.MMap(int64(size), mem.PermRead|mem.PermWrite, "buf")
-		if _, err := as.Populate(va, int64(size), true); err != nil {
+		va := as.MMap(size, mem.PermRead|mem.PermWrite, "buf")
+		if _, err := as.Populate(va, size, true); err != nil {
 			panic(err)
 		}
 		if err := as.WriteAt(va, bytes.Repeat([]byte{fill}, size)); err != nil {

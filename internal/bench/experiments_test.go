@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"copier/internal/units"
 )
 
 // Simulated experiments run end to end at Quick scale. The heavier
@@ -64,7 +66,7 @@ func TestCoWNumbers(t *testing.T) {
 
 // Sendfile ordering: read+send > sendfile > sendfile+Copier.
 func TestSendfileOrdering(t *testing.T) {
-	n := 64 << 10
+	n := units.Bytes(64 << 10)
 	rs := fileSendLatency(n, 0)
 	sf := fileSendLatency(n, 1)
 	sfc := fileSendLatency(n, 2)

@@ -11,6 +11,7 @@ import (
 	"copier/internal/libcopier"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 func init() {
@@ -57,12 +58,12 @@ func isolationRun(sharesA, sharesB int64) (int64, int64) {
 		g := svc.Group(name, shares)
 		c := svc.NewClient(name, as, as, g)
 		const n = 64 << 10
-		src := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "s")
-		dst := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "d")
-		if _, err := as.Populate(src, int64(n), true); err != nil {
+		src := as.MMap(n, mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(n, mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, n, true); err != nil {
 			panic(err)
 		}
-		if _, err := as.Populate(dst, int64(n), true); err != nil {
+		if _, err := as.Populate(dst, n, true); err != nil {
 			panic(err)
 		}
 		env.Go("feeder-"+name, func(p *sim.Proc) {
@@ -93,8 +94,8 @@ func isolationRun(sharesA, sharesB int64) (int64, int64) {
 func runSendfile(s Scale) []*Table {
 	t := &Table{ID: "sendfile", Title: "File-to-socket send latency (cycles)",
 		Columns: []string{"size", "read+send", "sendfile", "sendfile+Copier"}}
-	for _, n := range []int{16 << 10, 64 << 10, 256 << 10} {
-		t.AddRow(kb(n),
+	for _, n := range []units.Bytes{16 << 10, 64 << 10, 256 << 10} {
+		t.AddRow(kb(int(n)),
 			fmt.Sprintf("%d", fileSendLatency(n, 0)),
 			fmt.Sprintf("%d", fileSendLatency(n, 1)),
 			fmt.Sprintf("%d", fileSendLatency(n, 2)))
@@ -103,7 +104,7 @@ func runSendfile(s Scale) []*Table {
 	return []*Table{t}
 }
 
-func fileSendLatency(n, mode int) sim.Time {
+func fileSendLatency(n units.Bytes, mode int) sim.Time {
 	m := kernel.NewMachine(kernel.Config{Cores: 3, MemBytes: 128 << 20})
 	m.InstallCopier(core.DefaultConfig(), 1, 2)
 	srv := m.NewProcess("srv")
@@ -153,8 +154,8 @@ func fileSendLatency(n, mode int) sim.Time {
 func runFig7a(s Scale) []*Table {
 	t := &Table{ID: "fig7a", Title: "Copy unit throughput (bytes/cycle, incl. startup/submit)",
 		Columns: []string{"size", "AVX2", "ERMS", "DMA"}}
-	for _, n := range []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-		t.AddRow(kb(n),
+	for _, n := range []units.Bytes{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		t.AddRow(kb(int(n)),
 			fmt.Sprintf("%.2f", cycles.Throughput(cycles.UnitAVX, n)),
 			fmt.Sprintf("%.2f", cycles.Throughput(cycles.UnitERMS, n)),
 			fmt.Sprintf("%.2f", cycles.Throughput(cycles.UnitDMA, n)))
@@ -166,7 +167,7 @@ func runFig7a(s Scale) []*Table {
 // copierThroughput drives the service with back-to-back tasks of one
 // size and measures aggregate copy throughput. repetition selects the
 // fraction of submissions reusing the same buffer pair (ATCache).
-func copierThroughput(size, tasks int, repetition float64, cfg core.Config) float64 {
+func copierThroughput(size units.Bytes, tasks int, repetition float64, cfg core.Config) float64 {
 	env := sim.NewEnv()
 	pm := mem.NewPhysMem(64 << 20)
 	svc := core.NewService(env, pm, cfg)
@@ -178,12 +179,12 @@ func copierThroughput(size, tasks int, repetition float64, cfg core.Config) floa
 	// hot pair three times out of four.
 	nPairs := 16
 	mkpair := func() (mem.VA, mem.VA) {
-		src := as.MMap(int64(size), mem.PermRead|mem.PermWrite, "s")
-		dst := as.MMap(int64(size), mem.PermRead|mem.PermWrite, "d")
-		if _, err := as.Populate(src, int64(size), true); err != nil {
+		src := as.MMap(size, mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(size, mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, size, true); err != nil {
 			panic(err)
 		}
-		if _, err := as.Populate(dst, int64(size), true); err != nil {
+		if _, err := as.Populate(dst, size, true); err != nil {
 			panic(err)
 		}
 		return src, dst
@@ -262,9 +263,9 @@ func runFig9(s Scale) []*Table {
 	}
 	t := &Table{ID: "fig9", Title: "Copy throughput through the service (bytes/cycle); baselines replace the copy method per §6.1.1",
 		Columns: []string{"size", "Copier", "Copier(75% rep)", "AVX-only", "ERMS", "no ATCache", "vs ERMS", "vs AVX"}}
-	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	sizes := []units.Bytes{4 << 10, 16 << 10, 64 << 10, 256 << 10}
 	if s == Full {
-		sizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+		sizes = []units.Bytes{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 	}
 	for _, n := range sizes {
 		full := core.DefaultConfig()
@@ -278,7 +279,7 @@ func runFig9(s Scale) []*Table {
 		fullV := copierThroughput(n, tasks, 0, full)
 		avxV := copierThroughput(n, tasks, 0, noDMA)
 		ermsV := copierThroughput(n, tasks, 0, erms)
-		t.AddRow(kb(n),
+		t.AddRow(kb(int(n)),
 			fmt.Sprintf("%.2f", fullV),
 			fmt.Sprintf("%.2f", copierThroughput(n, tasks, 0.75, full)),
 			fmt.Sprintf("%.2f", avxV),
@@ -350,7 +351,7 @@ func fig9FullStack() string {
 }
 
 // syscallLatency measures one send or recv syscall under a mode.
-func syscallLatency(size int, recv bool, mode string) sim.Time {
+func syscallLatency(size units.Bytes, recv bool, mode string) sim.Time {
 	m := kernel.NewMachine(kernel.Config{Cores: 4, MemBytes: 128 << 20})
 	m.InstallCopier(core.DefaultConfig(), 1, 3)
 	peer := m.NewProcess("peer")
@@ -518,9 +519,9 @@ func syscallLatency(size int, recv bool, mode string) sim.Time {
 // runFig10 reports send()/recv() latencies across optimization
 // systems.
 func runFig10(s Scale) []*Table {
-	sizes := []int{1 << 10, 16 << 10}
+	sizes := []units.Bytes{1 << 10, 16 << 10}
 	if s == Full {
-		sizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+		sizes = []units.Bytes{1 << 10, 4 << 10, 16 << 10, 64 << 10}
 	}
 	var tables []*Table
 	for _, recv := range []bool{false, true} {
@@ -535,7 +536,7 @@ func runFig10(s Scale) []*Table {
 		t := &Table{ID: id, Title: "Average " + name + " latency (cycles)",
 			Columns: append([]string{"size"}, modes...)}
 		for _, n := range sizes {
-			row := []string{kb(n)}
+			row := []string{kb(int(n))}
 			var base sim.Time
 			for _, mode := range modes {
 				l := syscallLatency(n, recv, mode)
@@ -583,14 +584,14 @@ func binderLatency(nStrings int, copier bool) sim.Time {
 	srvAttach := m.AttachCopier(server)
 	b := m.NewBinder()
 	conn := b.Connect(server, 2<<20)
-	msgLen := nStrings * (4 + strLen)
+	msgLen := units.Bytes(nStrings) * (4 + strLen)
 	data := mustBufIn(client, msgLen)
 	// Marshal.
 	payload := make([]byte, strLen)
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	off := 0
+	off := units.Bytes(0)
 	for i := 0; i < nStrings; i++ {
 		off = kernel.WriteString(client.AS, data, off, payload)
 	}
@@ -641,16 +642,17 @@ func cowBlocked(pages int, copier bool) sim.Time {
 	m.InstallCopier(core.DefaultConfig(), 1, 2)
 	p := m.NewProcess("app")
 	m.AttachCopier(p)
-	region := mustBufIn(p, pages*mem.PageSize)
+	length := units.Bytes(pages) * mem.PageSize
+	region := mustBufIn(p, length)
 	m.ForkProcess(p, "child")
 	var blocked sim.Time
 	th := m.Spawn(p, "faulter", func(t *kernel.Thread) {
 		var res kernel.CoWResult
 		var err error
 		if copier {
-			res, err = t.HandleCoWFaultCopier(p.AS, region, pages*mem.PageSize)
+			res, err = t.HandleCoWFaultCopier(p.AS, region, length)
 		} else {
-			res, err = t.HandleCoWFault(p.AS, region, pages*mem.PageSize)
+			res, err = t.HandleCoWFault(p.AS, region, length)
 		}
 		if err != nil {
 			panic(err)
@@ -670,9 +672,9 @@ func runScope(s Scale) []*Table {
 	userOver := cycles.SubmitTask + cycles.DescriptorAlloc + cycles.CsyncCheck
 	kernOver := cycles.SubmitTask + cycles.SubmitBarrier + cycles.CsyncCheck
 	breakeven := func(u cycles.Unit, over sim.Time) int {
-		for n := 64; n <= 1<<20; n += 64 {
+		for n := units.Bytes(64); n <= 1<<20; n += 64 {
 			if cycles.SyncCopyCost(u, n) >= over {
-				return n
+				return int(n)
 			}
 		}
 		return -1
@@ -699,9 +701,9 @@ func runFig3(s Scale) []*Table {
 		{"deflate", 200, cycles.CompressByteNum, cycles.CompressByteDen},
 		{"redis", 250, cycles.ParseByteNum, cycles.ParseByteDen},
 	}
-	for _, pos := range []int{1 << 10, 4 << 10, 8 << 10, 16 << 10} {
+	for _, pos := range []units.Bytes{1 << 10, 4 << 10, 8 << 10, 16 << 10} {
 		copyT := cycles.SyncCopyCost(cycles.UnitERMS, pos)
-		row := []string{kb(pos), fmt.Sprintf("%d", copyT)}
+		row := []string{kb(int(pos)), fmt.Sprintf("%d", copyT)}
 		minRatio := 1e18
 		for _, r := range rates {
 			// The window at position x is the work done before the
@@ -719,9 +721,9 @@ func runFig3(s Scale) []*Table {
 	return []*Table{t}
 }
 
-func mustBufIn(p *kernel.Process, n int) mem.VA {
-	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+func mustBufIn(p *kernel.Process, n units.Bytes) mem.VA {
+	va := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, n, true); err != nil {
 		panic(err)
 	}
 	return va

@@ -5,6 +5,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // QueueSet is one privilege level's CSH queues: a Copy Queue and Sync
@@ -162,7 +163,7 @@ func (c *Client) SubmitBarrier(ret bool) {
 
 // SubmitSync enqueues a Sync Task (task promotion) for [addr,
 // addr+n) on the chosen queue set.
-func (c *Client) SubmitSync(addr mem.VA, n int, kmode bool) bool {
+func (c *Client) SubmitSync(addr mem.VA, n units.Bytes, kmode bool) bool {
 	t := &Task{Kind: KindSync, Client: c, KMode: kmode, Addr: addr, SyncLen: n}
 	q := c.U
 	if kmode {
@@ -178,7 +179,7 @@ func (c *Client) SubmitSync(addr mem.VA, n int, kmode bool) bool {
 // SubmitAbort enqueues an abort Sync Task explicitly discarding
 // still-queued Copy Tasks whose destination intersects [addr, addr+n)
 // (§4.4).
-func (c *Client) SubmitAbort(addr mem.VA, n int, kmode bool) bool {
+func (c *Client) SubmitAbort(addr mem.VA, n units.Bytes, kmode bool) bool {
 	t := &Task{Kind: KindAbort, Client: c, KMode: kmode, Addr: addr, SyncLen: n}
 	q := c.U
 	if kmode {

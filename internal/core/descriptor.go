@@ -5,6 +5,7 @@ import (
 
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // DefaultSegSize is the default copy segment granularity (§4.1:
@@ -23,8 +24,8 @@ const DefaultSegSize = 1024
 // relies on exactly this reading, §4.4).
 type Descriptor struct {
 	Base    mem.VA
-	Len     int
-	SegSize int
+	Len     units.Bytes
+	SegSize units.Bytes
 
 	bits []uint64
 	nset int
@@ -59,7 +60,7 @@ func (d *Descriptor) NotifyProgress(e *sim.Env) {
 }
 
 // NewDescriptor creates a descriptor for a destination range.
-func NewDescriptor(base mem.VA, length, segSize int) *Descriptor {
+func NewDescriptor(base mem.VA, length, segSize units.Bytes) *Descriptor {
 	if segSize <= 0 {
 		segSize = DefaultSegSize
 	}
@@ -75,16 +76,16 @@ func NewDescriptor(base mem.VA, length, segSize int) *Descriptor {
 	}
 }
 
-func numSegs(length, segSize int) int {
+func numSegs(length, segSize units.Bytes) int {
 	if length == 0 {
 		return 0
 	}
-	return (length + segSize - 1) / segSize
+	return int((length + segSize - 1) / segSize)
 }
 
 // NumSegsFor returns the segment count of a copy of the given length
 // and granularity (descriptor-pool sizing).
-func NumSegsFor(length, segSize int) int {
+func NumSegsFor(length, segSize units.Bytes) int {
 	if segSize <= 0 {
 		segSize = DefaultSegSize
 	}
@@ -97,7 +98,7 @@ func (d *Descriptor) NumSegs() int { return numSegs(d.Len, d.SegSize) }
 // Reset clears all bits so the descriptor can be reused for another
 // copy onto the same buffer (low-level API optimization, §5.1.1:
 // "developers can re-use the descriptor of the same buffer").
-func (d *Descriptor) Reset(base mem.VA, length int) {
+func (d *Descriptor) Reset(base mem.VA, length units.Bytes) {
 	d.Base = base
 	d.Err = nil
 	if length > d.Len {
@@ -115,14 +116,14 @@ func (d *Descriptor) Reset(base mem.VA, length int) {
 
 // segRange converts a byte range relative to Base into segment
 // indices [first, last].
-func (d *Descriptor) segRange(off, n int) (int, int) {
+func (d *Descriptor) segRange(off, n units.Bytes) (int, int) {
 	if off < 0 || n < 0 || off+n > d.Len {
 		panic(fmt.Sprintf("core: descriptor range [%d,%d) outside [0,%d)", off, off+n, d.Len))
 	}
 	if n == 0 {
 		return 0, -1
 	}
-	return off / d.SegSize, (off + n - 1) / d.SegSize
+	return int(off / d.SegSize), int((off + n - 1) / d.SegSize)
 }
 
 // SegSet reports whether segment i is marked.
@@ -138,7 +139,7 @@ func (d *Descriptor) MarkSeg(i int) {
 }
 
 // MarkRange sets every segment covering [off, off+n) relative to Base.
-func (d *Descriptor) MarkRange(off, n int) {
+func (d *Descriptor) MarkRange(off, n units.Bytes) {
 	first, last := d.segRange(off, n)
 	for i := first; i <= last; i++ {
 		d.MarkSeg(i)
@@ -157,7 +158,7 @@ func (d *Descriptor) ClearSeg(i int) {
 // ClearRange unsets every segment covering [off, off+n) relative to
 // Base — the failure-recovery path un-issues segments whose transfer
 // failed so a later dispatch round re-copies them.
-func (d *Descriptor) ClearRange(off, n int) {
+func (d *Descriptor) ClearRange(off, n units.Bytes) {
 	first, last := d.segRange(off, n)
 	for i := first; i <= last; i++ {
 		d.ClearSeg(i)
@@ -165,7 +166,7 @@ func (d *Descriptor) ClearRange(off, n int) {
 }
 
 // Ready reports whether every segment covering [off, off+n) is marked.
-func (d *Descriptor) Ready(off, n int) bool {
+func (d *Descriptor) Ready(off, n units.Bytes) bool {
 	first, last := d.segRange(off, n)
 	for i := first; i <= last; i++ {
 		if !d.SegSet(i) {

@@ -9,6 +9,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // srcPart is one resolved source piece of a Copy Task, in destination
@@ -17,7 +18,7 @@ import (
 type srcPart struct {
 	as  *mem.AddrSpace
 	va  mem.VA
-	len int
+	len units.Bytes
 	// absorbed marks pieces redirected past a pending intermediate
 	// copy.
 	absorbed bool
@@ -30,7 +31,7 @@ type srcPart struct {
 // (it was copied, and may have been legally modified after csync) —
 // read from it. Unmarked ranges are read from the earlier task's own
 // source, resolved recursively (§4.4 layered absorption, Fig. 8-b).
-func (s *Service) resolveSourcesRange(ctx Ctx, c *Client, t *Task, off, n int) []srcPart {
+func (s *Service) resolveSourcesRange(ctx Ctx, c *Client, t *Task, off, n units.Bytes) []srcPart {
 	if !s.cfg.EnableAbsorption {
 		return []srcPart{{as: t.SrcAS, va: t.Src + mem.VA(off), len: n}}
 	}
@@ -60,7 +61,7 @@ func coalesceParts(parts []srcPart) []srcPart {
 
 const maxAbsorbDepth = 8
 
-func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA, n int, before uint64, depth int) []srcPart {
+func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA, n units.Bytes, before uint64, depth int) []srcPart {
 	if n <= 0 {
 		return nil
 	}
@@ -86,7 +87,7 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 	var out []srcPart
 	// Piece before the overlap.
 	if va < latest.Dst {
-		pre := int(latest.Dst - va)
+		pre := units.Bytes(latest.Dst - va)
 		if pre > n {
 			pre = n
 		}
@@ -99,10 +100,10 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 	if n > 0 && va < latest.Dst+mem.VA(latest.Len) {
 		end := latest.Dst + mem.VA(latest.Len)
 		mid := n
-		if int(end-va) < mid {
-			mid = int(end - va)
+		if units.Bytes(end-va) < mid {
+			mid = units.Bytes(end - va)
 		}
-		off := int(va - latest.Dst) // offset within latest's dst
+		off := units.Bytes(va - latest.Dst) // offset within latest's dst
 		remaining := mid
 		cur := off
 		for remaining > 0 {
@@ -144,7 +145,7 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 // dependencies — absorption reads through them. Dependency analysis
 // is whole-task (conservative); execution honors the window, which is
 // how Sync Tasks raise the priority of individual segments (§4.1).
-func (s *Service) executeWithDeps(ctx Ctx, c *Client, t *Task, lo, hi, depth int) {
+func (s *Service) executeWithDeps(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, depth int) {
 	if t.executed || t.aborted || t.pendingErr != nil || t.Kind != KindCopy {
 		return
 	}
@@ -188,7 +189,7 @@ func (s *Service) dependsOn(p, t *Task) bool {
 // execReq is one task window submitted to a dispatcher round.
 type execReq struct {
 	t      *Task
-	lo, hi int // dst-offset window; clamped to segment boundaries
+	lo, hi units.Bytes // dst-offset window; clamped to segment boundaries
 }
 
 // plan is one task's execution plan inside a dispatcher round.
@@ -202,13 +203,13 @@ type plan struct {
 // both sides are single contiguous runs of sufficient size.
 type chunk struct {
 	task     *Task
-	dstOff   int // offset within task dst
-	length   int
+	dstOff   units.Bytes // offset within task dst
+	length   units.Bytes
 	dst, src []hw.FrameRange
 	absorbed bool
 }
 
-func (ch *chunk) dmaEligible(minLen int) bool {
+func (ch *chunk) dmaEligible(minLen units.Bytes) bool {
 	return len(ch.dst) == 1 && len(ch.src) == 1 && ch.length >= minLen
 }
 
@@ -300,7 +301,7 @@ func (s *Service) noteFailure(t *Task, err error) {
 // splits the [lo, hi) window of the task into chunks, skipping
 // segments that already completed in a prior (promoted) round
 // (§4.5.4, §4.3, §4.1).
-func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi int) (plan, error) {
+func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes) (plan, error) {
 	if t.phys() {
 		return s.preparePhys(t)
 	}
@@ -362,7 +363,7 @@ func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi int) (plan, error)
 
 // prepareRun resolves, pins and chunks one contiguous unmarked run
 // [lo, hi) of task t.
-func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi int, pl *plan) error {
+func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, pl *plan) error {
 	runLen := hi - lo
 	parts := s.resolveSourcesRange(ctx, c, t, lo, runLen)
 	if err := s.faultAndPin(ctx, t.DstAS, t.Dst+mem.VA(lo), runLen, true); err != nil {
@@ -382,7 +383,7 @@ func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi int, pl *plan) 
 	// work between units at piece granularity.
 	dstOff := lo
 	pi := 0
-	pOff := 0
+	pOff := units.Bytes(0)
 	for dstOff < hi {
 		if pi >= len(parts) {
 			panic("core: source parts shorter than run")
@@ -446,8 +447,7 @@ func (s *Service) preparePhys(t *Task) (plan, error) {
 	}
 	pl := plan{task: t}
 	di, si := 0, 0
-	dOff, sOff := 0, 0
-	dstOff := 0
+	var dOff, sOff, dstOff units.Bytes
 	for dstOff < t.Len {
 		d, sr := t.PhysDst[di], t.PhysSrc[si]
 		n := d.Len - dOff
@@ -482,12 +482,12 @@ func (s *Service) preparePhys(t *Task) (plan, error) {
 type pinRec struct {
 	as *mem.AddrSpace
 	va mem.VA
-	n  int
+	n  units.Bytes
 }
 
 // contig returns the physically contiguous run length at va (pages are
 // present — prepare faulted them in).
-func (s *Service) contig(as *mem.AddrSpace, va mem.VA, max int) int {
+func (s *Service) contig(as *mem.AddrSpace, va mem.VA, max units.Bytes) units.Bytes {
 	r := as.ContigRun(va, max)
 	if r <= 0 {
 		panic(fmt.Sprintf("core: contig on non-present page %#x", uint64(va)))
@@ -496,12 +496,12 @@ func (s *Service) contig(as *mem.AddrSpace, va mem.VA, max int) int {
 }
 
 // frameRange translates a physically contiguous VA run.
-func (s *Service) frameRange(as *mem.AddrSpace, va mem.VA, n int) hw.FrameRange {
+func (s *Service) frameRange(as *mem.AddrSpace, va mem.VA, n units.Bytes) hw.FrameRange {
 	f, off, err := as.Translate(va)
 	if err != nil {
 		panic(err)
 	}
-	return hw.FrameRange{Frame: f, Off: off, Len: n}
+	return hw.FrameRange{Frame: f, Off: units.Bytes(off), Len: n}
 }
 
 // faultAndPin walks the pages of [va, va+n), translating through the
@@ -509,7 +509,7 @@ func (s *Service) frameRange(as *mem.AddrSpace, va mem.VA, n int) hw.FrameRange 
 // pinning the mappings (§4.5.4). Costs: ATCacheHit on hits; PageWalk +
 // fault handling on misses; batched get_user_pages-style pinning
 // (kernel pages are unswappable and are not pinned).
-func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n int, write bool) error {
+func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Bytes, write bool) error {
 	if n <= 0 {
 		return nil
 	}
@@ -610,9 +610,9 @@ func (s *Service) unpinAll(ctx Ctx, pins []pinRec) {
 		if p.as == s.kernelAS {
 			continue
 		}
-		pages := int((p.va+mem.VA(p.n)-1)>>mem.PageShift) - int(p.va>>mem.PageShift) + 1
+		npages := units.Pages(int((p.va+mem.VA(p.n)-1)>>mem.PageShift) - int(p.va>>mem.PageShift) + 1)
 		p.as.Unpin(p.va, p.n)
-		ctx.Exec(cycles.UnpinPage + sim.Time(pages-1)*cycles.UnpinPageBatch)
+		ctx.Exec(cycles.PerPageAfterFirst(cycles.UnpinPage, cycles.UnpinPageBatch, npages))
 	}
 }
 
@@ -626,7 +626,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 	for _, pl := range plans {
 		all = append(all, pl.chunks...)
 	}
-	total := 0
+	var total units.Bytes
 	for _, ch := range all {
 		total += ch.length
 	}
@@ -649,7 +649,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		// Walk from the back, greedily moving DMA-eligible chunks to
 		// the DMA engine while its estimated finish time stays below
 		// the AVX time for the remainder.
-		dmaBytes := 0
+		dmaBytes := units.Bytes(0)
 		avxBytes := total
 		for i := len(all) - 1; i >= 0; i-- {
 			ch := all[i]
@@ -743,7 +743,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		}
 		// Progress in segment-aligned pieces so csync waiters wake as
 		// early as their data is ready.
-		off := 0
+		off := units.Bytes(0)
 		for off < ch.length {
 			taskOff := ch.dstOff + off
 			segEnd := (taskOff/ch.task.SegSize + 1) * ch.task.SegSize
@@ -803,7 +803,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 
 // subRange offsets a contiguous frame range by delta bytes and
 // truncates it to n bytes.
-func subRange(fr hw.FrameRange, delta, n int) hw.FrameRange {
+func subRange(fr hw.FrameRange, delta, n units.Bytes) hw.FrameRange {
 	abs := fr.Off + delta
 	return hw.FrameRange{
 		Frame: fr.Frame + mem.Frame(abs/mem.PageSize),
@@ -813,7 +813,7 @@ func subRange(fr hw.FrameRange, delta, n int) hw.FrameRange {
 }
 
 // account charges n copied bytes to the client's CFS key (§4.5.3).
-func (s *Service) account(c *Client, n int) {
+func (s *Service) account(c *Client, n units.Bytes) {
 	c.TotalCopied += int64(n)
 	shares := int64(100)
 	if c.Group != nil {
@@ -826,7 +826,7 @@ func (s *Service) account(c *Client, n int) {
 	}
 }
 
-func (s *Service) avxBytes(n int) {
+func (s *Service) avxBytes(n units.Bytes) {
 	s.Stats.AVXBytes += int64(n)
 	if s.cache != nil {
 		s.cache.Stream(int64(n))

@@ -8,6 +8,7 @@ import (
 	"copier/internal/fault"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // FuzzFaultSchedule drives a small service instance under an arbitrary
@@ -44,12 +45,12 @@ func FuzzFaultSchedule(f *testing.F) {
 		kas := mem.NewAddrSpace(pm)
 		c := svc.NewClient("fuzz", uas, kas, nil)
 
-		alloc := func(size int, fill byte) mem.VA {
-			va := uas.MMap(int64(size), mem.PermRead|mem.PermWrite, "buf")
-			if _, err := uas.Populate(va, int64(size), true); err != nil {
+		alloc := func(size units.Bytes, fill byte) mem.VA {
+			va := uas.MMap(size, mem.PermRead|mem.PermWrite, "buf")
+			if _, err := uas.Populate(va, size, true); err != nil {
 				t.Fatal(err)
 			}
-			if err := uas.WriteAt(va, bytes.Repeat([]byte{fill}, size)); err != nil {
+			if err := uas.WriteAt(va, bytes.Repeat([]byte{fill}, int(size))); err != nil {
 				t.Fatal(err)
 			}
 			return va
@@ -59,7 +60,7 @@ func FuzzFaultSchedule(f *testing.F) {
 		for i := 0; i < tasks; i++ {
 			// Mix sizes around the piggyback threshold so both engines
 			// see work.
-			n := 4 << 10 << (i % 5)
+			n := units.Bytes(4 << 10 << (i % 5))
 			src := alloc(n, byte(i+1))
 			dst := alloc(n, 0)
 			task := &Task{Src: src, Dst: dst, SrcAS: uas, DstAS: uas, Len: n,
@@ -88,7 +89,7 @@ func FuzzFaultSchedule(f *testing.F) {
 				if err := uas.ReadAt(task.Dst, got); err != nil {
 					t.Fatal(err)
 				}
-				if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, n)) {
+				if !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, int(n))) {
 					t.Fatalf("task %d reported success with corrupt data", i)
 				}
 			}

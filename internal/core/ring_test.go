@@ -1,6 +1,7 @@
 package core
 
 import (
+	"copier/internal/units"
 	"testing"
 	"testing/quick"
 )
@@ -195,8 +196,8 @@ func TestDescriptorMarkProperty(t *testing.T) {
 	f := func(off, n uint16) bool {
 		const L = 16384
 		d := NewDescriptor(0, L, 1024)
-		o := int(off) % L
-		ln := int(n) % (L - o)
+		o := units.Bytes(off) % L
+		ln := units.Bytes(n) % (L - o)
 		if ln == 0 {
 			return true
 		}

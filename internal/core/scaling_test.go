@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"fmt"
 	"testing"
 
@@ -27,12 +28,12 @@ func TestServiceAutoScaling(t *testing.T) {
 	as := mem.NewAddrSpace(pm)
 	c := svc.NewClient("heavy", as, as, nil)
 	const n = 64 << 10
-	src := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "s")
-	dst := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "d")
-	if _, err := as.Populate(src, int64(n), true); err != nil {
+	src := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "s")
+	dst := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "d")
+	if _, err := as.Populate(src, units.Bytes(n), true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := as.Populate(dst, int64(n), true); err != nil {
+	if _, err := as.Populate(dst, units.Bytes(n), true); err != nil {
 		t.Fatal(err)
 	}
 
@@ -77,12 +78,12 @@ func TestServiceMultiThreadPartition(t *testing.T) {
 		as := mem.NewAddrSpace(pm)
 		c := svc.NewClient(name, as, as, nil)
 		const n = 16 << 10
-		src := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "s")
-		dst := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "d")
-		if _, err := as.Populate(src, int64(n), true); err != nil {
+		src := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, units.Bytes(n), true); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := as.Populate(dst, int64(n), true); err != nil {
+		if _, err := as.Populate(dst, units.Bytes(n), true); err != nil {
 			t.Fatal(err)
 		}
 		if err := as.WriteAt(src, bytes.Repeat([]byte{0xAD}, n)); err != nil {

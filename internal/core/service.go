@@ -11,6 +11,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // ErrClientDead is recorded on the descriptors of tasks reclaimed by
@@ -38,18 +39,18 @@ type Config struct {
 	// QueueLen is the per-ring capacity.
 	QueueLen int
 	// SegSize is the default segment granularity.
-	SegSize int
+	SegSize units.Bytes
 	// CopySlice caps bytes served per scheduling decision (§4.5.3:
 	// "administrators can adjust Copier's copy slice").
-	CopySlice int64
+	CopySlice units.Bytes
 	// PiggybackThreshold is the task size at/above which i-piggyback
 	// engages DMA (§4.3: ">=12KB").
-	PiggybackThreshold int
+	PiggybackThreshold units.Bytes
 	// EPiggybackFuse is the max bytes of adjacent small tasks fused
 	// into one e-piggyback round.
-	EPiggybackFuse int
+	EPiggybackFuse units.Bytes
 	// DMACandidateMin is the smallest subtask worth a DMA descriptor.
-	DMACandidateMin int
+	DMACandidateMin units.Bytes
 	// LazyPeriod is how long a Lazy Task may linger before forced
 	// execution (§4.4).
 	LazyPeriod sim.Time
@@ -737,7 +738,7 @@ func (t *Task) dispatchable(now sim.Time) bool {
 // exactly as before; a large head opens a round spanning the rest of
 // the copy slice, so the DMA submission cost is amortized across
 // tasks in the drained batch rather than only within one task.
-func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
+func (s *Service) serveClient(ctx Ctx, c *Client, budget units.Bytes) bool {
 	worked := false
 	for budget > 0 {
 		// Head = oldest non-lazy unexecuted task that is dispatchable
@@ -760,8 +761,8 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 		roundCap := s.cfg.EPiggybackFuse
 		if head.Len >= s.cfg.PiggybackThreshold {
 			roundCap = head.Len
-			if budget > int64(roundCap) {
-				roundCap = int(budget)
+			if budget > roundCap {
+				roundCap = budget
 			}
 		}
 		// Fuse adjacent dependency-free tasks into the round.
@@ -790,7 +791,7 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget int64) bool {
 			reqs[i] = execReq{b, 0, b.Len}
 		}
 		s.executeBatch(ctx, c, reqs)
-		budget -= int64(fused)
+		budget -= fused
 	}
 	c.removeExecuted()
 	return worked
@@ -890,7 +891,7 @@ func (s *Service) serveSyncQueue(ctx Ctx, c *Client, kmode bool) bool {
 // promote executes, out of order, the pending tasks whose destination
 // covers [addr, addr+n), honoring data dependencies (§4.1, §4.2.2,
 // Fig. 6-b).
-func (s *Service) promote(ctx Ctx, c *Client, addr mem.VA, n int) {
+func (s *Service) promote(ctx Ctx, c *Client, addr mem.VA, n units.Bytes) {
 	var targets []*Task
 	for _, t := range c.pending {
 		ctx.Exec(cycles.DependencyCheck)
@@ -913,12 +914,12 @@ func (s *Service) promote(ctx Ctx, c *Client, addr mem.VA, n int) {
 		if t.Desc != nil {
 			base = t.Desc.Base
 		}
-		lo := 0
+		lo := units.Bytes(0)
 		if addr > base {
-			lo = int(addr - base)
+			lo = units.Bytes(addr - base)
 		}
 		hi := t.Len
-		if end := int(addr + mem.VA(n) - base); end < hi {
+		if end := units.Bytes(addr + mem.VA(n) - base); end < hi {
 			hi = end
 		}
 		if hi <= lo {
@@ -929,7 +930,7 @@ func (s *Service) promote(ctx Ctx, c *Client, addr mem.VA, n int) {
 	c.removeExecuted()
 }
 
-func overlapsVA(a mem.VA, an int, b mem.VA, bn int) bool {
+func overlapsVA(a mem.VA, an units.Bytes, b mem.VA, bn units.Bytes) bool {
 	return overlaps(a, an, b, bn)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"errors"
 	"testing"
 
@@ -66,8 +67,8 @@ func (h *harness) run(t *testing.T, until sim.Time) {
 // alloc maps and populates a buffer filled with the pattern byte.
 func (h *harness) alloc(t *testing.T, as *mem.AddrSpace, size int, fill byte) mem.VA {
 	t.Helper()
-	va := as.MMap(int64(size), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := as.Populate(va, int64(size), true); err != nil {
+	va := as.MMap(units.Bytes(size), mem.PermRead|mem.PermWrite, "buf")
+	if _, err := as.Populate(va, units.Bytes(size), true); err != nil {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte{fill}, size)
@@ -476,12 +477,12 @@ func TestServiceCgroupFairness(t *testing.T) {
 		// Saturating demand (64 KB per 1k cycles >> service capacity)
 		// so the copier controller's shares are the binding resource.
 		const n = 64 << 10
-		src := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "s")
-		dst := as.MMap(int64(n), mem.PermRead|mem.PermWrite, "d")
-		if _, err := as.Populate(src, int64(n), true); err != nil {
+		src := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, units.Bytes(n), true); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := as.Populate(dst, int64(n), true); err != nil {
+		if _, err := as.Populate(dst, units.Bytes(n), true); err != nil {
 			t.Fatal(err)
 		}
 		env.Go("feeder-"+c.Name, func(p *sim.Proc) {

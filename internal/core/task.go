@@ -4,6 +4,7 @@ import (
 	"copier/internal/hw"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Kind discriminates the task types flowing through the CSH queues.
@@ -66,7 +67,7 @@ type Task struct {
 	// Copy fields.
 	Src, Dst     mem.VA
 	SrcAS, DstAS *mem.AddrSpace
-	Len          int
+	Len          units.Bytes
 	// PhysSrc/PhysDst, when non-empty, address the copy by physical
 	// pages instead of VAs — the kernel-only task form (§4.1: tasks
 	// are "identified by virtual addresses or pages (used by
@@ -74,7 +75,7 @@ type Task struct {
 	// pinning (the kernel guarantees the frames), and are exempt from
 	// VA-based dependency/absorption analysis.
 	PhysSrc, PhysDst []hw.FrameRange
-	SegSize          int
+	SegSize          units.Bytes
 	Desc             *Descriptor
 	Handler          *Handler
 	// Lazy marks a Lazy Copy Task (§4.4): lowest priority, executed
@@ -89,7 +90,7 @@ type Task struct {
 
 	// Sync/Abort fields.
 	Addr    mem.VA
-	SyncLen int
+	SyncLen units.Bytes
 	// AbortDesc, when set on a KindAbort task, discards only the
 	// pending Copy Task bound to this descriptor — immune to buffer
 	// reuse races that address-range aborts are subject to.
@@ -102,7 +103,7 @@ type Task struct {
 	enqueuedAt sim.Time
 	// segDone counts completed bytes, to detect full completion
 	// without rescanning the descriptor (descriptor may be shared).
-	segDone int
+	segDone units.Bytes
 	// issued marks segments handed to a copy unit (AVX already done,
 	// or DMA in flight). prepare skips issued segments; absorption
 	// reads through not-yet-completed ones via the descriptor.
@@ -145,7 +146,7 @@ func (t *Task) Aborted() bool { return t.aborted }
 
 // overlaps reports whether two address ranges in the same address
 // space intersect.
-func overlaps(a mem.VA, an int, b mem.VA, bn int) bool {
+func overlaps(a mem.VA, an units.Bytes, b mem.VA, bn units.Bytes) bool {
 	if an <= 0 || bn <= 0 {
 		return false
 	}
@@ -153,18 +154,18 @@ func overlaps(a mem.VA, an int, b mem.VA, bn int) bool {
 }
 
 // RangesOverlap reports whether [a, a+an) and [b, b+bn) intersect.
-func RangesOverlap(a mem.VA, an int, b mem.VA, bn int) bool {
+func RangesOverlap(a mem.VA, an units.Bytes, b mem.VA, bn units.Bytes) bool {
 	return overlaps(a, an, b, bn)
 }
 
 // dstOverlap reports whether task t's destination overlaps range
 // [a, a+n) in address space as.
-func (t *Task) dstOverlap(as *mem.AddrSpace, a mem.VA, n int) bool {
+func (t *Task) dstOverlap(as *mem.AddrSpace, a mem.VA, n units.Bytes) bool {
 	return t.DstAS == as && overlaps(t.Dst, t.Len, a, n)
 }
 
 // srcOverlap reports whether task t's source overlaps range [a, a+n)
 // in address space as.
-func (t *Task) srcOverlap(as *mem.AddrSpace, a mem.VA, n int) bool {
+func (t *Task) srcOverlap(as *mem.AddrSpace, a mem.VA, n units.Bytes) bool {
 	return t.SrcAS == as && overlaps(t.Src, t.Len, a, n)
 }

@@ -8,7 +8,10 @@
 // E5-2650 v4 runs a constant 2.9 GHz, §6).
 package cycles
 
-import "copier/internal/sim"
+import (
+	"copier/internal/sim"
+	"copier/internal/units"
+)
 
 // Frequency used for cycle↔nanosecond conversion.
 const (
@@ -124,7 +127,7 @@ func curveCost(bw []bwClass, n int64) sim.Time {
 
 // CopyCost returns the cycles unit u needs to move n bytes, excluding
 // submission/startup overheads (see the *Startup/Submit constants).
-func CopyCost(u Unit, n int) sim.Time {
+func CopyCost(u Unit, n units.Bytes) sim.Time {
 	if n <= 0 {
 		return 0
 	}
@@ -141,7 +144,7 @@ func CopyCost(u Unit, n int) sim.Time {
 
 // SyncCopyCost is the full cost of one synchronous copy call on unit u
 // (startup + transfer). This is what baseline (non-Copier) code pays.
-func SyncCopyCost(u Unit, n int) sim.Time {
+func SyncCopyCost(u Unit, n units.Bytes) sim.Time {
 	switch u {
 	case UnitAVX:
 		return AVXStartup + CopyCost(u, n)
@@ -155,7 +158,7 @@ func SyncCopyCost(u Unit, n int) sim.Time {
 
 // Throughput returns unit bandwidth in bytes/cycle including startup,
 // for reporting Fig. 7-a / Fig. 9 style series.
-func Throughput(u Unit, n int) float64 {
+func Throughput(u Unit, n units.Bytes) float64 {
 	c := SyncCopyCost(u, n)
 	if c == 0 {
 		return 0
@@ -310,6 +313,44 @@ const (
 )
 
 // Mul applies a num/den per-byte rate to n bytes.
-func Mul(n int, num, den int64) sim.Time {
+func Mul(n units.Bytes, num, den int64) sim.Time {
 	return sim.Time((int64(n)*num + den - 1) / den)
+}
+
+// The helpers below are the blessed crossings from the byte and page
+// dimensions into simulated time. Outside this package and
+// internal/units, unitlint rejects direct conversions like
+// sim.Time(n) on a dimensioned n — route them through these so the
+// cost model stays the single place quantities become cycles.
+
+// PerPage charges a per-page cost over n pages.
+func PerPage(each sim.Time, n units.Pages) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return each * sim.Time(n)
+}
+
+// PerPageAfterFirst is the common first-page-plus-batch shape of the
+// pin/remap costs: `first` covers page one, `batch` each further page
+// of the range (get_user_pages-style amortization).
+func PerPageAfterFirst(first, batch sim.Time, n units.Pages) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return first + batch*sim.Time(n-1)
+}
+
+// AtRate converts n bytes moved at bytesPerCycle into cycles
+// (truncating, matching integer division at the call sites it
+// replaces).
+func AtRate(n units.Bytes, bytesPerCycle int64) sim.Time {
+	return sim.Time(int64(n) / bytesPerCycle)
+}
+
+// PerChunk is the cost of covering n bytes in fixed-size chunks of
+// chunk bytes each, partial chunks rounding up (huge-page regions,
+// slab size classes).
+func PerChunk(each sim.Time, n units.Bytes, chunk int64) sim.Time {
+	return each * sim.Time((int64(n)+chunk-1)/chunk)
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 func TestUnitStrings(t *testing.T) {
@@ -18,7 +19,7 @@ func TestUnitStrings(t *testing.T) {
 
 // Fig. 7-a: AVX2 outperforms ERMS which outperforms DMA at every size.
 func TestUnitOrderingMatchesFig7a(t *testing.T) {
-	for _, n := range []int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+	for _, n := range []units.Bytes{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
 		avx := Throughput(UnitAVX, n)
 		erms := Throughput(UnitERMS, n)
 		dma := Throughput(UnitDMA, n)
@@ -43,7 +44,7 @@ func TestDMASubmitEquals1400BytesOfAVX(t *testing.T) {
 // DMA is "inefficient for small subtasks": including submission, DMA
 // should lose badly to AVX below ~4KB.
 func TestDMALosesSmall(t *testing.T) {
-	for _, n := range []int{256, 1 << 10, 2 << 10} {
+	for _, n := range []units.Bytes{256, 1 << 10, 2 << 10} {
 		if SyncCopyCost(UnitDMA, n) < 2*SyncCopyCost(UnitAVX, n) {
 			t.Errorf("n=%d: DMA too cheap: %d vs AVX %d", n, SyncCopyCost(UnitDMA, n), SyncCopyCost(UnitAVX, n))
 		}
@@ -53,7 +54,7 @@ func TestDMALosesSmall(t *testing.T) {
 // Fig. 9 calibration: AVX+DMA in parallel should be able to beat ERMS
 // by >100% and AVX alone by ~30-40% for large copies (bandwidths sum).
 func TestParallelBandwidthCalibration(t *testing.T) {
-	n := 256 << 10
+	n := units.Bytes(256 << 10)
 	avx := Throughput(UnitAVX, n)
 	erms := Throughput(UnitERMS, n)
 	dma := float64(n) / float64(CopyCost(UnitDMA, n)) // engine bw, submit amortized
@@ -88,12 +89,36 @@ func TestBreakEvenSizes(t *testing.T) {
 
 func TestCopyCostMonotone(t *testing.T) {
 	f := func(a, b uint16) bool {
-		x, y := int(a), int(b)
+		x, y := units.Bytes(a), units.Bytes(b)
 		if x > y {
 			x, y = y, x
 		}
 		for _, u := range []Unit{UnitAVX, UnitERMS, UnitDMA} {
 			if CopyCost(u, x) > CopyCost(u, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCopyCostMonotoneWide re-checks monotonicity across the sizes
+// the bandwidth curve actually bends at (uint16 stops at 64 KiB,
+// below the cache-spill knees), including end-to-end SyncCopyCost.
+func TestCopyCostMonotoneWide(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := units.Bytes(a%(1<<28)), units.Bytes(b%(1<<28))
+		if x > y {
+			x, y = y, x
+		}
+		for _, u := range []Unit{UnitAVX, UnitERMS, UnitDMA} {
+			if CopyCost(u, x) > CopyCost(u, y) {
+				return false
+			}
+			if SyncCopyCost(u, x) > SyncCopyCost(u, y) {
 				return false
 			}
 		}
@@ -136,7 +161,7 @@ func TestMulRoundsUp(t *testing.T) {
 // Copy-Use window premise (Fig. 3): per-byte application use costs are
 // at least ~2x the per-byte AVX copy cost, so windows can hide copies.
 func TestUseCostsExceedCopyCosts(t *testing.T) {
-	n := 16 << 10
+	n := units.Bytes(16 << 10)
 	copyCost := CopyCost(UnitAVX, n)
 	for _, tc := range []struct {
 		name     string

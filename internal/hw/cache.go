@@ -1,5 +1,7 @@
 package hw
 
+import "copier/internal/units"
+
 // Cache is a set-associative LRU cache model used for the §6.3.5
 // microarchitectural study: large CPU copies through a core's cache
 // evict the application's hot data, raising its CPI; Copier performs
@@ -37,7 +39,7 @@ func NewCache(totalSize, ways int) *Cache {
 func (c *Cache) LineSize() int { return c.lineSize }
 
 // Touch accesses n bytes starting at addr, updating hit/miss counts.
-func (c *Cache) Touch(addr uint64, n int) {
+func (c *Cache) Touch(addr uint64, n units.Bytes) {
 	first := addr / uint64(c.lineSize)
 	last := (addr + uint64(n) - 1) / uint64(c.lineSize)
 	for ln := first; ln <= last; ln++ {

@@ -17,6 +17,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // ErrEngine is the transient copy-engine failure reported by a DMA
@@ -29,17 +30,16 @@ var ErrEngine = errors.New("hw: transient copy-engine failure")
 // contiguous frames.
 type FrameRange struct {
 	Frame mem.Frame
-	Off   int
-	Len   int
+	Off   units.Bytes
+	Len   units.Bytes
 }
 
 // CopyScatter moves n bytes between possibly discontiguous physical
 // ranges, page by page. It is the data-movement primitive all engines
 // share; it performs no time accounting.
-func CopyScatter(pm *mem.PhysMem, dst, src []FrameRange) int {
+func CopyScatter(pm *mem.PhysMem, dst, src []FrameRange) units.Bytes {
 	di, si := 0, 0
-	dOff, sOff := 0, 0
-	total := 0
+	var dOff, sOff, total units.Bytes
 	for di < len(dst) && si < len(src) {
 		d, s := dst[di], src[si]
 		dRem := d.Len - dOff
@@ -80,8 +80,8 @@ func CopyScatter(pm *mem.PhysMem, dst, src []FrameRange) int {
 }
 
 // TotalLen sums the lengths of a range list.
-func TotalLen(rs []FrameRange) int {
-	n := 0
+func TotalLen(rs []FrameRange) units.Bytes {
+	var n units.Bytes
 	for _, r := range rs {
 		n += r.Len
 	}
@@ -140,12 +140,12 @@ func (e *CPUEngine) Copy(p *sim.Proc, dst, src []FrameRange) sim.Time {
 
 // CopyCost reports what Copy would charge for n bytes without
 // performing it.
-func (e *CPUEngine) CopyCost(n int) sim.Time { return cycles.SyncCopyCost(e.unit, n) }
+func (e *CPUEngine) CopyCost(n units.Bytes) sim.Time { return cycles.SyncCopyCost(e.unit, n) }
 
 // Move performs the data movement of Copy without any time
 // accounting; callers that charge cycles through their own execution
 // context (the Copier service) use this and Exec the cost themselves.
-func (e *CPUEngine) Move(dst, src []FrameRange) int {
+func (e *CPUEngine) Move(dst, src []FrameRange) units.Bytes {
 	n := CopyScatter(e.pm, dst, src)
 	e.BytesCopied += int64(n)
 	if e.Cache != nil {
@@ -164,7 +164,7 @@ type DMARequest struct {
 	// engine failure (only Copied bytes landed).
 	Err error
 	// Copied is how many bytes actually moved (== Len on success).
-	Copied int
+	Copied units.Bytes
 	// fail/partial hold the injected outcome decided at submit time;
 	// applied when the transfer completes.
 	fail    bool
@@ -177,14 +177,14 @@ func (r *DMARequest) Done() bool { return r.done }
 // complete performs the descriptor's data movement, honoring an
 // injected failure: a clean descriptor moves everything; a failed one
 // moves only its partial prefix and records ErrEngine.
-func (r *DMARequest) complete(pm *mem.PhysMem) int {
+func (r *DMARequest) complete(pm *mem.PhysMem) units.Bytes {
 	dst, src := r.dst, r.src
 	if r.fail {
-		n := src.Len * r.partial / 1000
+		n := src.Len * units.Bytes(r.partial) / 1000
 		dst.Len, src.Len = n, n
 		r.Err = ErrEngine
 	}
-	n := 0
+	var n units.Bytes
 	if src.Len > 0 {
 		n = CopyScatter(pm, []FrameRange{dst}, []FrameRange{src})
 	}
@@ -219,7 +219,7 @@ func (d *DMAChannel) SetFaultInjector(in *fault.Injector) { d.inj = in }
 // stamps the verdict on req, and returns the extra stall cycles to
 // fold into the transfer duration. Emits EvFaultInjected when the
 // outcome is faulty.
-func (d *DMAChannel) decideFault(req *DMARequest, n int) sim.Time {
+func (d *DMAChannel) decideFault(req *DMARequest, n units.Bytes) sim.Time {
 	o := d.inj.At(fault.SiteDMA)
 	if !o.Faulty() {
 		return 0

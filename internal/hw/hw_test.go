@@ -2,6 +2,7 @@ package hw
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"testing"
 	"testing/quick"
 
@@ -81,15 +82,15 @@ func TestCopyScatterChunkingProperty(t *testing.T) {
 			n := int(s)%remaining + 1
 			f, _ := pm.AllocFrame()
 			frames = append(frames, f)
-			dst = append(dst, FrameRange{f, int(s) % 100, n})
+			dst = append(dst, FrameRange{f, units.Bytes(int(s) % 100), units.Bytes(n)})
 			remaining -= n
 		}
 		if remaining > 0 {
 			f, _ := pm.AllocFrame()
 			frames = append(frames, f)
-			dst = append(dst, FrameRange{f, 0, remaining})
+			dst = append(dst, FrameRange{f, 0, units.Bytes(remaining)})
 		}
-		CopyScatter(pm, dst, []FrameRange{{sf, 0, len(seedData)}})
+		CopyScatter(pm, dst, []FrameRange{{sf, 0, units.Bytes(len(seedData))}})
 		var got []byte
 		for _, r := range dst {
 			got = append(got, pm.FrameBytes(r.Frame)[r.Off:r.Off+r.Len]...)
@@ -144,7 +145,7 @@ func TestDMABackgroundCompletion(t *testing.T) {
 	sf, _ := pm.AllocFrame()
 	df, _ := pm.AllocFrame()
 	fill(pm, sf, 0, []byte("dma-payload"))
-	n := 11
+	n := units.Bytes(11)
 	var submitDone, seenDone sim.Time
 	var wasDoneEarly bool
 	env.Go("submitter", func(p *sim.Proc) {
@@ -178,7 +179,7 @@ func TestDMAWaitForSleepsToCompletion(t *testing.T) {
 	d := NewDMAChannel(env, pm)
 	sf, _ := pm.AllocFrame()
 	df, _ := pm.AllocFrame()
-	n := 4096
+	n := units.Bytes(4096)
 	var total sim.Time
 	env.Go("w", func(p *sim.Proc) {
 		req := d.Submit(p, FrameRange{df, 0, n}, FrameRange{sf, 0, n})
@@ -198,7 +199,7 @@ func TestDMAQueueSerializes(t *testing.T) {
 	env, pm := setup()
 	d := NewDMAChannel(env, pm)
 	fs, _ := pm.AllocFrames(4)
-	n := 8192
+	n := units.Bytes(8192)
 	env.Go("w", func(p *sim.Proc) {
 		r1 := d.Submit(p, FrameRange{fs[0], 0, n}, FrameRange{fs[1], 0, n})
 		r2 := d.Submit(p, FrameRange{fs[2], 0, n}, FrameRange{fs[3], 0, n})

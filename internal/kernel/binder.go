@@ -8,6 +8,7 @@ import (
 	"copier/internal/libcopier"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Binder models the Android Binder IPC framework (§5.2): a client's
@@ -23,7 +24,7 @@ import (
 type Binder struct {
 	m *Machine
 	// buffer area in the kernel address space, premapped into servers.
-	bufSize int
+	bufSize units.Bytes
 }
 
 // NewBinder creates the Binder driver for a machine.
@@ -39,27 +40,27 @@ type BinderConn struct {
 	// frames mapped read-only in the server's space.
 	txnBuf     mem.VA
 	serverView mem.VA
-	bufLen     int
+	bufLen     units.Bytes
 
 	// Copier state: descriptor bound to the buffer, reused per
 	// transaction (low-level API descriptor reuse, §5.1.1).
 	desc *core.Descriptor
 
 	txnPending *sim.Signal
-	txnLen     int
+	txnLen     units.Bytes
 	txnActive  bool
 
 	replyPending *sim.Signal
-	replyLen     int
+	replyLen     units.Bytes
 	replyBuf     mem.VA // client-provided
 	replyActive  bool
 }
 
 // Connect maps a transaction buffer between a client and server.
-func (b *Binder) Connect(server *Process, bufLen int) *BinderConn {
+func (b *Binder) Connect(server *Process, bufLen units.Bytes) *BinderConn {
 	kas := b.m.KernelAS
-	txn := kas.MMap(int64(bufLen), mem.PermRead|mem.PermWrite, "binder-txn")
-	if _, err := kas.Populate(txn, int64(bufLen), true); err != nil {
+	txn := kas.MMap(bufLen, mem.PermRead|mem.PermWrite, "binder-txn")
+	if _, err := kas.Populate(txn, bufLen, true); err != nil {
 		panic(err)
 	}
 	frames, err := kas.FramesOf(txn, bufLen)
@@ -79,8 +80,8 @@ func (b *Binder) Connect(server *Process, bufLen int) *BinderConn {
 // Transact sends a transaction of n bytes from the client's data
 // buffer and blocks until the server replies into replyBuf; returns
 // the reply length. copier selects the Copier-optimized driver path.
-func (c *BinderConn) Transact(t *Thread, data mem.VA, n int, replyBuf mem.VA, copier bool) int {
-	var replyLen int
+func (c *BinderConn) Transact(t *Thread, data mem.VA, n units.Bytes, replyBuf mem.VA, copier bool) units.Bytes {
+	var replyLen units.Bytes
 	t.Syscall("binder-txn", func() {
 		t.Exec(cycles.SocketBookkeeping) // driver bookkeeping
 		a := t.m.Attachment(t.Proc)
@@ -121,7 +122,7 @@ func (c *BinderConn) Transact(t *Thread, data mem.VA, n int, replyBuf mem.VA, co
 
 // WaitTransaction blocks the server thread until a transaction
 // arrives, returning the server-space view and length.
-func (c *BinderConn) WaitTransaction(t *Thread) (mem.VA, int) {
+func (c *BinderConn) WaitTransaction(t *Thread) (mem.VA, units.Bytes) {
 	for !c.txnActive {
 		t.Block(c.txnPending)
 	}
@@ -132,7 +133,7 @@ func (c *BinderConn) WaitTransaction(t *Thread) (mem.VA, int) {
 // Reply copies the server's reply into the client's reply buffer and
 // wakes it. Replies are small (status words) in the paper's benchmark,
 // so they use the plain driver copy.
-func (c *BinderConn) Reply(t *Thread, data mem.VA, n int) {
+func (c *BinderConn) Reply(t *Thread, data mem.VA, n units.Bytes) {
 	t.Syscall("binder-reply", func() {
 		t.Exec(cycles.SocketBookkeeping)
 		if err := t.KernelCopy(c.b.m.KernelAS, c.txnBuf, t.Proc.AS, data, n); err != nil {
@@ -154,20 +155,20 @@ type Parcel struct {
 	conn *BinderConn
 	lib  *libcopier.Lib
 	base mem.VA
-	len  int
-	off  int
+	len  units.Bytes
+	off  units.Bytes
 	// copier enables the _csync-before-read path.
 	copier bool
 }
 
 // OpenParcel starts reading a transaction of length n at base.
-func (c *BinderConn) OpenParcel(lib *libcopier.Lib, base mem.VA, n int, copier bool) *Parcel {
+func (c *BinderConn) OpenParcel(lib *libcopier.Lib, base mem.VA, n units.Bytes, copier bool) *Parcel {
 	return &Parcel{conn: c, lib: lib, base: base, len: n, copier: copier}
 }
 
 // WriteString appends a length-prefixed string to buf at off,
 // returning the new offset (client-side marshalling).
-func WriteString(as *mem.AddrSpace, buf mem.VA, off int, s []byte) int {
+func WriteString(as *mem.AddrSpace, buf mem.VA, off units.Bytes, s []byte) units.Bytes {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(s)))
 	if err := as.WriteAt(buf+mem.VA(off), hdr[:]); err != nil {
@@ -176,12 +177,12 @@ func WriteString(as *mem.AddrSpace, buf mem.VA, off int, s []byte) int {
 	if err := as.WriteAt(buf+mem.VA(off+4), s); err != nil {
 		panic(err)
 	}
-	return off + 4 + len(s)
+	return off + 4 + units.Bytes(len(s))
 }
 
 // ReadString reads the next length-prefixed string, csyncing first on
 // the Copier path, and charges per-byte processing cost.
-func (p *Parcel) ReadString(t *Thread, out []byte) int {
+func (p *Parcel) ReadString(t *Thread, out []byte) units.Bytes {
 	if p.off+4 > p.len {
 		return 0
 	}
@@ -195,8 +196,8 @@ func (p *Parcel) ReadString(t *Thread, out []byte) int {
 	if err := as.ReadAt(p.base+mem.VA(p.off), hdr[:]); err != nil {
 		panic(err)
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if p.off+4+n > p.len || n > len(out) {
+	n := units.Bytes(binary.LittleEndian.Uint32(hdr[:]))
+	if p.off+4+n > p.len || n > units.Bytes(len(out)) {
 		return 0
 	}
 	if p.copier {

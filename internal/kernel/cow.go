@@ -6,6 +6,7 @@ import (
 	"copier/internal/hw"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // CoW fault handling (§5.2 "Copy-On-Write fault handling").
@@ -23,34 +24,34 @@ type CoWResult struct {
 	// Blocked is how long the faulting thread was stalled.
 	Blocked sim.Time
 	// Copied is bytes physically copied (0 on the sole-owner path).
-	Copied int
+	Copied units.Bytes
 }
 
 // cowAllocCost charges page allocation for a CoW region: one buddy
 // allocation for a 2 MB THP region, per-page otherwise. No zeroing —
 // the copy overwrites everything.
-func cowAllocCost(length int) sim.Time {
+func cowAllocCost(length units.Bytes) sim.Time {
 	if length >= 2<<20 {
-		return cycles.HugePageAlloc * sim.Time((length+(2<<20)-1)/(2<<20))
+		return cycles.PerChunk(cycles.HugePageAlloc, length, 2<<20)
 	}
-	return cycles.PageAllocCoW * sim.Time((length+mem.PageSize-1)/mem.PageSize)
+	return cycles.PerPage(cycles.PageAllocCoW, units.PagesOf(length))
 }
 
 // cowFlushCost charges the TLB invalidation: a THP region is one PMD
 // entry; base pages flush per page.
-func cowFlushCost(length int) sim.Time {
+func cowFlushCost(length units.Bytes) sim.Time {
 	if length >= 2<<20 {
-		return cycles.TLBFlushPage * sim.Time((length+(2<<20)-1)/(2<<20))
+		return cycles.PerChunk(cycles.TLBFlushPage, length, 2<<20)
 	}
-	return cycles.TLBFlushPage * sim.Time((length+mem.PageSize-1)/mem.PageSize)
+	return cycles.PerPage(cycles.TLBFlushPage, units.PagesOf(length))
 }
 
 // breakPages breaks the CoW mappings of a region, returning merged
 // physically-contiguous (old, new) copy runs. Old frames keep a
 // reference the caller must drop after copying.
-func (t *Thread) breakPages(as *mem.AddrSpace, va mem.VA, length int) (src, dst []hw.FrameRange, err error) {
+func (t *Thread) breakPages(as *mem.AddrSpace, va mem.VA, length units.Bytes) (src, dst []hw.FrameRange, err error) {
 	var lastOld, lastNew mem.Frame = -2, -2
-	for off := 0; off < length; off += mem.PageSize {
+	for off := units.Bytes(0); off < length; off += mem.PageSize {
 		old, nf, err := as.PrepareCoWBreak(va + mem.VA(off))
 		if err != nil {
 			return nil, nil, err
@@ -72,7 +73,7 @@ func (t *Thread) breakPages(as *mem.AddrSpace, va mem.VA, length int) (src, dst 
 
 func (t *Thread) releaseOld(src []hw.FrameRange) {
 	for _, r := range src {
-		for f := r.Frame; int(f) < int(r.Frame)+r.Len/mem.PageSize; f++ {
+		for f := r.Frame; f < r.Frame+mem.Frame(r.Len/mem.PageSize); f++ {
 			t.m.Phys.DecRef(f)
 		}
 	}
@@ -81,7 +82,7 @@ func (t *Thread) releaseOld(src []hw.FrameRange) {
 // HandleCoWFault resolves a write fault on the CoW region starting at
 // va spanning length bytes (PageSize for base pages, 2MB for
 // transparent huge pages) using the baseline kernel path.
-func (t *Thread) HandleCoWFault(as *mem.AddrSpace, va mem.VA, length int) (CoWResult, error) {
+func (t *Thread) HandleCoWFault(as *mem.AddrSpace, va mem.VA, length units.Bytes) (CoWResult, error) {
 	start := t.Now()
 	t.Exec(cycles.PageFault)
 	src, dst, err := t.breakPages(as, va, length)
@@ -107,7 +108,7 @@ func (t *Thread) HandleCoWFault(as *mem.AddrSpace, va mem.VA, length int) (CoWRe
 // physically-addressed kernel task while the handler copies its own
 // share on ERMS; the handler csyncs before the page-table update
 // becomes visible (guideline 4, §5.1).
-func (t *Thread) HandleCoWFaultCopier(as *mem.AddrSpace, va mem.VA, length int) (CoWResult, error) {
+func (t *Thread) HandleCoWFaultCopier(as *mem.AddrSpace, va mem.VA, length units.Bytes) (CoWResult, error) {
 	a := t.m.Attachment(t.Proc)
 	if a == nil {
 		return t.HandleCoWFault(as, va, length)
@@ -172,7 +173,7 @@ func (t *Thread) HandleCoWFaultCopier(as *mem.AddrSpace, va mem.VA, length int) 
 
 // takeBytes splits a scatter list at n bytes, returning the head and
 // tail lists.
-func takeBytes(rs []hw.FrameRange, n int) (head, tail []hw.FrameRange) {
+func takeBytes(rs []hw.FrameRange, n units.Bytes) (head, tail []hw.FrameRange) {
 	for _, r := range rs {
 		if n <= 0 {
 			tail = append(tail, r)

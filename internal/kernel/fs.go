@@ -8,6 +8,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/libcopier"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 // FS is a RAM-backed file system with a page cache: files are lists
@@ -23,7 +24,7 @@ type FS struct {
 // File is one cached file.
 type File struct {
 	Name string
-	Size int
+	Size units.Bytes
 	// va is the page-cache mapping in the kernel address space.
 	va mem.VA
 }
@@ -36,14 +37,14 @@ func (m *Machine) NewFS() *FS { return &FS{m: m, files: make(map[string]*File)} 
 
 // Create writes a file into the page cache.
 func (fs *FS) Create(name string, data []byte) *File {
-	va := fs.m.KernelAS.MMap(int64(len(data)), mem.PermRead|mem.PermWrite, "pagecache:"+name)
-	if _, err := fs.m.KernelAS.Populate(va, int64(len(data)), true); err != nil {
+	va := fs.m.KernelAS.MMap(units.Bytes(len(data)), mem.PermRead|mem.PermWrite, "pagecache:"+name)
+	if _, err := fs.m.KernelAS.Populate(va, units.Bytes(len(data)), true); err != nil {
 		panic(err)
 	}
 	if err := fs.m.KernelAS.WriteAt(va, data); err != nil {
 		panic(err)
 	}
-	f := &File{Name: name, Size: len(data), va: va}
+	f := &File{Name: name, Size: units.Bytes(len(data)), va: va}
 	fs.files[name] = f
 	return f
 }
@@ -62,7 +63,7 @@ const fileLookupCost = 500
 
 // Read is the baseline read(2) from the page cache: trap, lookup, one
 // ERMS copy to user memory.
-func (fs *FS) Read(t *Thread, f *File, off int, buf mem.VA, n int) (int, error) {
+func (fs *FS) Read(t *Thread, f *File, off units.Bytes, buf mem.VA, n units.Bytes) (units.Bytes, error) {
 	if off >= f.Size {
 		return 0, nil
 	}
@@ -81,7 +82,7 @@ func (fs *FS) Read(t *Thread, f *File, off int, buf mem.VA, n int) (int, error) 
 // submitted as a k-mode Copy Task; the app csyncs before use (the
 // libpng pattern: decode proceeds while the tail of the image is
 // still being copied).
-func (fs *FS) ReadCopier(t *Thread, f *File, off int, buf mem.VA, n int) (int, error) {
+func (fs *FS) ReadCopier(t *Thread, f *File, off units.Bytes, buf mem.VA, n units.Bytes) (units.Bytes, error) {
 	a := t.m.Attachment(t.Proc)
 	if a == nil || n < CopierFallbackMin {
 		return fs.Read(t, f, off, buf, n)
@@ -107,7 +108,7 @@ func (fs *FS) ReadCopier(t *Thread, f *File, off int, buf mem.VA, n int) (int, e
 // socket buffer in kernel space — no user-space bounce, but the copy
 // still blocks the caller (Table 1: "address transfer in kernel",
 // blocking).
-func (fs *FS) SendFile(t *Thread, s *Socket, f *File, off, n int) error {
+func (fs *FS) SendFile(t *Thread, s *Socket, f *File, off, n units.Bytes) error {
 	if off+n > f.Size {
 		n = f.Size - off
 	}
@@ -128,7 +129,7 @@ func (fs *FS) SendFile(t *Thread, s *Socket, f *File, off, n int) error {
 // SendFileCopier is sendfile with the copy delegated to the service:
 // a single physically-addressed kernel task (pages of the file →
 // pages of the skb) synced before the NIC doorbell.
-func (fs *FS) SendFileCopier(t *Thread, s *Socket, f *File, off, n int) error {
+func (fs *FS) SendFileCopier(t *Thread, s *Socket, f *File, off, n units.Bytes) error {
 	a := t.m.Attachment(t.Proc)
 	if a == nil {
 		return fs.SendFile(t, s, f, off, n)

@@ -7,6 +7,7 @@ import (
 
 	"copier/internal/core"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 func TestFSReadBaseline(t *testing.T) {
@@ -14,19 +15,20 @@ func TestFSReadBaseline(t *testing.T) {
 	p := m.NewProcess("app")
 	fs := m.NewFS()
 	payload := bytes.Repeat([]byte("filedata"), 1024)
+	plen := units.Bytes(len(payload))
 	f := fs.Create("a.txt", payload)
-	buf := mkbuf(t, p, len(payload), 0)
+	buf := mkbuf(t, p, plen, 0)
 	th := m.Spawn(p, "r", func(th *Thread) {
-		n, err := fs.Read(th, f, 0, buf, len(payload))
-		if err != nil || n != len(payload) {
+		n, err := fs.Read(th, f, 0, buf, plen)
+		if err != nil || n != plen {
 			t.Errorf("read: %d %v", n, err)
 		}
 		// Offset read + short read at EOF.
-		n, err = fs.Read(th, f, len(payload)-16, buf, 64)
+		n, err = fs.Read(th, f, plen-16, buf, 64)
 		if err != nil || n != 16 {
 			t.Errorf("tail read: %d %v", n, err)
 		}
-		n, _ = fs.Read(th, f, len(payload)+5, buf, 64)
+		n, _ = fs.Read(th, f, plen+5, buf, 64)
 		if n != 0 {
 			t.Errorf("past-EOF read: %d", n)
 		}

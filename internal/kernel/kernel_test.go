@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"testing"
 
 	"copier/internal/core"
@@ -194,14 +195,14 @@ func runApps(t *testing.T, m *Machine, ths ...*Thread) {
 	}
 }
 
-func mkbuf(t *testing.T, p *Process, n int, fill byte) mem.VA {
+func mkbuf(t *testing.T, p *Process, n units.Bytes, fill byte) mem.VA {
 	t.Helper()
-	va := p.AS.MMap(int64(n), mem.PermRead|mem.PermWrite, "buf")
-	if _, err := p.AS.Populate(va, int64(n), true); err != nil {
+	va := p.AS.MMap(n, mem.PermRead|mem.PermWrite, "buf")
+	if _, err := p.AS.Populate(va, n, true); err != nil {
 		t.Fatal(err)
 	}
 	if fill != 0 {
-		if err := p.AS.WriteAt(va, bytes.Repeat([]byte{fill}, n)); err != nil {
+		if err := p.AS.WriteAt(va, bytes.Repeat([]byte{fill}, int(n))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -216,7 +217,7 @@ func TestSendRecvBaseline(t *testing.T) {
 	const n = 16 << 10
 	sbuf := mkbuf(t, sender, n, 0x7E)
 	rbuf := mkbuf(t, receiver, n, 0)
-	var got int
+	var got units.Bytes
 	tx := m.Spawn(sender, "tx", func(th *Thread) {
 		if err := sa.Send(th, sbuf, n); err != nil {
 			t.Error(err)
@@ -406,9 +407,9 @@ func TestBinderTransactionBaselineAndCopier(t *testing.T) {
 		conn := b.Connect(server, 1<<20)
 
 		// Marshal n strings client-side.
-		msgLen := nStrings * (4 + strLen)
+		msgLen := units.Bytes(nStrings * (4 + strLen))
 		data := mkbuf(t, client, msgLen, 0)
-		off := 0
+		off := units.Bytes(0)
 		for i := 0; i < nStrings; i++ {
 			off = WriteString(client.AS, data, off, bytes.Repeat([]byte{byte('A' + i%26)}, strLen))
 		}

@@ -9,6 +9,7 @@ import (
 	"copier/internal/libcopier"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Network is the machine's loopback network: socket pairs connected
@@ -33,8 +34,8 @@ func (m *Machine) Net() *Network {
 // SkBuf is one kernel socket buffer holding a single message.
 type SkBuf struct {
 	VA  mem.VA // in the kernel address space
-	Cap int
-	Len int
+	Cap units.Bytes
+	Len units.Bytes
 	// zcFrames, when non-nil, marks a zero-copy buffer borrowing the
 	// sender's pinned pages (MSG_ZEROCOPY receive side is not
 	// modelled, matching the paper's Fig. 10 note).
@@ -46,15 +47,15 @@ type SkBuf struct {
 // the kernel side (§4.3).
 type skbPool struct {
 	m    *Machine
-	free map[int][]*SkBuf // by size class (power of two)
+	free map[units.Bytes][]*SkBuf // by size class (power of two)
 }
 
 func newSkbPool(m *Machine) *skbPool {
-	return &skbPool{m: m, free: make(map[int][]*SkBuf)}
+	return &skbPool{m: m, free: make(map[units.Bytes][]*SkBuf)}
 }
 
-func classOf(n int) int {
-	c := 2048
+func classOf(n units.Bytes) units.Bytes {
+	c := units.Bytes(2048)
 	for c < n {
 		c <<= 1
 	}
@@ -62,7 +63,7 @@ func classOf(n int) int {
 }
 
 // alloc returns a kernel buffer of capacity >= n.
-func (p *skbPool) alloc(t *Thread, n int) *SkBuf {
+func (p *skbPool) alloc(t *Thread, n units.Bytes) *SkBuf {
 	c := classOf(n)
 	if fl := p.free[c]; len(fl) > 0 {
 		skb := fl[len(fl)-1]
@@ -71,11 +72,11 @@ func (p *skbPool) alloc(t *Thread, n int) *SkBuf {
 		t.Exec(200) // slab fast path
 		return skb
 	}
-	va := p.m.KernelAS.MMap(int64(c), mem.PermRead|mem.PermWrite, "skb")
-	if _, err := p.m.KernelAS.Populate(va, int64(c), true); err != nil {
+	va := p.m.KernelAS.MMap(c, mem.PermRead|mem.PermWrite, "skb")
+	if _, err := p.m.KernelAS.Populate(va, c, true); err != nil {
 		panic(err)
 	}
-	t.Exec(cycles.PageAllocZero * sim.Time((c+mem.PageSize-1)/mem.PageSize))
+	t.Exec(cycles.PerPage(cycles.PageAllocZero, units.PagesOf(c)))
 	return &SkBuf{VA: va, Cap: c, Len: n}
 }
 
@@ -164,7 +165,7 @@ func (s *Socket) deliver(skb *SkBuf) {
 
 // Send is the baseline send(2): trap, one ERMS copy from user memory
 // into a kernel buffer, protocol processing, NIC doorbell.
-func (s *Socket) Send(t *Thread, buf mem.VA, n int) error {
+func (s *Socket) Send(t *Thread, buf mem.VA, n units.Bytes) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -193,7 +194,7 @@ const CopierFallbackMin = 384
 // needs only metadata (checksum offloaded to the NIC), and the driver
 // csyncs just before ringing the NIC TX doorbell — the Copy-Use
 // window is the protocol processing time.
-func (s *Socket) SendCopier(t *Thread, buf mem.VA, n int) error {
+func (s *Socket) SendCopier(t *Thread, buf mem.VA, n units.Bytes) error {
 	a := t.m.Attachment(t.Proc)
 	if a == nil || n < CopierFallbackMin {
 		return s.Send(t, buf, n)
@@ -252,7 +253,7 @@ func (z *ZeroCopyCompletion) Wait(t *Thread) {
 // pinned and shared with the NIC, costing per-page remap + TLB work
 // but no data copy; the buffer stays owned by the kernel until
 // transmission completes.
-func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion, error) {
+func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n units.Bytes) (*ZeroCopyCompletion, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -270,12 +271,11 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion
 		if err = as.Pin(buf, n); err != nil {
 			return
 		}
-		pages := (n + mem.PageSize - 1) / mem.PageSize
 		// Batched page-table work to share the pages with the device,
 		// plus one deferred shootdown round (§6.2.1: "TLB flush
 		// costs"). Calibrated to MSG_ZEROCOPY's documented >=10KB
 		// profitability and Fig. 10's >=32KB crossover against Copier.
-		t.Exec(cycles.PageRemap + sim.Time(pages-1)*cycles.PageRemapBatch + cycles.TLBShootdown)
+		t.Exec(cycles.PerPageAfterFirst(cycles.PageRemap, cycles.PageRemapBatch, units.PagesOf(n)) + cycles.TLBShootdown)
 		t.Exec(cycles.SoftIRQPacket + cycles.NICDoorbell)
 		// The NIC reads user memory at transmit time.
 		skb := s.net.pool.alloc(t, n)
@@ -290,7 +290,7 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion
 		s.deliver(skb)
 		// Buffer ownership returns once the NIC has read the pages
 		// (line-rate DMA), well before end-to-end delivery.
-		env.Schedule(sim.Time(n/cycles.NICDMABytesPerCycle)+cycles.NICReclaimFixed, func() {
+		env.Schedule(cycles.AtRate(n, cycles.NICDMABytesPerCycle)+cycles.NICReclaimFixed, func() {
 			as.Unpin(buf, n)
 			z.done = true
 			z.sig.Broadcast(env)
@@ -304,8 +304,8 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n int) (*ZeroCopyCompletion
 
 // Recv is the baseline recv(2): block for data, one ERMS copy from
 // the kernel buffer to user memory, free the buffer.
-func (s *Socket) Recv(t *Thread, buf mem.VA, n int) (int, error) {
-	var got int
+func (s *Socket) Recv(t *Thread, buf mem.VA, n units.Bytes) (units.Bytes, error) {
+	var got units.Bytes
 	var err error
 	t.Syscall("recv", func() {
 		t.Exec(cycles.SocketBookkeeping)
@@ -331,7 +331,7 @@ func (s *Socket) Recv(t *Thread, buf mem.VA, n int) (int, error) {
 // Copy Task (skb→user) with a KFUNC reclaiming the socket buffer and
 // returns immediately; the app csyncs before touching the data,
 // overlapping the copy with its post-recv processing.
-func (s *Socket) RecvCopier(t *Thread, buf mem.VA, n int) (int, error) {
+func (s *Socket) RecvCopier(t *Thread, buf mem.VA, n units.Bytes) (units.Bytes, error) {
 	a := t.m.Attachment(t.Proc)
 	if a == nil {
 		return s.Recv(t, buf, n)
@@ -341,7 +341,7 @@ func (s *Socket) RecvCopier(t *Thread, buf mem.VA, n int) (int, error) {
 	if next := s.PeekLen(); next > 0 && next < CopierFallbackMin {
 		return s.Recv(t, buf, n)
 	}
-	var got int
+	var got units.Bytes
 	var err error
 	t.Syscall("recv", func() {
 		t.Exec(cycles.SocketBookkeeping)
@@ -379,7 +379,7 @@ func (s *Socket) waitData(t *Thread) *SkBuf {
 
 // PeekLen returns the size of the next queued message without
 // consuming it (0 when empty) — proxies use it to size buffers.
-func (s *Socket) PeekLen() int {
+func (s *Socket) PeekLen() units.Bytes {
 	if len(s.recvQ) == 0 {
 		return 0
 	}
@@ -393,7 +393,7 @@ func (s *Socket) String() string { return fmt.Sprintf("socket(%s)", s.name) }
 // the same kernel work from their own contexts.
 
 // AllocSkb allocates a kernel buffer of capacity >= n.
-func (n *Network) AllocSkb(t *Thread, size int) *SkBuf { return n.pool.alloc(t, size) }
+func (n *Network) AllocSkb(t *Thread, size units.Bytes) *SkBuf { return n.pool.alloc(t, size) }
 
 // FreeSkb returns a buffer to the pool.
 func (n *Network) FreeSkb(skb *SkBuf) { n.pool.put(skb) }
@@ -407,7 +407,7 @@ func (s *Socket) WaitSkb(t *Thread) *SkBuf { return s.waitData(t) }
 // SendSkbCopier performs the Copier-integrated send data path from an
 // arbitrary kernel context: async copy into the skb, protocol work on
 // metadata, csync before the NIC doorbell.
-func (s *Socket) SendSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, srcAS *mem.AddrSpace, buf mem.VA, n int) error {
+func (s *Socket) SendSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, srcAS *mem.AddrSpace, buf mem.VA, n units.Bytes) error {
 	desc := core.NewDescriptor(skb.VA, n, core.DefaultSegSize)
 	err := a.Lib.AmemcpyOpts(t, skb.VA, buf, n, libcopier.Opts{
 		KMode: true, Desc: desc, NoTrack: true,
@@ -430,7 +430,7 @@ func (s *Socket) SendSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, srcAS
 // RecvSkbCopier performs the Copier-integrated receive data path: the
 // skb→user copy is submitted async with a KFUNC reclaiming the
 // buffer; the caller csyncs before use.
-func (s *Socket) RecvSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, dstAS *mem.AddrSpace, buf mem.VA, n int) error {
+func (s *Socket) RecvSkbCopier(t *Thread, a *CopierAttachment, skb *SkBuf, dstAS *mem.AddrSpace, buf mem.VA, n units.Bytes) error {
 	pool := s.net.pool
 	return a.Lib.AmemcpyOpts(t, buf, skb.VA, n, libcopier.Opts{
 		KMode: true,

@@ -6,6 +6,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // Pipe is a kernel FIFO whose contents are page references — which is
@@ -17,8 +18,8 @@ type Pipe struct {
 	// segs holds queued data: either owned kernel pages or borrowed
 	// (spliced) frames.
 	segs   []pipeSeg
-	bytes  int
-	cap    int
+	bytes  units.Bytes
+	cap    units.Bytes
 	ready  *sim.Signal
 	space  *sim.Signal
 	closed bool
@@ -26,8 +27,8 @@ type Pipe struct {
 
 type pipeSeg struct {
 	frames []mem.Frame
-	off    int // offset into the first frame
-	n      int
+	off    units.Bytes // offset into the first frame
+	n      units.Bytes
 }
 
 // ErrPipeClosed is returned on I/O to a closed pipe.
@@ -49,11 +50,11 @@ func (p *Pipe) Close() {
 }
 
 // Buffered reports queued bytes.
-func (p *Pipe) Buffered() int { return p.bytes }
+func (p *Pipe) Buffered() units.Bytes { return p.bytes }
 
 // Write is the baseline pipe write: copy user bytes into fresh kernel
 // pages.
-func (p *Pipe) Write(t *Thread, buf mem.VA, n int) error {
+func (p *Pipe) Write(t *Thread, buf mem.VA, n units.Bytes) error {
 	var err error
 	t.Syscall("pipe-write", func() {
 		for p.bytes+n > p.cap {
@@ -63,13 +64,13 @@ func (p *Pipe) Write(t *Thread, buf mem.VA, n int) error {
 			}
 			t.Block(p.space)
 		}
-		pages := (n + mem.PageSize - 1) / mem.PageSize
-		frames, e := p.m.Phys.AllocFrames(pages)
+		npages := units.PagesOf(n)
+		frames, e := p.m.Phys.AllocFrames(npages)
 		if e != nil {
 			err = e
 			return
 		}
-		t.Exec(cycles.PageAllocZero * sim.Time(pages))
+		t.Exec(cycles.PerPage(cycles.PageAllocZero, npages))
 		// Copy user data into the pipe pages.
 		data := make([]byte, n)
 		if err = t.Proc.AS.ReadAt(buf, data); err != nil {
@@ -93,7 +94,7 @@ func (p *Pipe) Write(t *Thread, buf mem.VA, n int) error {
 // page-aligned buffer donates frame references (vmsplice(2) with
 // SPLICE_F_GIFT semantics — the user must not modify the pages while
 // queued; Table 1 notes this usability hazard).
-func (p *Pipe) VmSplice(t *Thread, buf mem.VA, n int) error {
+func (p *Pipe) VmSplice(t *Thread, buf mem.VA, n units.Bytes) error {
 	if !buf.PageAligned() || n%mem.PageSize != 0 {
 		return ErrNotAligned
 	}
@@ -128,8 +129,8 @@ func (p *Pipe) VmSplice(t *Thread, buf mem.VA, n int) error {
 }
 
 // Read copies queued data out into user memory.
-func (p *Pipe) Read(t *Thread, buf mem.VA, n int) (int, error) {
-	var got int
+func (p *Pipe) Read(t *Thread, buf mem.VA, n units.Bytes) (units.Bytes, error) {
+	var got units.Bytes
 	var err error
 	t.Syscall("pipe-read", func() {
 		for len(p.segs) == 0 {
@@ -148,7 +149,7 @@ func (p *Pipe) Read(t *Thread, buf mem.VA, n int) (int, error) {
 		done := 0
 		off := seg.off
 		for _, f := range seg.frames {
-			if done >= got {
+			if units.Bytes(done) >= got {
 				break
 			}
 			c := copy(data[done:], p.m.Phys.FrameBytes(f)[off:])
@@ -168,8 +169,8 @@ func (p *Pipe) Read(t *Thread, buf mem.VA, n int) (int, error) {
 
 // SpliceToSocket moves a whole queued segment into a socket without
 // copying: the skb borrows the pipe's frames (splice(2) to a socket).
-func (p *Pipe) SpliceToSocket(t *Thread, s *Socket) (int, error) {
-	var got int
+func (p *Pipe) SpliceToSocket(t *Thread, s *Socket) (units.Bytes, error) {
+	var got units.Bytes
 	var err error
 	t.Syscall("splice", func() {
 		for len(p.segs) == 0 {
@@ -207,7 +208,7 @@ func (p *Pipe) SpliceToSocket(t *Thread, s *Socket) (int, error) {
 
 // consume drops n bytes from the head segment (whole-segment reads
 // only in this model).
-func (p *Pipe) consume(n int) {
+func (p *Pipe) consume(n units.Bytes) {
 	seg := p.segs[0]
 	for _, f := range seg.frames {
 		p.m.Phys.DecRef(f)

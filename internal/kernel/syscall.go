@@ -7,6 +7,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // CopierAttachment wires a process to the Copier service: the client
@@ -109,7 +110,7 @@ func (t *Thread) Syscall(name string, fn func()) {
 // KernelCopy is the kernel's synchronous copy between address spaces
 // using ERMS (copy_to_user/copy_from_user in the baseline). It
 // resolves faults on the fly, charging their costs.
-func (t *Thread) KernelCopy(dstAS *mem.AddrSpace, dst mem.VA, srcAS *mem.AddrSpace, src mem.VA, n int) error {
+func (t *Thread) KernelCopy(dstAS *mem.AddrSpace, dst mem.VA, srcAS *mem.AddrSpace, src mem.VA, n units.Bytes) error {
 	if err := t.resolveRange(dstAS, dst, n, true); err != nil {
 		return err
 	}
@@ -134,7 +135,7 @@ func (t *Thread) KernelCopy(dstAS *mem.AddrSpace, dst mem.VA, srcAS *mem.AddrSpa
 
 // resolveRange faults in a VA range in kernel context, charging fault
 // costs.
-func (t *Thread) resolveRange(as *mem.AddrSpace, va mem.VA, n int, write bool) error {
+func (t *Thread) resolveRange(as *mem.AddrSpace, va mem.VA, n units.Bytes, write bool) error {
 	for pva := va & ^mem.VA(mem.PageSize-1); pva < va+mem.VA(n); pva += mem.PageSize {
 		kind := as.Classify(pva, write)
 		if kind == mem.FaultNone {
@@ -157,7 +158,7 @@ func (t *Thread) resolveRange(as *mem.AddrSpace, va mem.VA, n int, write bool) e
 
 // UserCopy is an in-process synchronous copy in user context with
 // glibc's AVX memcpy; faults resolve via the kernel handler.
-func (t *Thread) UserCopy(dst, src mem.VA, n int) error {
+func (t *Thread) UserCopy(dst, src mem.VA, n units.Bytes) error {
 	as := t.Proc.AS
 	if err := t.resolveRange(as, dst, n, true); err != nil {
 		return err
@@ -183,7 +184,7 @@ func (t *Thread) UserCopy(dst, src mem.VA, n int) error {
 
 // UserComputeTouch charges compute cycles that walk over data through
 // the app cache model (CPI study, §6.3.5).
-func (t *Thread) UserComputeTouch(base uint64, n int, d sim.Time) {
+func (t *Thread) UserComputeTouch(base uint64, n units.Bytes, d sim.Time) {
 	if t.m.AppCache != nil {
 		t.m.AppCache.Touch(base, n)
 	}

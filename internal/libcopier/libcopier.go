@@ -16,6 +16,7 @@ import (
 	"copier/internal/cycles"
 	"copier/internal/mem"
 	"copier/internal/sim"
+	"copier/internal/units"
 )
 
 // ErrQueueFull is returned when the client's Copy Queue has no free
@@ -67,7 +68,7 @@ type Opts struct {
 	// Desc reuses a caller-managed descriptor instead of the pool.
 	Desc *core.Descriptor
 	// SegSize overrides the segment granularity.
-	SegSize int
+	SegSize units.Bytes
 	// Lazy marks a Lazy Copy Task (§4.4).
 	Lazy bool
 	// LazyDeadline bounds how long a lazy task may linger; zero uses
@@ -85,12 +86,12 @@ type Opts struct {
 // Amemcpy is the high-level asynchronous memcpy: it allocates a
 // descriptor from the pool, submits a Copy Task on the default user
 // queue and returns immediately (Fig. 4).
-func (l *Lib) Amemcpy(ctx core.Ctx, dst, src mem.VA, n int) error {
+func (l *Lib) Amemcpy(ctx core.Ctx, dst, src mem.VA, n units.Bytes) error {
 	return l.AmemcpyOpts(ctx, dst, src, n, Opts{})
 }
 
 // AmemcpyOpts is the low-level _amemcpy with explicit options.
-func (l *Lib) AmemcpyOpts(ctx core.Ctx, dst, src mem.VA, n int, o Opts) error {
+func (l *Lib) AmemcpyOpts(ctx core.Ctx, dst, src mem.VA, n units.Bytes, o Opts) error {
 	if n < 0 {
 		return fmt.Errorf("libcopier: negative length %d", n)
 	}
@@ -155,7 +156,7 @@ const defaultLazyPeriod = 2 * cycles.CyclesPerMicrosecond * 1000
 // Amemmove is the overlap-safe asynchronous memmove: overlapping
 // ranges are split into two tasks, submitting first the part whose
 // source the other part will overwrite (§4.1 footnote).
-func (l *Lib) Amemmove(ctx core.Ctx, dst, src mem.VA, n int) error {
+func (l *Lib) Amemmove(ctx core.Ctx, dst, src mem.VA, n units.Bytes) error {
 	return l.AmemmoveOpts(ctx, dst, src, n, Opts{})
 }
 
@@ -165,7 +166,7 @@ func (l *Lib) Amemmove(ctx core.Ctx, dst, src mem.VA, n int) error {
 // read before any other chunk overwrites it (the paper's §4.1
 // footnote splits once; chunking generalizes it to overlaps larger
 // than half the copy).
-func (l *Lib) AmemmoveOpts(ctx core.Ctx, dst, src mem.VA, n int, o Opts) error {
+func (l *Lib) AmemmoveOpts(ctx core.Ctx, dst, src mem.VA, n units.Bytes, o Opts) error {
 	if dst == src || n == 0 {
 		return nil
 	}
@@ -175,7 +176,7 @@ func (l *Lib) AmemmoveOpts(ctx core.Ctx, dst, src mem.VA, n int, o Opts) error {
 	}
 	if dst > src {
 		// Forward overlap: submit chunks back to front.
-		d := int(dst - src)
+		d := units.Bytes(dst - src)
 		for end := n; end > 0; {
 			start := end - d
 			if start < 0 {
@@ -189,8 +190,8 @@ func (l *Lib) AmemmoveOpts(ctx core.Ctx, dst, src mem.VA, n int, o Opts) error {
 		return nil
 	}
 	// Backward overlap: submit chunks front to back.
-	d := int(src - dst)
-	for start := 0; start < n; start += d {
+	d := units.Bytes(src - dst)
+	for start := units.Bytes(0); start < n; start += d {
 		ln := d
 		if start+ln > n {
 			ln = n - start
@@ -206,7 +207,7 @@ func (l *Lib) AmemmoveOpts(ctx core.Ctx, dst, src mem.VA, n int, o Opts) error {
 // landed before the caller touches the data (Fig. 4). It checks the
 // descriptor bitmap; when segments are missing it submits a Sync Task
 // (raising their priority) and busy-polls until ready.
-func (l *Lib) Csync(ctx core.Ctx, addr mem.VA, n int) error {
+func (l *Lib) Csync(ctx core.Ctx, addr mem.VA, n units.Bytes) error {
 	ctx.Exec(cycles.CsyncCheck)
 	l.Csyncs++
 	// The range may span several in-flight copies (e.g. a chunked
@@ -232,7 +233,7 @@ func (l *Lib) Csync(ctx core.Ctx, addr mem.VA, n int) error {
 		if end := ad.desc.Base + mem.VA(ad.desc.Len); end < hi {
 			hi = end
 		}
-		if err := l.csyncDesc(ctx, ad, int(lo-ad.desc.Base), int(hi-lo), false); err != nil {
+		if err := l.csyncDesc(ctx, ad, units.Bytes(lo-ad.desc.Base), units.Bytes(hi-lo), false); err != nil {
 			return err
 		}
 	}
@@ -241,13 +242,13 @@ func (l *Lib) Csync(ctx core.Ctx, addr mem.VA, n int) error {
 
 // CsyncDesc is the low-level _csync against a caller-held descriptor
 // (offset-based, Table 2).
-func (l *Lib) CsyncDesc(ctx core.Ctx, desc *core.Descriptor, off, n int) error {
+func (l *Lib) CsyncDesc(ctx core.Ctx, desc *core.Descriptor, off, n units.Bytes) error {
 	ctx.Exec(cycles.CsyncCheck)
 	l.Csyncs++
 	return l.csyncDesc(ctx, &activeDesc{desc: desc}, off, n, false)
 }
 
-func (l *Lib) csyncDesc(ctx core.Ctx, ad *activeDesc, off, n int, kmode bool) error {
+func (l *Lib) csyncDesc(ctx core.Ctx, ad *activeDesc, off, n units.Bytes, kmode bool) error {
 	d := ad.desc
 	if d.Err != nil {
 		return d.Err
@@ -311,7 +312,7 @@ func (l *Lib) CsyncAll(ctx core.Ctx) error {
 // (§4.4); the affected descriptors are dropped from tracking. Each
 // matching in-flight copy is aborted by descriptor identity, so a
 // later copy reusing the same buffer is never collaterally discarded.
-func (l *Lib) Abort(ctx core.Ctx, addr mem.VA, n int) {
+func (l *Lib) Abort(ctx core.Ctx, addr mem.VA, n units.Bytes) {
 	out := l.active[:0]
 	for _, ad := range l.active {
 		if core.RangesOverlap(ad.desc.Base, ad.desc.Len, addr, n) {
@@ -352,7 +353,7 @@ func (l *Lib) lookup(addr mem.VA) *activeDesc {
 }
 
 // allocDesc fetches a pooled descriptor or makes a new one.
-func (l *Lib) allocDesc(base mem.VA, n, segSize int) *core.Descriptor {
+func (l *Lib) allocDesc(base mem.VA, n, segSize units.Bytes) *core.Descriptor {
 	bucket := (core.NumSegsFor(n, segSize) + 7) / 8
 	if ds := l.pool[bucket]; len(ds) > 0 {
 		d := ds[len(ds)-1]
@@ -395,14 +396,14 @@ func (l *Lib) ActiveDescriptors() int { return len(l.active) }
 // addresses resolves by offset (§5.1.1 "Shared memory").
 type ShmBinding struct {
 	Base mem.VA
-	Len  int
+	Len  units.Bytes
 	Desc *core.Descriptor
 }
 
 // ShmDescrBind binds the shared-memory region starting at shm to
 // desc (shm_descr_bind, Table 2). Subsequent CsyncShm calls on
 // addresses inside the region wait on the bound descriptor by offset.
-func (l *Lib) ShmDescrBind(shm mem.VA, length int, desc *core.Descriptor) *ShmBinding {
+func (l *Lib) ShmDescrBind(shm mem.VA, length units.Bytes, desc *core.Descriptor) *ShmBinding {
 	b := &ShmBinding{Base: shm, Len: length, Desc: desc}
 	l.bindings = append(l.bindings, b)
 	return b
@@ -410,12 +411,12 @@ func (l *Lib) ShmDescrBind(shm mem.VA, length int, desc *core.Descriptor) *ShmBi
 
 // CsyncShm syncs [addr, addr+n) against the shm binding covering it;
 // it falls back to the regular lookup when no binding matches.
-func (l *Lib) CsyncShm(ctx core.Ctx, addr mem.VA, n int) error {
+func (l *Lib) CsyncShm(ctx core.Ctx, addr mem.VA, n units.Bytes) error {
 	for _, b := range l.bindings {
 		if addr >= b.Base && addr < b.Base+mem.VA(b.Len) {
 			ctx.Exec(cycles.CsyncCheck)
 			l.Csyncs++
-			off := int(addr - b.Base)
+			off := units.Bytes(addr - b.Base)
 			if off+n > b.Desc.Len {
 				n = b.Desc.Len - off
 			}

@@ -2,6 +2,7 @@ package libcopier
 
 import (
 	"bytes"
+	"copier/internal/units"
 	"testing"
 
 	"copier/internal/core"
@@ -43,8 +44,8 @@ func newWorld(t *testing.T) *world {
 
 func (w *world) buf(t *testing.T, n int, fill byte) mem.VA {
 	t.Helper()
-	va := w.as.MMap(int64(n), mem.PermRead|mem.PermWrite, "b")
-	if _, err := w.as.Populate(va, int64(n), true); err != nil {
+	va := w.as.MMap(units.Bytes(n), mem.PermRead|mem.PermWrite, "b")
+	if _, err := w.as.Populate(va, units.Bytes(n), true); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.as.WriteAt(va, bytes.Repeat([]byte{fill}, n)); err != nil {

@@ -83,6 +83,37 @@ func TestCyclelintGolden(t *testing.T) {
 	})
 }
 
+// snipUnits points unitlint at the stand-in dimension types of the
+// unitsnip corpus.
+var snipUnits = UnitConfig{
+	Dims: map[string]string{
+		"copier/internal/lint/testdata/src/unitsnip/unitsx.Bytes": "unitsx.Bytes",
+		"copier/internal/lint/testdata/src/unitsnip/unitsx.Pages": "unitsx.Pages",
+		"copier/internal/lint/testdata/src/unitsnip/simx.Time":    "simx.Time",
+	},
+	Exempt: []string{"copier/internal/lint/testdata/src/unitsnip/unitsx"},
+}
+
+func TestUnitlintGolden(t *testing.T) {
+	runGolden(t, "unitsnip.golden", Options{
+		Dir: ".",
+		Patterns: []string{
+			"./testdata/src/unitsnip",
+			"./testdata/src/unitsnip/unitsx",
+			"./testdata/src/unitsnip/simx",
+		},
+		Units: snipUnits,
+	})
+}
+
+func TestAtomiclintGolden(t *testing.T) {
+	runGolden(t, "atomicsnip.golden", Options{
+		Dir:      ".",
+		Patterns: []string{"./testdata/src/atomicsnip"},
+		Atomic:   AtomicConfig{Packages: []string{"copier/internal/lint/testdata/src/atomicsnip"}},
+	})
+}
+
 func TestAlloclintGolden(t *testing.T) {
 	runGolden(t, "allocsnip.golden", Options{
 		Dir:       ".",
@@ -92,8 +123,10 @@ func TestAlloclintGolden(t *testing.T) {
 }
 
 // TestTreeIsClean is the acceptance criterion in executable form:
-// the real tree must produce zero findings (every violation fixed or
-// carrying a justified, used suppression).
+// the real tree must produce zero findings from all five analyzers —
+// detlint, alloclint, cyclelint, unitlint and atomiclint run under
+// their default configurations (every violation fixed or carrying a
+// justified, used suppression).
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and escape-compiles the whole module")

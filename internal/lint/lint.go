@@ -8,20 +8,29 @@
 // checks *this implementation* against the rules that make the
 // reproduction trustworthy.
 //
-// Three analyzers (see their files for the rule inventories):
+// Five analyzers (see their files for the rule inventories):
 //
-//   - detlint   — determinism hygiene in simulator-domain packages:
+//   - detlint    — determinism hygiene in simulator-domain packages:
 //     no wall-clock time, no global math/rand, no real goroutines or
 //     channel/sync primitives (virtual time flows through sim.Env and
 //     sim.Proc), no order-sensitive iteration over maps.
-//   - alloclint — a //copier:noalloc function annotation checked
+//   - alloclint  — a //copier:noalloc function annotation checked
 //     against the compiler's escape analysis (go build -gcflags=-m):
 //     any value escaping to the heap inside an annotated function is
 //     an error.
-//   - cyclelint — cost-model hygiene: every exported cycles.*
+//   - cyclelint  — cost-model hygiene: every exported cycles.*
 //     constant is referenced by non-test code, and raw integer
 //     literals are never added to sim.Time accumulators outside
 //     internal/cycles.
+//   - unitlint   — dimensional safety for the cost model's typed
+//     quantities (units.Bytes, units.Pages, sim.Time): no explicit
+//     cross-dimension conversions, no mixed-dimension arithmetic, no
+//     laundering through plain ints, outside the blessed crossing
+//     points in internal/units and internal/cycles.
+//   - atomiclint — all-or-nothing atomicity in the real-concurrency
+//     packages: a struct field accessed via sync/atomic anywhere must
+//     be accessed that way everywhere, outside documented
+//     //copier:serialized spans.
 //
 // Everything is stdlib-only (go/ast, go/parser, go/token, go/types);
 // type information comes from export data produced by `go list
@@ -63,6 +72,14 @@ const (
 	RuleCyclesDead    = "cycles-dead"    // exported cycles constant never referenced
 	RuleCyclesLiteral = "cycles-literal" // raw integer literal added to sim.Time
 
+	// unitlint rules.
+	RuleUnitConv = "unit-conv" // explicit cross-dimension conversion
+	RuleUnitMix  = "unit-mix"  // arithmetic mixing two dimensions
+	RuleUnitArg  = "unit-arg"  // argument dimension != parameter dimension
+
+	// atomiclint rule.
+	RuleAtomicPlain = "atomic-plain" // plain access to a sync/atomic field
+
 	// Suppression hygiene (emitted by the driver, not an analyzer).
 	RuleSuppressBare   = "suppress-bare"   // //copiervet:ignore without a reason
 	RuleSuppressUnused = "suppress-unused" // suppression that matched no finding
@@ -73,6 +90,8 @@ var AllRules = []string{
 	RuleDetTime, RuleDetRand, RuleDetGo, RuleDetSync, RuleDetMapOrder,
 	RuleNoallocEscape, RuleNoallocMisplaced,
 	RuleCyclesDead, RuleCyclesLiteral,
+	RuleUnitConv, RuleUnitMix, RuleUnitArg,
+	RuleAtomicPlain,
 	RuleSuppressBare, RuleSuppressUnused,
 }
 

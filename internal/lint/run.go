@@ -1,6 +1,9 @@
 package lint
 
-import "strings"
+import (
+	"strings"
+	"time"
+)
 
 // DomainDirs are the module-relative package prefixes subject to the
 // determinism and cost-model rules — everything that executes inside
@@ -35,9 +38,20 @@ type Options struct {
 	Rules []string
 	// Cycles configures cyclelint; zero value selects the defaults.
 	Cycles CycleConfig
+	// Units configures unitlint; zero value selects the defaults.
+	Units UnitConfig
+	// Atomic configures atomiclint; zero value selects the defaults.
+	Atomic AtomicConfig
 	// DomainAll treats every target package as simulator-domain
 	// (used by tests over snippet packages).
 	DomainAll bool
+}
+
+// PhaseTime is one timed phase of a run (the shared package load,
+// then each analyzer), surfaced by `copiervet -v`.
+type PhaseTime struct {
+	Name string
+	D    time.Duration
 }
 
 // Result is a completed run.
@@ -48,10 +62,14 @@ type Result struct {
 	// resolve (analysis still ran, possibly degraded).
 	TypeErrorCount int
 	ModuleRoot     string
+	// Timings records per-phase wall time in execution order. The
+	// package load runs exactly once; every analyzer shares it.
+	Timings []PhaseTime
 }
 
-// Run loads the packages and executes every analyzer, returning the
-// surviving (unsuppressed) findings sorted by position.
+// Run loads the packages once and executes every analyzer over the
+// shared load, returning the surviving (unsuppressed) findings sorted
+// by position.
 func Run(opts Options) (*Result, error) {
 	if len(opts.Patterns) == 0 {
 		opts.Patterns = []string{"./..."}
@@ -59,10 +77,25 @@ func Run(opts Options) (*Result, error) {
 	if opts.Cycles == (CycleConfig{}) {
 		opts.Cycles = DefaultCycleConfig
 	}
+	if opts.Units.Dims == nil {
+		opts.Units = DefaultUnitConfig
+	}
+	if len(opts.Atomic.Packages) == 0 {
+		opts.Atomic = DefaultAtomicConfig
+	}
+
+	res := &Result{}
+	phase := func(name string, start time.Time) {
+		res.Timings = append(res.Timings, PhaseTime{name, time.Since(start)})
+	}
+
+	start := time.Now()
 	pkgs, ld, err := Load(opts.Dir, opts.Patterns...)
 	if err != nil {
 		return nil, err
 	}
+	phase("load", start)
+	res.ModuleRoot = ld.ModuleRoot
 
 	enabled := func(rule string) bool {
 		if len(opts.Rules) == 0 {
@@ -77,7 +110,7 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	var findings []Finding
-	res := &Result{ModuleRoot: ld.ModuleRoot}
+	var detD, cycD time.Duration
 	for _, p := range pkgs {
 		if len(p.TypeErrors) > 0 {
 			res.TypeErrorCount++
@@ -85,17 +118,36 @@ func Run(opts Options) (*Result, error) {
 		if opts.DomainAll || inDomain(ld.ModulePath, p.Path) {
 			if enabled(RuleDetTime) || enabled(RuleDetRand) || enabled(RuleDetGo) ||
 				enabled(RuleDetSync) || enabled(RuleDetMapOrder) {
+				t0 := time.Now()
 				findings = append(findings, Detlint(p)...)
+				detD += time.Since(t0)
 			}
 			if enabled(RuleCyclesLiteral) {
+				t0 := time.Now()
 				findings = append(findings, CycleLiterals(p, opts.Cycles)...)
+				cycD += time.Since(t0)
 			}
 		}
 	}
 	if enabled(RuleCyclesDead) {
+		t0 := time.Now()
 		findings = append(findings, DeadCycleConsts(pkgs, opts.Cycles)...)
+		cycD += time.Since(t0)
+	}
+	res.Timings = append(res.Timings,
+		PhaseTime{"detlint", detD}, PhaseTime{"cyclelint", cycD})
+	if enabled(RuleUnitConv) || enabled(RuleUnitMix) || enabled(RuleUnitArg) {
+		t0 := time.Now()
+		findings = append(findings, UnitLint(pkgs, opts.Units)...)
+		phase("unitlint", t0)
+	}
+	if enabled(RuleAtomicPlain) {
+		t0 := time.Now()
+		findings = append(findings, AtomicLint(pkgs, opts.Atomic)...)
+		phase("atomiclint", t0)
 	}
 	if enabled(RuleNoallocEscape) || enabled(RuleNoallocMisplaced) {
+		t0 := time.Now()
 		fns, misplaced := CollectNoalloc(pkgs)
 		findings = append(findings, misplaced...)
 		escapes, err := AllocLint(ld.ModuleRoot, fns)
@@ -103,6 +155,7 @@ func Run(opts Options) (*Result, error) {
 			return nil, err
 		}
 		findings = append(findings, escapes...)
+		phase("alloclint", t0)
 	}
 
 	// Drop findings for disabled rules (analyzers may bundle rules).

@@ -47,6 +47,62 @@ func (s *Suppression) matches(f *Finding) bool {
 	return false
 }
 
+// IgnoreProblem is one defect in a malformed directive; each becomes
+// a suppress-bare finding at the directive's position.
+type IgnoreProblem struct {
+	Msg  string
+	Hint string
+}
+
+// ParseIgnoreText parses the text of one comment as a
+// copiervet:ignore directive. ok is false when the comment is not a
+// directive at all. A directive with problems suppresses nothing (the
+// returned Suppression has its Rules anyway, for reporting). The
+// parser is total: any input string returns without panicking —
+// FuzzSuppress holds it to that.
+func ParseIgnoreText(text string) (s Suppression, problems []IgnoreProblem, ok bool) {
+	text = strings.TrimSpace(text)
+	var rest string
+	switch {
+	case strings.HasPrefix(text, ignoreFilePrefix):
+		rest = text[len(ignoreFilePrefix):]
+		s.FileScope = true
+	case strings.HasPrefix(text, ignorePrefix):
+		rest = text[len(ignorePrefix):]
+	case text == strings.TrimSpace(ignorePrefix) || text == strings.TrimSpace(ignoreFilePrefix):
+		return s, []IgnoreProblem{{
+			Msg:  "copiervet:ignore names no rule",
+			Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
+		}}, true
+	default:
+		return s, nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, []IgnoreProblem{{
+			Msg:  "copiervet:ignore names no rule",
+			Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
+		}}, true
+	}
+	s.Rules = strings.Split(fields[0], ",")
+	for _, r := range s.Rules {
+		if !KnownRule(r) {
+			problems = append(problems, IgnoreProblem{
+				Msg:  "copiervet:ignore names unknown rule " + r,
+				Hint: "rules: " + strings.Join(AllRules, " "),
+			})
+		}
+	}
+	s.Reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	if s.Reason == "" {
+		problems = append(problems, IgnoreProblem{
+			Msg:  "copiervet:ignore has no reason",
+			Hint: "say why the exception is sound, in-line",
+		})
+	}
+	return s, problems, true
+}
+
 // CollectSuppressions parses ignore directives from the packages'
 // comments. Malformed directives are returned as findings and do not
 // suppress anything.
@@ -57,64 +113,22 @@ func CollectSuppressions(pkgs []*Package) ([]*Suppression, []Finding) {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimSpace(c.Text)
-					var rest string
-					fileScope := false
-					switch {
-					case strings.HasPrefix(text, ignoreFilePrefix):
-						rest = text[len(ignoreFilePrefix):]
-						fileScope = true
-					case strings.HasPrefix(text, ignorePrefix):
-						rest = text[len(ignorePrefix):]
-					case text == strings.TrimSpace(ignorePrefix) || text == strings.TrimSpace(ignoreFilePrefix):
-						bad = append(bad, Finding{
-							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
-							Msg:  "copiervet:ignore names no rule",
-							Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
-						})
-						continue
-					default:
-						continue
-					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
-						bad = append(bad, Finding{
-							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
-							Msg:  "copiervet:ignore names no rule",
-							Hint: "//copiervet:ignore <rule>[,<rule>] <reason>",
-						})
-						continue
-					}
-					rules := strings.Split(fields[0], ",")
-					ok := true
-					for _, r := range rules {
-						if !KnownRule(r) {
-							bad = append(bad, Finding{
-								Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
-								Msg:  "copiervet:ignore names unknown rule " + r,
-								Hint: "rules: " + strings.Join(AllRules, " "),
-							})
-							ok = false
-						}
-					}
-					reason := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
-					if reason == "" {
-						bad = append(bad, Finding{
-							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
-							Msg:  "copiervet:ignore has no reason",
-							Hint: "say why the exception is sound, in-line",
-						})
-						ok = false
-					}
+					s, problems, ok := ParseIgnoreText(c.Text)
 					if !ok {
 						continue
 					}
-					sups = append(sups, &Suppression{
-						Pos:       p.Position(c.Pos()),
-						Rules:     rules,
-						Reason:    reason,
-						FileScope: fileScope,
-					})
+					for _, pr := range problems {
+						bad = append(bad, Finding{
+							Pos: p.Position(c.Pos()), Rule: RuleSuppressBare,
+							Msg: pr.Msg, Hint: pr.Hint,
+						})
+					}
+					if len(problems) > 0 {
+						continue
+					}
+					s.Pos = p.Position(c.Pos())
+					sup := s
+					sups = append(sups, &sup)
 				}
 			}
 		}

@@ -1,0 +1,49 @@
+// Package atomicsnip is the atomiclint golden corpus: the plain
+// accesses to ring.head below must each produce one finding (see
+// ../../atomicsnip.golden); the documented serialized spans and the
+// atomic.Int64-typed field must produce none.
+package atomicsnip
+
+import "sync/atomic"
+
+type ring struct {
+	head uint64
+	// done is safe by construction: the wrapper type forces atomic
+	// access, so atomiclint never tracks it.
+	done atomic.Int64
+	cap  int
+}
+
+// push publishes a slot with a proper atomic store.
+func (r *ring) push() {
+	atomic.StoreUint64(&r.head, atomic.LoadUint64(&r.head)+1)
+}
+
+// badRead races the consumer: head is published with atomic stores,
+// so a plain load may be torn or stale. atomic-plain.
+func (r *ring) badRead() uint64 {
+	return r.head
+}
+
+// badWrite can lose a concurrent push. atomic-plain.
+func (r *ring) badWrite() {
+	r.head = 0
+}
+
+// reset is documented as running while no other goroutine holds the
+// ring, so its plain store is exempt.
+func (r *ring) reset() {
+	//copier:serialized caller quiesces all workers before reset
+	r.head = 0
+	r.done.Store(0)
+}
+
+// newRing initializes via a composite literal (unreachable by any
+// other goroutine) and a plain field the checker never tracks.
+//
+//copier:serialized construction happens-before every worker start
+func newRing(n int) *ring {
+	r := &ring{cap: n}
+	r.head = 0
+	return r
+}

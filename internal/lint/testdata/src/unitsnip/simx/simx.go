@@ -1,0 +1,5 @@
+// Package simx is the corpus stand-in for internal/sim's virtual
+// time.
+package simx
+
+type Time int64

@@ -1,0 +1,88 @@
+// Package unitsnip is the unitlint golden corpus: every seeded
+// dimensional bug below must produce exactly one finding (see
+// ../../unitsnip.golden), and the legal idioms at the bottom must
+// produce none.
+package unitsnip
+
+import (
+	"copier/internal/lint/testdata/src/unitsnip/simx"
+	"copier/internal/lint/testdata/src/unitsnip/unitsx"
+)
+
+const cyclesPerByte = 3
+
+// directConv converts a byte count straight into a page count — the
+// archetypal calibration-corrupting mixup (4096x off). unit-conv.
+func directConv(b unitsx.Bytes) unitsx.Pages {
+	return unitsx.Pages(b)
+}
+
+// launderedConv hides the same mixup behind a plain-int temporary;
+// the dataflow still sees the Bytes origin. unit-conv.
+func launderedConv(b unitsx.Bytes) unitsx.Pages {
+	n := int(b)
+	return unitsx.Pages(n)
+}
+
+// chainConv turns bytes into simulated time without going through a
+// cost helper, laundering through int64 arithmetic on the way.
+// unit-conv.
+func chainConv(b unitsx.Bytes) simx.Time {
+	return simx.Time(int64(b) * cyclesPerByte)
+}
+
+// mixedSum adds a byte count to a page count after stripping both
+// types. unit-mix.
+func mixedSum(b unitsx.Bytes, p unitsx.Pages) int {
+	return int(b) + int(p)
+}
+
+// mixedCompare compares quantities of different dimensions. unit-mix.
+func mixedCompare(b unitsx.Bytes, t simx.Time) bool {
+	return int64(b) > int64(t)
+}
+
+// reserve's parameter is a plain int, but the body pins it to the
+// pages dimension — the summary unitlint infers for call sites.
+func reserve(n int) unitsx.Pages {
+	return unitsx.Pages(n) // legal: operand is an untracked int
+}
+
+// wrongArg passes a byte-derived value where reserve's inferred
+// dimension is pages. unit-arg.
+func wrongArg(b unitsx.Bytes) unitsx.Pages {
+	return reserve(int(b))
+}
+
+// --- Legal idioms: none of these may be flagged. ---
+
+// blessed crossings.
+func viaHelpers(b unitsx.Bytes) unitsx.Bytes {
+	return unitsx.PagesOf(b).Bytes()
+}
+
+// Quantities are born from unitless values.
+func fromLen(buf []byte) unitsx.Bytes {
+	return unitsx.Bytes(len(buf))
+}
+
+// Sinking to a plain int for formatting or indexing is fine as long
+// as the value never re-enters another dimension.
+func sinkToInt(b unitsx.Bytes, buf []byte) byte {
+	return buf[int(b)%len(buf)]
+}
+
+// Same-dimension arithmetic, and scaling by pure numbers.
+func sameDim(a, b unitsx.Bytes) unitsx.Bytes {
+	return (a + b) / 2
+}
+
+// A ratio of two same-dimension quantities is dimensionless.
+func ratio(a, b unitsx.Bytes) simx.Time {
+	return simx.Time(int64(a) / int64(b) * cyclesPerByte)
+}
+
+// reserve called with an honest page-derived count.
+func rightArg(p unitsx.Pages) unitsx.Pages {
+	return reserve(int(p))
+}

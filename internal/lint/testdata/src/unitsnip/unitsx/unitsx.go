@@ -1,0 +1,19 @@
+// Package unitsx is the corpus stand-in for internal/units: the same
+// dimensioned types and blessed crossings, so unitlint snippets run
+// with real type information.
+package unitsx
+
+const PageSize = 4096
+
+type Bytes int
+
+type Pages int
+
+func PagesOf(b Bytes) Pages {
+	if b <= 0 {
+		return 0
+	}
+	return Pages((b + PageSize - 1) / PageSize)
+}
+
+func (p Pages) Bytes() Bytes { return Bytes(p) * PageSize }

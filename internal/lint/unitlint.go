@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitlint enforces dimensional safety for the cost model. The
+// quantities the model is calibrated in — byte counts (units.Bytes),
+// page counts (units.Pages) and simulated cycles (sim.Time) — are
+// distinct defined types, so the compiler already rejects a plain
+// bytes-for-pages mixup. What it cannot reject are the legal-but-wrong
+// escapes, and those are exactly what corrupt a calibration without
+// failing a functional test:
+//
+//   - unit-conv: an explicit conversion from one dimension to another
+//     (units.Pages(b), sim.Time(n)), including conversions laundered
+//     through untracked integers — sim.Time(int64(b)/8) still turns
+//     bytes into time even though no sub-expression has both types.
+//   - unit-mix: arithmetic or comparison whose operands carry two
+//     different dimensions once laundering is traced (int(b) + int(p)).
+//   - unit-arg: an argument carrying dimension D1 passed to a
+//     parameter of dimension D2. Parameter dimensions come from the
+//     declared type when it is tracked, and otherwise from a
+//     per-function summary inferred from the body (an int parameter
+//     the body converts to units.Pages is a pages parameter).
+//
+// Dataflow is intra-procedural plus one interprocedural device: the
+// parameter summaries above, computed for every loaded function before
+// any call site is checked. Locals assigned from int(dimExpr)-style
+// conversions carry the dimension forward ("laundered" locals), so a
+// mixup does not hide behind one temporary.
+//
+// Conversions *into* a dimension from untracked values (len(buf),
+// literals, plain ints with no traced origin) are legal — that is how
+// quantities are born. Conversions *out* to untracked types are legal
+// sinks (formatting, syscall-shaped APIs) unless the value then flows
+// into a conflicting dimension. The blessed crossing points live in
+// the exempt packages: internal/units defines them, internal/cycles
+// spends quantities as simulated time.
+
+// UnitConfig parameterizes unitlint so tests can point it at snippet
+// stand-ins for the real dimension types.
+type UnitConfig struct {
+	// Dims maps fully qualified type names ("pkg/path.Name") to the
+	// dimension label used in messages.
+	Dims map[string]string
+	// Exempt lists import paths where cross-dimension conversions are
+	// legal: the units package (it defines the blessed crossings) and
+	// the cost model (quantities become time there, by design).
+	Exempt []string
+}
+
+// DefaultUnitConfig matches this repository.
+var DefaultUnitConfig = UnitConfig{
+	Dims: map[string]string{
+		"copier/internal/units.Bytes": "units.Bytes",
+		"copier/internal/units.Pages": "units.Pages",
+		"copier/internal/sim.Time":    "sim.Time",
+	},
+	Exempt: []string{"copier/internal/units", "copier/internal/cycles"},
+}
+
+// UnitLint runs the dimension analysis over the loaded packages. All
+// packages contribute parameter summaries; findings are reported only
+// outside the exempt packages.
+func UnitLint(pkgs []*Package, cfg UnitConfig) []Finding {
+	u := &unitChecker{cfg: cfg, summaries: make(map[string][]string)}
+	for _, p := range pkgs {
+		u.summarize(p)
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		if u.exempt(p.Path) {
+			continue
+		}
+		out = append(out, u.checkPackage(p)...)
+	}
+	return out
+}
+
+type unitChecker struct {
+	cfg UnitConfig
+	// summaries holds the inferred dimension of each untracked-int
+	// parameter, indexed by flattened parameter position. Keyed by
+	// types.Func.FullName so cross-package call sites (which resolve
+	// to re-imported objects) still find the summary. "" means no
+	// dimension (or a conflict — both read as unconstrained).
+	summaries map[string][]string
+}
+
+func (u *unitChecker) exempt(path string) bool {
+	for _, e := range u.cfg.Exempt {
+		if path == e {
+			return true
+		}
+	}
+	return false
+}
+
+// dimOfType returns the dimension label of t, or "".
+func (u *unitChecker) dimOfType(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return u.cfg.Dims[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// launderable reports whether t is a predeclared numeric type (int,
+// int64, uint64, float64, ...) — the anonymous carriers a dimension
+// hides behind. Named untracked types (mem.VA, mem.Frame) are their
+// own quantity kinds: converting into one is a legal sink, and
+// arithmetic on one (address + length) does not keep the operand's
+// dimension.
+func (u *unitChecker) launderable(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// summarize infers parameter dimensions for every function in p whose
+// signature uses untracked integer parameters: a conversion
+// Dim(param) anywhere in the body pins the parameter to that
+// dimension. Conflicting inferences cancel to "".
+func (u *unitChecker) summarize(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() == 0 {
+				continue
+			}
+			// Map each parameter object to its flattened index.
+			paramIdx := make(map[types.Object]int)
+			for i := 0; i < sig.Params().Len(); i++ {
+				paramIdx[sig.Params().At(i)] = i
+			}
+			dims := make([]string, sig.Params().Len())
+			conflict := make([]bool, sig.Params().Len())
+			any := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := p.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dim := u.dimOfType(tv.Type)
+				if dim == "" {
+					return true
+				}
+				id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				i, isParam := paramIdx[obj]
+				if !isParam || !u.launderable(obj.Type()) {
+					return true
+				}
+				switch {
+				case dims[i] == "" && !conflict[i]:
+					dims[i] = dim
+					any = true
+				case dims[i] != dim:
+					dims[i] = ""
+					conflict[i] = true
+				}
+				return true
+			})
+			if any {
+				u.summaries[fn.FullName()] = dims
+			}
+		}
+	}
+}
+
+// checkPackage reports unit-conv, unit-mix and unit-arg findings for
+// one non-exempt package.
+func (u *unitChecker) checkPackage(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					out = append(out, u.checkFunc(p, d.Body)...)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers can cross dimensions too.
+				out = append(out, u.checkNode(p, nil, d)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc analyzes one function body: first collect laundered
+// locals in source order, then report violations.
+func (u *unitChecker) checkFunc(p *Package, body *ast.BlockStmt) []Finding {
+	laund := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i := range st.Lhs {
+				u.recordLaunder(p, laund, st.Lhs[i], st.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i := range st.Names {
+				u.recordLaunder(p, laund, st.Names[i], st.Values[i])
+			}
+		}
+		return true
+	})
+	return u.checkNode(p, laund, body)
+}
+
+// recordLaunder notes lhs as carrying rhs's dimension when lhs is an
+// untracked-int variable and rhs traces to a dimensioned value. A
+// reassignment with a different dimension cancels the entry.
+func (u *unitChecker) recordLaunder(p *Package, laund map[types.Object]string, lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil || !u.launderable(obj.Type()) {
+		return
+	}
+	dim := u.dimExpr(p, laund, rhs)
+	if prev, seen := laund[obj]; seen && prev != dim {
+		laund[obj] = "" // conflicting origins: unconstrained
+		return
+	}
+	if dim != "" {
+		laund[obj] = dim
+	}
+}
+
+// dimExpr resolves the dimension an expression carries: its static
+// type if tracked, otherwise traced through laundering — untracked
+// conversions, laundered locals, and arithmetic that preserves a
+// dimension (quantity ± quantity, quantity scaled by a pure number).
+// A ratio of two same-dimension values is dimensionless.
+func (u *unitChecker) dimExpr(p *Package, laund map[types.Object]string, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if t := p.Info.TypeOf(e); t != nil {
+		if d := u.dimOfType(t); d != "" {
+			return d
+		}
+		// A named untracked type (mem.VA, mem.Frame) is its own kind
+		// of quantity: the trace stops here.
+		if _, named := t.(*types.Named); named {
+			return ""
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil && laund != nil {
+			return laund[obj]
+		}
+	case *ast.CallExpr:
+		if len(e.Args) != 1 {
+			return ""
+		}
+		tv, ok := p.Info.Types[e.Fun]
+		if !ok || !tv.IsType() || !u.launderable(tv.Type) {
+			return ""
+		}
+		return u.dimExpr(p, laund, e.Args[0])
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.dimExpr(p, laund, e.X)
+		}
+	case *ast.BinaryExpr:
+		dx := u.dimExpr(p, laund, e.X)
+		dy := u.dimExpr(p, laund, e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if dx == dy {
+				return dx
+			}
+			if dx == "" {
+				return dy
+			}
+			if dy == "" {
+				return dx
+			}
+		case token.MUL:
+			if dx == "" {
+				return dy
+			}
+			if dy == "" {
+				return dx
+			}
+		case token.QUO, token.REM:
+			if dx == dy {
+				return "" // ratio: dimensionless
+			}
+			if dy == "" {
+				return dx // quantity scaled down by a pure number
+			}
+		case token.SHL, token.SHR:
+			return dx
+		}
+	}
+	return ""
+}
+
+// checkNode walks one declaration or body and reports violations.
+func (u *unitChecker) checkNode(p *Package, laund map[types.Object]string, root ast.Node) []Finding {
+	var out []Finding
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+				if f, bad := u.checkConversion(p, laund, e, tv.Type); bad {
+					out = append(out, f)
+				}
+				return true
+			}
+			out = append(out, u.checkCall(p, laund, e)...)
+		case *ast.BinaryExpr:
+			// Products and ratios of two dimensions are legal new
+			// quantities (throughput = bytes/time); sums, differences,
+			// remainders and comparisons are not.
+			switch e.Op {
+			case token.ADD, token.SUB, token.REM,
+				token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			dx := u.dimExpr(p, laund, e.X)
+			dy := u.dimExpr(p, laund, e.Y)
+			if dx != "" && dy != "" && dx != dy {
+				out = append(out, Finding{
+					Pos:  p.Position(e.OpPos),
+					Rule: RuleUnitMix,
+					Msg:  fmt.Sprintf("arithmetic mixes %s and %s", dx, dy),
+					Hint: "normalize both operands to one dimension first (units.PagesOf, Pages.Bytes)",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkConversion reports a conversion whose operand traces to a
+// different dimension than the target type.
+func (u *unitChecker) checkConversion(p *Package, laund map[types.Object]string, call *ast.CallExpr, target types.Type) (Finding, bool) {
+	dst := u.dimOfType(target)
+	if dst == "" || len(call.Args) != 1 {
+		return Finding{}, false // sinks to untracked types are legal
+	}
+	src := u.dimExpr(p, laund, call.Args[0])
+	if src == "" || src == dst {
+		return Finding{}, false
+	}
+	return Finding{
+		Pos:  p.Position(call.Pos()),
+		Rule: RuleUnitConv,
+		Msg:  fmt.Sprintf("conversion to %s from a %s value crosses dimensions", dst, src),
+		Hint: "cross via units.PagesOf/Pages.Bytes or a cycles.* cost helper",
+	}, true
+}
+
+// checkCall matches argument dimensions against parameter dimensions
+// (declared or inferred) at one call site.
+func (u *unitChecker) checkCall(p *Package, laund map[types.Object]string, call *ast.CallExpr) []Finding {
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = p.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = p.Info.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	summary := u.summaries[fn.FullName()]
+	var out []Finding
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(pi)
+		ptype := param.Type()
+		if sig.Variadic() && pi == sig.Params().Len()-1 && !call.Ellipsis.IsValid() {
+			if sl, ok := ptype.(*types.Slice); ok {
+				ptype = sl.Elem()
+			}
+		}
+		want := u.dimOfType(ptype)
+		if want == "" && pi < len(summary) {
+			want = summary[pi]
+		}
+		if want == "" {
+			continue
+		}
+		got := u.dimExpr(p, laund, arg)
+		if got == "" || got == want {
+			continue
+		}
+		name := param.Name()
+		if name == "" {
+			name = fmt.Sprintf("#%d", pi)
+		}
+		out = append(out, Finding{
+			Pos:  p.Position(arg.Pos()),
+			Rule: RuleUnitArg,
+			Msg:  fmt.Sprintf("%s value passed to parameter %s of %s, which takes %s", got, name, fn.Name(), want),
+			Hint: "convert at the boundary with the blessed units helpers",
+		})
+	}
+	return out
+}

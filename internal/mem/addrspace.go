@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"copier/internal/units"
 )
 
 // VA is a virtual address in some simulated address space.
@@ -85,7 +87,7 @@ type VMA struct {
 }
 
 // Len returns the VMA length in bytes.
-func (v *VMA) Len() int64 { return int64(v.End - v.Start) }
+func (v *VMA) Len() units.Bytes { return units.Bytes(v.End - v.Start) }
 
 func (v *VMA) contains(a VA) bool { return a >= v.Start && a < v.End }
 
@@ -133,15 +135,13 @@ func (as *AddrSpace) notifyChange(vpn uint64) {
 	}
 }
 
-func roundUpPages(n int64) int64 { return (n + PageSize - 1) >> PageShift }
-
 // MMap reserves an anonymous demand-paged VMA of at least length bytes
 // and returns its start address. No frames are allocated until the
 // pages are touched.
-func (as *AddrSpace) MMap(length int64, perm Perm, name string) VA {
-	npages := roundUpPages(length)
+func (as *AddrSpace) MMap(length units.Bytes, perm Perm, name string) VA {
+	npages := units.PagesOf(length)
 	start := as.next
-	end := start + VA(npages<<PageShift)
+	end := start + VA(npages.Bytes())
 	// Leave a guard page between VMAs so off-by-one accesses fault.
 	as.next = end + PageSize
 	vma := &VMA{Start: start, End: end, Perm: perm, Name: name}
@@ -237,7 +237,7 @@ func (as *AddrSpace) Classify(a VA, write bool) FaultKind {
 // unresolvable kind for bad accesses) and the number of bytes the
 // handler had to copy (CoW page contents), so callers can charge copy
 // costs. HandleFault performs no cycle accounting itself.
-func (as *AddrSpace) HandleFault(a VA, write bool) (FaultKind, int, error) {
+func (as *AddrSpace) HandleFault(a VA, write bool) (FaultKind, units.Bytes, error) {
 	kind := as.Classify(a, write)
 	as.Faults[kind]++
 	switch kind {
@@ -283,7 +283,7 @@ func (as *AddrSpace) HandleFault(a VA, write bool) (FaultKind, int, error) {
 
 // Populate faults in all pages of [a, a+length) for the given access
 // mode, as an eager mmap would. It returns the number of faults taken.
-func (as *AddrSpace) Populate(a VA, length int64, write bool) (int, error) {
+func (as *AddrSpace) Populate(a VA, length units.Bytes, write bool) (int, error) {
 	n := 0
 	for va := a & ^VA(PageSize-1); va < a+VA(length); va += PageSize {
 		kind, _, err := as.HandleFault(va, write)
@@ -311,12 +311,12 @@ func (as *AddrSpace) Translate(a VA) (Frame, int, error) {
 // contiguous run starting at a. Pages must be present; the run stops at
 // the first absent or non-adjacent page. Used by the dispatcher to
 // split Copy Tasks into DMA-eligible subtasks (§4.3).
-func (as *AddrSpace) ContigRun(a VA, max int) int {
+func (as *AddrSpace) ContigRun(a VA, max units.Bytes) units.Bytes {
 	pte, ok := as.pages[a.Page()]
 	if !ok || !pte.Present {
 		return 0
 	}
-	run := PageSize - a.Offset()
+	run := units.Bytes(PageSize - a.Offset())
 	prev := pte.Frame
 	vpn := a.Page() + 1
 	for run < max {
@@ -338,7 +338,7 @@ func (as *AddrSpace) ContigRun(a VA, max int) int {
 // guaranteeing the mapping is stable for the duration (proactive fault
 // handling locks mappings until the copy completes, §4.5.4). All pages
 // must be present.
-func (as *AddrSpace) Pin(a VA, length int) error {
+func (as *AddrSpace) Pin(a VA, length units.Bytes) error {
 	var pinned []*PTE
 	for va := a & ^VA(PageSize-1); va < a+VA(length); va += PageSize {
 		pte, ok := as.pages[va.Page()]
@@ -355,7 +355,7 @@ func (as *AddrSpace) Pin(a VA, length int) error {
 }
 
 // Unpin decrements the pin counts set by Pin.
-func (as *AddrSpace) Unpin(a VA, length int) {
+func (as *AddrSpace) Unpin(a VA, length units.Bytes) {
 	for va := a & ^VA(PageSize-1); va < a+VA(length); va += PageSize {
 		pte, ok := as.pages[va.Page()]
 		if !ok || pte.Pinned <= 0 {
@@ -514,7 +514,7 @@ func (as *AddrSpace) ReleaseAll() error {
 
 // FramesOf returns the frames backing [a, a+length). All pages must be
 // present (fault them in first).
-func (as *AddrSpace) FramesOf(a VA, length int) ([]Frame, error) {
+func (as *AddrSpace) FramesOf(a VA, length units.Bytes) ([]Frame, error) {
 	var out []Frame
 	for va := a & ^VA(PageSize-1); va < a+VA(length); va += PageSize {
 		f, _, err := as.Translate(va)

@@ -12,11 +12,14 @@ package mem
 import (
 	"errors"
 	"fmt"
+
+	"copier/internal/units"
 )
 
 // PageSize is the simulated page size in bytes (4 KB, as on the
-// paper's x86 testbed).
-const PageSize = 4096
+// paper's x86 testbed). It equals units.PageSize; both are untyped
+// constants so they compose with VA and plain-int arithmetic.
+const PageSize = units.PageSize
 
 // PageShift is log2(PageSize).
 const PageShift = 12
@@ -100,7 +103,8 @@ func (pm *PhysMem) AllocFrame() (Frame, error) {
 }
 
 // AllocFrames allocates n frames according to the current policy.
-func (pm *PhysMem) AllocFrames(n int) ([]Frame, error) {
+func (pm *PhysMem) AllocFrames(npages units.Pages) ([]Frame, error) {
+	n := int(npages)
 	if n > pm.nfree {
 		return nil, ErrNoMemory
 	}

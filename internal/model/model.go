@@ -27,6 +27,7 @@ import (
 	"copier/internal/core"
 	"copier/internal/kernel"
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 // RealRun executes a (ported) mini-IR function through the real
@@ -41,8 +42,8 @@ func RealRun(f *copiergen.Func) (observed, snapshot []byte, err error) {
 	// Allocate and fill variables exactly like copiergen.NewInterp.
 	vaOf := make(map[string]mem.VA)
 	for vi, v := range f.Vars {
-		va := p.AS.MMap(int64(v.Size), mem.PermRead|mem.PermWrite, v.Name)
-		if _, err := p.AS.Populate(va, int64(v.Size), true); err != nil {
+		va := p.AS.MMap(units.Bytes(v.Size), mem.PermRead|mem.PermWrite, v.Name)
+		if _, err := p.AS.Populate(va, units.Bytes(v.Size), true); err != nil {
 			return nil, nil, err
 		}
 		buf := make([]byte, v.Size)
@@ -63,17 +64,17 @@ func RealRun(f *copiergen.Func) (observed, snapshot []byte, err error) {
 			fail := func(e error) { runErr = fmt.Errorf("op %d (%v): %w", i, op, e) }
 			switch op.Kind {
 			case copiergen.OpCopy:
-				if e := t.UserCopy(vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), op.Len); e != nil {
+				if e := t.UserCopy(vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), units.Bytes(op.Len)); e != nil {
 					fail(e)
 					return
 				}
 			case copiergen.OpACopy:
-				if e := lib.Amemcpy(t, vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), op.Len); e != nil {
+				if e := lib.Amemcpy(t, vaOf[op.Dst]+mem.VA(op.DstOff), vaOf[op.Src]+mem.VA(op.SrcOff), units.Bytes(op.Len)); e != nil {
 					fail(e)
 					return
 				}
 			case copiergen.OpCsync:
-				if e := lib.Csync(t, vaOf[op.Dst]+mem.VA(op.DstOff), op.Len); e != nil {
+				if e := lib.Csync(t, vaOf[op.Dst]+mem.VA(op.DstOff), units.Bytes(op.Len)); e != nil {
 					fail(e)
 					return
 				}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"copier/internal/mem"
+	"copier/internal/units"
 )
 
 // Kind classifies a detected bug.
@@ -52,7 +53,7 @@ func (k Kind) String() string {
 type Report struct {
 	Kind Kind
 	Addr mem.VA
-	Len  int
+	Len  units.Bytes
 	// CopyID identifies the offending in-flight copy.
 	CopyID int
 }
@@ -65,13 +66,13 @@ func (r Report) String() string {
 type copyRec struct {
 	id       int
 	dst, src mem.VA
-	n        int
+	n        units.Bytes
 	// synced[i] marks 1KB-granule i of the destination as csynced.
 	synced []bool
-	gran   int
+	gran   units.Bytes
 }
 
-func (c *copyRec) dstPoisoned(a mem.VA, n int) bool {
+func (c *copyRec) dstPoisoned(a mem.VA, n units.Bytes) bool {
 	if !overlap(a, n, c.dst, c.n) {
 		return false
 	}
@@ -93,19 +94,19 @@ func (c *copyRec) allSynced() bool {
 	return true
 }
 
-func overlap(a mem.VA, an int, b mem.VA, bn int) bool {
+func overlap(a mem.VA, an units.Bytes, b mem.VA, bn units.Bytes) bool {
 	return an > 0 && bn > 0 && a < b+mem.VA(bn) && b < a+mem.VA(an)
 }
 
 // clamp returns the overlap of [a,a+n) with [base,base+bn) as offsets
 // relative to base.
-func clamp(a mem.VA, n int, base mem.VA, bn int) (int, int) {
-	lo := 0
+func clamp(a mem.VA, n units.Bytes, base mem.VA, bn units.Bytes) (units.Bytes, units.Bytes) {
+	lo := units.Bytes(0)
 	if a > base {
-		lo = int(a - base)
+		lo = units.Bytes(a - base)
 	}
 	hi := bn
-	if end := int(a + mem.VA(n) - base); end < hi {
+	if end := units.Bytes(a + mem.VA(n) - base); end < hi {
 		hi = end
 	}
 	return lo, hi
@@ -131,7 +132,7 @@ func New(as *mem.AddrSpace) *Sanitizer { return &Sanitizer{as: as} }
 const Granule = 1024
 
 // OnAmemcpy poisons the copy's ranges. Returns the copy id.
-func (sz *Sanitizer) OnAmemcpy(dst, src mem.VA, n int) int {
+func (sz *Sanitizer) OnAmemcpy(dst, src mem.VA, n units.Bytes) int {
 	id := sz.nextID
 	sz.nextID++
 	sz.copies = append(sz.copies, &copyRec{
@@ -145,7 +146,7 @@ func (sz *Sanitizer) OnAmemcpy(dst, src mem.VA, n int) int {
 // OnCsync unpoisons destination granules covered by [addr, addr+n);
 // csync on a source range is translated by callers per the appendix
 // transformation (csync(addr-src+dst)).
-func (sz *Sanitizer) OnCsync(addr mem.VA, n int) {
+func (sz *Sanitizer) OnCsync(addr mem.VA, n units.Bytes) {
 	for _, c := range sz.copies {
 		if !overlap(addr, n, c.dst, c.n) {
 			continue
@@ -181,7 +182,7 @@ func (sz *Sanitizer) report(r Report) {
 }
 
 // CheckRead validates a read of [addr, addr+n).
-func (sz *Sanitizer) CheckRead(addr mem.VA, n int) bool {
+func (sz *Sanitizer) CheckRead(addr mem.VA, n units.Bytes) bool {
 	ok := true
 	for _, c := range sz.copies {
 		if c.dstPoisoned(addr, n) {
@@ -193,7 +194,7 @@ func (sz *Sanitizer) CheckRead(addr mem.VA, n int) bool {
 }
 
 // CheckWrite validates a write of [addr, addr+n).
-func (sz *Sanitizer) CheckWrite(addr mem.VA, n int) bool {
+func (sz *Sanitizer) CheckWrite(addr mem.VA, n units.Bytes) bool {
 	ok := true
 	for _, c := range sz.copies {
 		if c.dstPoisoned(addr, n) {
@@ -209,7 +210,7 @@ func (sz *Sanitizer) CheckWrite(addr mem.VA, n int) bool {
 }
 
 // CheckFree validates freeing the buffer [addr, addr+n).
-func (sz *Sanitizer) CheckFree(addr mem.VA, n int) bool {
+func (sz *Sanitizer) CheckFree(addr mem.VA, n units.Bytes) bool {
 	ok := true
 	for _, c := range sz.copies {
 		if c.allSynced() {
@@ -225,13 +226,13 @@ func (sz *Sanitizer) CheckFree(addr mem.VA, n int) bool {
 
 // Read performs a checked read through the address space.
 func (sz *Sanitizer) Read(addr mem.VA, p []byte) error {
-	sz.CheckRead(addr, len(p))
+	sz.CheckRead(addr, units.Bytes(len(p)))
 	return sz.as.ReadAt(addr, p)
 }
 
 // Write performs a checked write.
 func (sz *Sanitizer) Write(addr mem.VA, p []byte) error {
-	sz.CheckWrite(addr, len(p))
+	sz.CheckWrite(addr, units.Bytes(len(p)))
 	return sz.as.WriteAt(addr, p)
 }
 

@@ -1,0 +1,50 @@
+// Package units defines the dimensioned quantities the cost model is
+// calibrated in: byte counts and page counts. Cycle counts are the
+// third dimension and already have a defined type (sim.Time).
+//
+// The point of the defined types is that a silent bytes-for-pages
+// mixup — passing a length where a page count is expected — corrupts
+// the calibration (§4.3: per-byte bandwidth curves vs per-page walk
+// and pin costs) without failing a single functional test. With
+// Bytes and Pages as distinct types the compiler rejects accidental
+// mixes, and the unitlint analyzer (internal/lint) rejects the
+// remaining legal-but-wrong escapes: explicit cross-dimension
+// conversions like units.Pages(b) and laundering through plain ints.
+//
+// The blessed crossing points between the dimensions are exactly:
+//
+//   - units.PagesOf(b)  — bytes to the page count covering them
+//   - p.Bytes()         — whole pages back to bytes
+//   - units.PageSize    — the page granularity, an untyped constant
+//     so it composes with address (mem.VA) and modular arithmetic
+//   - the cycles package helpers (cycles.CopyCost, cycles.PerPage,
+//     ...) — quantities into simulated time
+//
+// Everything else converts only from unitless values (len(buf),
+// literals) into a dimension, never across dimensions.
+package units
+
+// PageSize is the simulated page granularity in bytes. It is an
+// untyped constant on purpose: page arithmetic happens against
+// addresses (mem.VA), byte counts and plain ints alike, and an
+// untyped constant coerces into each without laundering.
+const PageSize = 4096
+
+// Bytes is a length or size measured in bytes.
+type Bytes int
+
+// Pages is a count of whole pages.
+type Pages int
+
+// PagesOf returns the number of pages needed to cover b bytes,
+// rounding any partial page up. Negative byte counts round toward
+// zero (no range covers negative bytes).
+func PagesOf(b Bytes) Pages {
+	if b <= 0 {
+		return 0
+	}
+	return Pages((b + PageSize - 1) / PageSize)
+}
+
+// Bytes returns the byte length of p whole pages.
+func (p Pages) Bytes() Bytes { return Bytes(p) * PageSize }

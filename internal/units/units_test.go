@@ -1,0 +1,65 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The conversion properties unitlint's soundness rests on: the two
+// blessed crossings compose to the identity on whole pages, and
+// PagesOf always covers the byte range it is given — never short by a
+// partial page, never more than one page over.
+
+func TestPagesRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		p := Pages(n)
+		return PagesOf(p.Bytes()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesOfCovers(t *testing.T) {
+	f := func(n uint32) bool {
+		b := Bytes(n % (1 << 30))
+		p := PagesOf(b)
+		covered := p.Bytes()
+		if covered < b {
+			return false // short: the range does not fit
+		}
+		return covered-b < PageSize // partial pages round up by < one page
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesOfPartialPage(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want Pages
+	}{
+		{0, 0}, {-1, 0}, {-PageSize, 0},
+		{1, 1}, {PageSize - 1, 1}, {PageSize, 1},
+		{PageSize + 1, 2}, {2*PageSize - 1, 2}, {2 * PageSize, 2},
+	}
+	for _, c := range cases {
+		if got := PagesOf(c.b); got != c.want {
+			t.Errorf("PagesOf(%d) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestPagesOfMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a%(1<<30)), Bytes(b%(1<<30))
+		if x > y {
+			x, y = y, x
+		}
+		return PagesOf(x) <= PagesOf(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,9 +17,11 @@ go vet ./...
 
 # copiervet (cmd/copiervet, internal/lint) machine-checks the project
 # invariants: determinism hygiene in simulator-domain packages,
-# //copier:noalloc escape-analysis contracts, cost-model hygiene. It
-# prints every finding plus a per-rule count summary and exits
-# nonzero on any unsuppressed finding.
+# //copier:noalloc escape-analysis contracts, cost-model hygiene,
+# dimensional safety of units.Bytes/units.Pages/sim.Time, and
+# all-or-nothing sync/atomic field access in the real-concurrency
+# packages. It prints every finding plus a per-rule count summary and
+# exits 1 on any unsuppressed finding (2 if the run itself fails).
 echo "== copiervet ./... =="
 go run ./cmd/copiervet ./...
 
