@@ -32,6 +32,7 @@ fuzz:
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s
 	go test ./internal/lint -run=^$$ -fuzz=FuzzSuppress -fuzztime=30s
+	go test ./internal/bench -run=^$$ -fuzz=FuzzArrivalSchedule -fuzztime=30s
 
 # Full chaos sweep: seeded fault injection + client death over the
 # copy service, plus the determinism goldens that run it twice.

@@ -1,0 +1,140 @@
+// Open-loop arrival generation for the fleet experiment. A closed
+// loop (submit, wait, submit) hides queueing delay: the generator
+// slows down exactly when the service congests. The fleet driver
+// instead draws a fixed schedule of arrival times ahead of the run —
+// seeded, Poisson-spaced, optionally bursty — and submits on that
+// schedule no matter how the service is doing, so tail latency and
+// shed rate are visible (§6 methodology).
+
+package bench
+
+import (
+	"copier/internal/sim"
+	"copier/internal/units"
+)
+
+// ArrivalConfig shapes one open-loop schedule.
+type ArrivalConfig struct {
+	// Seed keys the PRNG; the schedule is a pure function of the
+	// config.
+	Seed uint64
+	// MeanGap is the mean inter-arrival gap in cycles (the offered
+	// load is one task per MeanGap on average).
+	MeanGap sim.Time
+	// Clients is the number of simulated submitters; each arrival is
+	// assigned to one uniformly.
+	Clients int
+	// Sizes is the copy-size mix, drawn uniformly per arrival.
+	Sizes []units.Bytes
+	// Burst shaping: when BurstPeriod > 0, the first BurstLen
+	// arrivals of every BurstPeriod-arrival window draw gaps divided
+	// by BurstFactor — a periodic open-loop burst on top of the
+	// Poisson base load.
+	BurstPeriod int
+	BurstLen    int
+	BurstFactor int
+}
+
+// Arrival is one scheduled submission.
+type Arrival struct {
+	At     sim.Time
+	Client int
+	Size   units.Bytes
+}
+
+// expQ16 is the inverse CDF of the unit-mean exponential distribution
+// sampled at 64 midpoint quantiles, in Q16 fixed point. Drawing a
+// uniform index and scaling MeanGap by the entry gives Poisson
+// arrivals without floating point (float math here would make the
+// schedule fragile across compilers; fixed point keeps it
+// byte-identical everywhere). The table mean is 2^16, so the realized
+// mean gap matches MeanGap.
+var expQ16 = [64]uint32{
+	514, 1554, 2611, 3686, 4778, 5889, 7019, 8169,
+	9339, 10530, 11744, 12981, 14241, 15526, 16837, 18174,
+	19540, 20934, 22359, 23815, 25305, 26829, 28390, 29988,
+	31627, 33307, 35032, 36803, 38624, 40496, 42424, 44410,
+	46458, 48572, 50757, 53017, 55358, 57786, 60307, 62928,
+	65659, 68509, 71489, 74610, 77887, 81338, 84979, 88836,
+	92933, 97304, 101987, 107030, 112495, 118457, 125016, 132305,
+	140508, 149886, 160834, 173985, 190455, 212507, 245984, 317983,
+}
+
+// splitmix64 is the finalizer used throughout the repo's seeded
+// models (internal/fault uses the same one): enough mixing that
+// counter-keyed draws are independent, and trivially deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ArrivalGen draws the schedule. Each of the three per-arrival draws
+// (gap, client, size) uses its own lane so adding a field never
+// perturbs the others.
+type ArrivalGen struct {
+	cfg ArrivalConfig
+	// lane bases, precomputed from Seed.
+	gapLane, clientLane, sizeLane uint64
+	now                           sim.Time
+	n                             uint64
+}
+
+// NewArrivalGen validates the config and positions the generator at
+// time zero.
+func NewArrivalGen(cfg ArrivalConfig) *ArrivalGen {
+	if cfg.MeanGap <= 0 {
+		panic("bench: ArrivalConfig.MeanGap must be positive")
+	}
+	if cfg.Clients <= 0 {
+		panic("bench: ArrivalConfig.Clients must be positive")
+	}
+	if len(cfg.Sizes) == 0 {
+		panic("bench: ArrivalConfig.Sizes must be non-empty")
+	}
+	if cfg.BurstPeriod > 0 && (cfg.BurstFactor < 1 || cfg.BurstLen <= 0 || cfg.BurstLen > cfg.BurstPeriod) {
+		panic("bench: bad burst shape")
+	}
+	return &ArrivalGen{
+		cfg:        cfg,
+		gapLane:    splitmix64(cfg.Seed ^ 0x67617073), // "gaps"
+		clientLane: splitmix64(cfg.Seed ^ 0x636c6e74), // "clnt"
+		sizeLane:   splitmix64(cfg.Seed ^ 0x73697a65), // "size"
+	}
+}
+
+// Next returns the next scheduled arrival. Arrival times are strictly
+// increasing: the exponential draw is floored at one cycle.
+//
+//copier:noalloc
+func (g *ArrivalGen) Next() Arrival {
+	u := splitmix64(g.gapLane ^ g.n)
+	gap := g.cfg.MeanGap * sim.Time(expQ16[u&63]) >> 16
+	if g.cfg.BurstPeriod > 0 && int(g.n)%g.cfg.BurstPeriod < g.cfg.BurstLen {
+		gap /= sim.Time(g.cfg.BurstFactor)
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	g.now += gap
+	a := Arrival{
+		At:     g.now,
+		Client: int(splitmix64(g.clientLane^g.n) % uint64(g.cfg.Clients)),
+		Size:   g.cfg.Sizes[splitmix64(g.sizeLane^g.n)%uint64(len(g.cfg.Sizes))],
+	}
+	g.n++
+	return a
+}
+
+// Schedule pregenerates n arrivals. The fleet driver draws the whole
+// schedule before the clock starts so the submit loop stays
+// allocation-free.
+func Schedule(cfg ArrivalConfig, n int) []Arrival {
+	g := NewArrivalGen(cfg)
+	out := make([]Arrival, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"testing"
+
+	"copier/internal/sim"
+	"copier/internal/units"
+)
+
+func testArrivalConfig() ArrivalConfig {
+	return ArrivalConfig{
+		Seed:    42,
+		MeanGap: 10_000,
+		Clients: 16,
+		Sizes:   []units.Bytes{4 << 10, 16 << 10, 64 << 10},
+	}
+}
+
+// TestArrivalScheduleInvariants: arrival times strictly increase (no
+// zero or negative inter-arrival gap), and every client/size draw is
+// in range.
+func TestArrivalScheduleInvariants(t *testing.T) {
+	cfg := testArrivalConfig()
+	sched := Schedule(cfg, 5000)
+	var prev sim.Time
+	for i, a := range sched {
+		if a.At <= prev {
+			t.Fatalf("arrival %d at %d not after %d", i, a.At, prev)
+		}
+		prev = a.At
+		if a.Client < 0 || a.Client >= cfg.Clients {
+			t.Fatalf("arrival %d client %d out of range", i, a.Client)
+		}
+		ok := false
+		for _, s := range cfg.Sizes {
+			if a.Size == s {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("arrival %d size %d not in mix", i, a.Size)
+		}
+	}
+}
+
+// TestArrivalScheduleReplays: the schedule is a pure function of the
+// config — same seed, same bytes; different seed, different schedule.
+func TestArrivalScheduleReplays(t *testing.T) {
+	cfg := testArrivalConfig()
+	a := Schedule(cfg, 2000)
+	b := Schedule(cfg, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs between same-seed runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed++
+	c := Schedule(cfg, 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("reseeding did not change the schedule")
+	}
+}
+
+// TestArrivalMeanGap: the realized mean gap tracks MeanGap (the Q16
+// table's mean is 2^16), within quantization slack.
+func TestArrivalMeanGap(t *testing.T) {
+	cfg := testArrivalConfig()
+	const n = 20000
+	sched := Schedule(cfg, n)
+	mean := float64(sched[n-1].At) / n
+	lo, hi := 0.9*float64(cfg.MeanGap), 1.1*float64(cfg.MeanGap)
+	if mean < lo || mean > hi {
+		t.Fatalf("realized mean gap %.0f outside [%.0f, %.0f]", mean, lo, hi)
+	}
+}
+
+// TestArrivalBurstShape: burst windows compress their gaps by the
+// burst factor; outside the windows the schedule matches the base
+// config draw for draw.
+func TestArrivalBurstShape(t *testing.T) {
+	base := testArrivalConfig()
+	bursty := base
+	bursty.BurstPeriod = 50
+	bursty.BurstLen = 10
+	bursty.BurstFactor = 8
+
+	gb := NewArrivalGen(base)
+	gx := NewArrivalGen(bursty)
+	var burstGaps, baseGaps sim.Time
+	var prevB, prevX sim.Time
+	for i := 0; i < 1000; i++ {
+		ab, ax := gb.Next(), gx.Next()
+		gapB, gapX := ab.At-prevB, ax.At-prevX
+		prevB, prevX = ab.At, ax.At
+		if i%50 < 10 {
+			burstGaps += gapX
+			baseGaps += gapB
+			continue
+		}
+		// Outside a burst the gap draw is untouched.
+		if gapB != gapX {
+			t.Fatalf("draw %d: non-burst gap %d != base gap %d", i, gapX, gapB)
+		}
+		if ab.Client != ax.Client || ab.Size != ax.Size {
+			t.Fatalf("draw %d: client/size draws perturbed by burst shaping", i)
+		}
+	}
+	// Inside the bursts, gaps shrink by ~the factor (integer division
+	// and the 1-cycle floor give slack).
+	if burstGaps*4 >= baseGaps {
+		t.Fatalf("burst gaps %d not compressed vs base %d", burstGaps, baseGaps)
+	}
+}
+
+// TestArrivalNextAllocFree pins the generator's hot path: drawing an
+// arrival must not allocate (the fleet driver draws thousands).
+func TestArrivalNextAllocFree(t *testing.T) {
+	g := NewArrivalGen(testArrivalConfig())
+	var sink Arrival
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = g.Next()
+	}); n != 0 {
+		t.Fatalf("ArrivalGen.Next allocates %v per draw", n)
+	}
+	_ = sink
+}
+
+// TestArrivalConfigValidation: bad configs fail loudly at
+// construction, not as silent schedule corruption.
+func TestArrivalConfigValidation(t *testing.T) {
+	bad := []func(*ArrivalConfig){
+		func(c *ArrivalConfig) { c.MeanGap = 0 },
+		func(c *ArrivalConfig) { c.Clients = 0 },
+		func(c *ArrivalConfig) { c.Sizes = nil },
+		func(c *ArrivalConfig) { c.BurstPeriod = 10; c.BurstLen = 0 },
+		func(c *ArrivalConfig) { c.BurstPeriod = 10; c.BurstLen = 20; c.BurstFactor = 2 },
+		func(c *ArrivalConfig) { c.BurstPeriod = 10; c.BurstLen = 5; c.BurstFactor = 0 },
+	}
+	for i, mut := range bad {
+		cfg := testArrivalConfig()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad config %d accepted", i)
+				}
+			}()
+			NewArrivalGen(cfg)
+		}()
+	}
+}
+
+// FuzzArrivalSchedule: for any config, the schedule must be strictly
+// monotone (no negative or zero inter-arrival gap), in-range, and
+// byte-identical when replayed from the same seed.
+func FuzzArrivalSchedule(f *testing.F) {
+	f.Add(uint64(42), int64(10_000), 16, 0, 0, 0, 256)
+	f.Add(uint64(0xf1ee7), int64(20_000), 48, 64, 16, 8, 400)
+	f.Add(uint64(1), int64(1), 1, 2, 1, 1000, 1024)
+	f.Add(uint64(1<<63), int64(1<<40), 1000, 3, 3, 2, 64)
+	f.Fuzz(func(t *testing.T, seed uint64, meanGap int64, clients, burstPeriod, burstLen, burstFactor, n int) {
+		cfg := ArrivalConfig{
+			Seed:    seed,
+			MeanGap: sim.Time(1 + absInt64(meanGap)%(1<<40)),
+			Clients: 1 + absInt(clients)%1000,
+			Sizes:   []units.Bytes{512, 4 << 10, 64 << 10},
+		}
+		if burstPeriod > 0 {
+			cfg.BurstPeriod = 1 + burstPeriod%1024
+			cfg.BurstLen = 1 + absInt(burstLen)%cfg.BurstPeriod
+			cfg.BurstFactor = 1 + absInt(burstFactor)%1000
+		}
+		n = 1 + absInt(n)%2048
+		a := Schedule(cfg, n)
+		b := Schedule(cfg, n)
+		var prev sim.Time
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("arrival %d not replayable: %+v vs %+v", i, a[i], b[i])
+			}
+			if a[i].At <= prev {
+				t.Fatalf("arrival %d at %d not after %d", i, a[i].At, prev)
+			}
+			prev = a[i].At
+			if a[i].Client < 0 || a[i].Client >= cfg.Clients {
+				t.Fatalf("arrival %d client %d out of range", i, a[i].Client)
+			}
+		}
+	})
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 { // MinInt64
+		return 0
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -6,6 +6,7 @@ import (
 
 	"copier/internal/acopy"
 	"copier/internal/core"
+	"copier/internal/cycles"
 	"copier/internal/sim"
 )
 
@@ -25,11 +26,30 @@ type MicroResult struct {
 	SimBytesPerSec  float64 `json:"sim_bytes_per_sec,omitempty"`
 }
 
+// FleetSLO is the open-loop fleet experiment's SLO summary for one
+// topology configuration: completion-latency quantiles against the
+// scheduled arrivals, shed count, and per-node DMA engine
+// utilization. Emitted alongside the microbenchmarks so latency-tail
+// regressions in the sharded service show up in trend tracking, not
+// just throughput regressions.
+type FleetSLO struct {
+	Config        string    `json:"config"`
+	Submitted     int       `json:"submitted"`
+	Shed          int       `json:"shed"`
+	P50Us         float64   `json:"p50_us"`
+	P99Us         float64   `json:"p99_us"`
+	P999Us        float64   `json:"p999_us"`
+	MeanUs        float64   `json:"mean_us"`
+	NodeUtil      []float64 `json:"node_util"`
+	RemoteDMAFrac float64   `json:"remote_dma_frac"`
+}
+
 // MicroReport is the top-level BENCH_results.json document.
 type MicroReport struct {
 	Schema  string        `json:"schema"`
 	Go      string        `json:"go"`
 	Results []MicroResult `json:"results"`
+	Fleet   []FleetSLO    `json:"fleet,omitempty"`
 }
 
 func micro(name string, simBytesPerOp int64, fn func(b *testing.B)) MicroResult {
@@ -189,9 +209,28 @@ func RunMicrobenches() MicroReport {
 		}))
 	}
 
+	// Fleet SLO summary: the Quick-scale open-loop sweep (fleet.go),
+	// reported in microseconds. Simulated time, so the numbers are
+	// machine-independent and byte-stable run to run.
+	var fleet []FleetSLO
+	for _, r := range FleetQuickResults() {
+		fleet = append(fleet, FleetSLO{
+			Config:        r.Name,
+			Submitted:     r.Submitted,
+			Shed:          r.Shed,
+			P50Us:         cycles.ToMicroseconds(sim.Time(r.P50)),
+			P99Us:         cycles.ToMicroseconds(sim.Time(r.P99)),
+			P999Us:        cycles.ToMicroseconds(sim.Time(r.P999)),
+			MeanUs:        cycles.ToMicroseconds(sim.Time(r.Mean)),
+			NodeUtil:      r.NodeUtil,
+			RemoteDMAFrac: r.RemoteDMAFrac,
+		})
+	}
+
 	return MicroReport{
 		Schema:  "copier-microbench/v1",
 		Go:      runtime.Version(),
 		Results: results,
+		Fleet:   fleet,
 	}
 }

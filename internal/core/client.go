@@ -39,11 +39,23 @@ type Client struct {
 	ID   int
 	Name string
 
+	// Node is the NUMA node the client is homed on (NewClientOn);
+	// always 0 on the flat machine. The sharded service assigns the
+	// client to that node's threads and prefers that node's DMA
+	// engine.
+	Node int
+
 	// UAS is the client's user address space; KAS the kernel address
 	// space used by its k-mode submissions.
 	UAS, KAS *mem.AddrSpace
 
 	U, K *QueueSet
+
+	// Shards, when enabled (EnableShards), adds a per-core submit
+	// ring array in front of the legacy paired queue sets — the CSH
+	// layout for many-client fleets where submitters on different
+	// cores must not contend on one ring (shard.go).
+	Shards *QueueArray
 
 	// Group is the cgroup the client is accounted to.
 	Group *CGroupAccount
@@ -232,6 +244,9 @@ func (c *Client) hasWork() bool {
 			return true
 		}
 	}
+	if c.Shards != nil && c.Shards.Len() > 0 {
+		return true
+	}
 	return false
 }
 
@@ -296,6 +311,12 @@ func (c *Client) admit(ctx Ctx, svc *Service) {
 				c.admitTask(c.uPopBuf[i], svc)
 				c.uPopBuf[i] = nil
 			}
+		}
+		// Per-core shard rings last: they carry no barriers, so their
+		// tasks order after anything the paired queues admitted this
+		// pass (shard.go).
+		if c.Shards != nil && c.admitShards(ctx, svc) {
+			progressed = true
 		}
 		if !progressed {
 			return

@@ -682,7 +682,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 			dmaChunks = append(dmaChunks, ch)
 		}
 	}
-	if len(dmaPairs) > 0 {
+	if len(dmaPairs) > 0 && len(s.dmas) == 1 {
 		// One doorbell for the whole batch: full submit cost for the
 		// first descriptor, a quarter for each further one (§4.3).
 		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(dmaPairs)-1)*cycles.DMASubmit/4
@@ -701,29 +701,11 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		// DMA cooldown window opens, and the task backs off (or, with
 		// retries exhausted, fails). Waiters are woken either way —
 		// awaitInFlight watches the in-flight counter, not the bits.
-		s.dma.EnqueueBatch(dmaPairs, func(i int, err error) {
-			ch := dmaChunks[i]
-			s.inflightDMA--
-			ch.task.inflight--
-			if err != nil {
-				s.Stats.DMAFaults++
-				s.Stats.DMABytes -= int64(ch.length)
-				ch.task.issued.ClearRange(ch.dstOff, ch.length)
-				s.dmaAvoidUntil = env.Now() + s.cfg.DMACooldown
-				s.noteFailure(ch.task, err)
-			} else {
-				s.account(ch.task.Client, ch.length)
-				s.markChunk(ch)
-				if rec := env.Recorder(); rec != nil {
-					rec.Emit(obs.Event{T: int64(env.Now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
-						Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(ch.length)})
-				}
-			}
-			ch.task.Client.Progress.Broadcast(env)
-			if ch.task.Desc != nil {
-				ch.task.Desc.NotifyProgress(env)
-			}
+		s.dmas[0].EnqueueBatch(dmaPairs, func(i int, err error) {
+			s.dmaDone(env, dmaChunks[i], err)
 		})
+	} else if len(dmaPairs) > 0 {
+		s.dispatchDMASharded(ctx, dmaPairs, dmaChunks)
 	}
 
 	// Execute the CPU side inline, segment by segment, updating
@@ -765,13 +747,13 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 						rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvFaultInjected,
 							Layer: obs.LayerHW, Track: cpuTrack, Name: "fault", A: int64(piece), B: 1})
 					}
-					ctx.Exec(cycles.CopyCost(s.cpuUnit(), piece))
+					ctx.Exec(s.cpuCopyCost(ch, piece))
 					s.noteFailure(ch.task, hw.ErrEngine)
 					off += piece
 					continue
 				}
 			}
-			cost := cycles.CopyCost(s.cpuUnit(), piece) + cycles.SegmentUpdate
+			cost := s.cpuCopyCost(ch, piece) + cycles.SegmentUpdate
 			if rec := s.env.Recorder(); rec != nil {
 				rec.Emit(obs.Event{T: int64(s.now()), Dur: int64(cost), Kind: obs.EvUnitBusyInterval,
 					Layer: obs.LayerHW, Track: cpuTrack, Name: "copy", A: int64(piece)})
@@ -799,6 +781,120 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		}
 	}
 
+}
+
+// dmaDone finalizes one DMA chunk completion: success marks segments
+// and accounts bytes; an engine fault rolls the chunk back (segments
+// un-issued for a later round), opens the cooldown window, and backs
+// the task off. Shared by the flat single-batch path and the sharded
+// per-engine path so both have identical failure semantics.
+func (s *Service) dmaDone(env *sim.Env, ch chunk, err error) {
+	s.inflightDMA--
+	ch.task.inflight--
+	if err != nil {
+		s.Stats.DMAFaults++
+		s.Stats.DMABytes -= int64(ch.length)
+		ch.task.issued.ClearRange(ch.dstOff, ch.length)
+		s.dmaAvoidUntil = env.Now() + s.cfg.DMACooldown
+		s.noteFailure(ch.task, err)
+	} else {
+		s.account(ch.task.Client, ch.length)
+		s.markChunk(ch)
+		if rec := env.Recorder(); rec != nil {
+			rec.Emit(obs.Event{T: int64(env.Now()), Kind: obs.EvSegmentDone, Layer: obs.LayerCore,
+				Track: "core:segments", Name: ch.task.Client.Name, A: int64(ch.task.ID), B: int64(ch.length)})
+		}
+	}
+	ch.task.Client.Progress.Broadcast(env)
+	if ch.task.Desc != nil {
+		ch.task.Desc.NotifyProgress(env)
+	}
+}
+
+// dispatchDMASharded distributes a round's DMA chunks over the
+// per-node engines (NUMA task steering): each chunk prefers the
+// engine local to its destination frames, but spills to a remote
+// engine when that engine — despite the distance-scaled transfer
+// cost — would finish sooner than waiting behind the local queue.
+// Selection is deterministic: engines are scanned in index order and
+// only a strictly earlier finish steals the chunk. Chunks are then
+// submitted engine by engine in index order, one doorbell per engine.
+func (s *Service) dispatchDMASharded(ctx Ctx, dmaPairs [][2]hw.FrameRange, dmaChunks []chunk) {
+	env := ctx.Env()
+	now := s.now()
+	// pend accumulates this round's assignments so later chunks see
+	// queue depth the engines will have after earlier ones land.
+	pend := make([]sim.Time, len(s.dmas))
+	engOf := make([]int, len(dmaChunks))
+	for i, ch := range dmaChunks {
+		local := s.pm.NodeOf(ch.dst[0].Frame)
+		best, bestDone := local, s.engineDone(local, now, pend, ch)
+		for e := range s.dmas {
+			if e == local {
+				continue
+			}
+			if done := s.engineDone(e, now, pend, ch); done < bestDone {
+				best, bestDone = e, done
+			}
+		}
+		engOf[i] = best
+		pend[best] += s.dmas[best].XferCost(ch.dst[0], ch.src[0])
+		if best != local {
+			s.Stats.RemoteSpills++
+			s.Stats.RemoteDMABytes += int64(ch.length)
+		}
+	}
+	for e := range s.dmas {
+		var pairs [][2]hw.FrameRange
+		var chunks []chunk
+		for i := range dmaChunks {
+			if engOf[i] == e {
+				pairs = append(pairs, dmaPairs[i])
+				chunks = append(chunks, dmaChunks[i])
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(pairs)-1)*cycles.DMASubmit/4
+		ctx.Exec(cost)
+		for _, ch := range chunks {
+			ch.task.issued.MarkRange(ch.dstOff, ch.length)
+			ch.task.inflight++
+			s.Stats.DMABytes += int64(ch.length)
+		}
+		s.inflightDMA += len(pairs)
+		batch := chunks
+		s.dmas[e].EnqueueBatch(pairs, func(i int, err error) {
+			s.dmaDone(env, batch[i], err)
+		})
+	}
+}
+
+// engineDone estimates when engine e would complete ch: its queue
+// drain time (current busyUntil plus this round's pending
+// assignments) plus the distance-scaled transfer cost.
+func (s *Service) engineDone(e int, now sim.Time, pend []sim.Time, ch chunk) sim.Time {
+	start := s.dmas[e].BusyUntil()
+	if start < now {
+		start = now
+	}
+	return start + pend[e] + s.dmas[e].XferCost(ch.dst[0], ch.src[0])
+}
+
+// cpuCopyCost prices one CPU copy piece: flat on a single-node
+// machine; distance-scaled by the span between the serving thread's
+// node (== the client's node under per-node sharding) and the chunk's
+// frames otherwise. A chunk's frames sit on its first frame's node —
+// node ranges are contiguous, so a chunk straddling a boundary is
+// priced by where it starts.
+func (s *Service) cpuCopyCost(ch chunk, piece units.Bytes) sim.Time {
+	if s.cfg.Topo == nil || len(s.dmas) == 1 {
+		return cycles.CopyCost(s.cpuUnit(), piece)
+	}
+	node := ch.task.Client.Node
+	dist := s.cfg.Topo.PairDist(node, s.pm.NodeOf(ch.src[0].Frame), s.pm.NodeOf(ch.dst[0].Frame))
+	return cycles.NUMACopyCost(s.cpuUnit(), piece, dist)
 }
 
 // subRange offsets a contiguous frame range by delta bytes and

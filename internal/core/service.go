@@ -11,6 +11,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/topo"
 	"copier/internal/units"
 )
 
@@ -85,6 +86,15 @@ type Config struct {
 	LowLoad    int64
 	HighLoad   int64
 	MaxThreads int
+
+	// Topo places the service on a machine topology. nil or a
+	// single-node topology selects the flat machine: one DMA engine,
+	// the historical thread/client partitioning, byte-identical to
+	// the pre-NUMA service. A multi-node topology shards the service:
+	// one DMA engine per node, thread slot i serving node i%nodes,
+	// clients pinned to their node's threads, and NUMA-aware engine
+	// steering with distance-scaled costs.
+	Topo *topo.Topology
 }
 
 func (c Config) withDefaults() Config {
@@ -170,15 +180,21 @@ type Stats struct {
 	FallbackBytes   int64 // DMA-eligible bytes diverted to CPU during cooldown
 	ClientTeardowns int64 // dead clients reclaimed
 	ReclaimedTasks  int64 // tasks (queued + pending) reclaimed by teardown
+
+	// NUMA steering counters (always zero on the flat machine).
+	RemoteSpills   int64 // DMA chunks steered off their destination's node
+	RemoteDMABytes int64 // bytes those spilled chunks moved
 }
 
 // Service is the Copier OS service instance.
 type Service struct {
 	env *sim.Env
 	pm  *mem.PhysMem
-	dma *hw.DMAChannel
-	at  *ATCache
-	cfg Config
+	// dmas holds one DMA engine per NUMA node (a single engine on the
+	// flat machine). Index == node.
+	dmas []*hw.DMAChannel
+	at   *ATCache
+	cfg  Config
 
 	clients []*Client
 	nextCID int
@@ -234,10 +250,17 @@ type Service struct {
 // and simulation environment.
 func NewService(env *sim.Env, pm *mem.PhysMem, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	nn := 1
+	if cfg.Topo != nil {
+		nn = cfg.Topo.Nodes()
+		if nn > 1 && pm.NumNodes() != nn {
+			panic(fmt.Sprintf("core: topology has %d nodes but physical memory is partitioned into %d (call pm.ConfigureNodes)",
+				nn, pm.NumNodes()))
+		}
+	}
+	s := &Service{
 		env:         env,
 		pm:          pm,
-		dma:         hw.NewDMAChannel(env, pm),
 		at:          NewATCache(0),
 		cfg:         cfg,
 		groups:      make(map[string]*CGroupAccount),
@@ -245,7 +268,20 @@ func NewService(env *sim.Env, pm *mem.PhysMem, cfg Config) *Service {
 		activateSig: sim.NewSignal("copier-activate"),
 		parkSig:     sim.NewSignal("copier-park"),
 	}
+	s.dmas = make([]*hw.DMAChannel, nn)
+	for i := range s.dmas {
+		d := hw.NewDMAChannel(env, pm)
+		if nn > 1 {
+			d.SetNUMA(i, cfg.Topo)
+		}
+		s.dmas[i] = d
+	}
+	return s
 }
+
+// numNodes returns how many NUMA nodes the service is sharded over
+// (1 on the flat machine).
+func (s *Service) numNodes() int { return len(s.dmas) }
 
 // Config returns the effective configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -253,8 +289,12 @@ func (s *Service) Config() Config { return s.cfg }
 // ATCacheStats exposes the address-transfer cache for reporting.
 func (s *Service) ATCacheStats() *ATCache { return s.at }
 
-// DMA exposes the DMA channel (benchmarks inspect byte counters).
-func (s *Service) DMA() *hw.DMAChannel { return s.dma }
+// DMA exposes the node-0 DMA channel (benchmarks inspect byte
+// counters; on the flat machine it is the only engine).
+func (s *Service) DMA() *hw.DMAChannel { return s.dmas[0] }
+
+// DMAs exposes all per-node DMA engines in node order.
+func (s *Service) DMAs() []*hw.DMAChannel { return s.dmas }
 
 // SetCache attaches a cache model observing service-side copies.
 func (s *Service) SetCache(c *hw.Cache) { s.cache = c }
@@ -263,7 +303,9 @@ func (s *Service) SetCache(c *hw.Cache) { s.cache = c }
 // service and its DMA channel; nil detaches.
 func (s *Service) SetFaultInjector(in *fault.Injector) {
 	s.inj = in
-	s.dma.SetFaultInjector(in)
+	for _, d := range s.dmas {
+		d.SetFaultInjector(in)
+	}
 }
 
 // SetKernelAS identifies the kernel address space (no pinning needed).
@@ -360,6 +402,18 @@ func (s *Service) NewClient(name string, uas, kas *mem.AddrSpace, group *CGroupA
 	return c
 }
 
+// NewClientOn registers a client homed on a NUMA node: its tasks are
+// served by that node's service threads and steered to that node's
+// DMA engine first. On the flat machine (or out-of-range node) the
+// client lands on node 0 — identical to NewClient.
+func (s *Service) NewClientOn(name string, uas, kas *mem.AddrSpace, group *CGroupAccount, node int) *Client {
+	c := s.NewClient(name, uas, kas, group)
+	if node > 0 && node < s.numNodes() {
+		c.Node = node
+	}
+	return c
+}
+
 // KillClient marks a client dead (its process exited or was killed).
 // The service threads observe the flag at the next sweep and run the
 // teardown protocol: drain the CSH rings, abort admitted tasks after
@@ -399,6 +453,9 @@ func (s *Service) teardownClient(ctx Ctx, c *Client) {
 		for q.Sync.Pop() != nil {
 			ctx.Exec(cycles.TaskPop)
 		}
+	}
+	if c.Shards != nil {
+		reclaimed += c.drainShardsForTeardown(ctx)
 	}
 	// Abort every admitted task: outstanding DMA still addresses the
 	// pinned frames, so wait it out before dropping the pins.
@@ -483,8 +540,9 @@ func (s *Service) ThreadMain(ctx Ctx, slot int) {
 			ctx.Block(s.activateSig)
 			continue
 		}
-		if slot >= s.activeThreads && slot != 0 {
-			// Parked by auto-scaling.
+		if s.numNodes() == 1 && slot >= s.activeThreads && slot != 0 {
+			// Parked by auto-scaling (flat machine only: the sharded
+			// service runs a static thread per node).
 			s.parked++
 			ctx.Block(s.parkSig)
 			s.parked--
@@ -558,7 +616,9 @@ func (s *Service) ThreadMain(ctx Ctx, slot int) {
 // autoscale adjusts the active thread count to keep per-thread backlog
 // between LowLoad and HighLoad (§4.5.1).
 func (s *Service) autoscale() {
-	if s.cfg.MaxThreads <= 1 {
+	if s.cfg.MaxThreads <= 1 || s.numNodes() > 1 {
+		// The sharded service runs a static thread per node; parking
+		// a node's only thread would strand its clients.
 		return
 	}
 	perThread := s.backlogBytes / int64(s.activeThreads)
@@ -578,8 +638,31 @@ func (s *Service) autoscale() {
 	}
 }
 
-// clientsOf partitions clients across active threads.
+// clientsOf partitions clients across active threads. On the flat
+// machine this is the historical modulo partitioning; on a sharded
+// service thread slot t serves node t%nodes, and a node's threads
+// stripe that node's clients among themselves.
 func (s *Service) clientsOf(slot int) []*Client {
+	if nn := s.numNodes(); nn > 1 {
+		node := slot % nn
+		perNode := s.activeThreads / nn
+		if perNode <= 0 {
+			perNode = 1
+		}
+		rank := slot / nn
+		var out []*Client
+		i := 0
+		for _, c := range s.clients {
+			if c.Node != node {
+				continue
+			}
+			if i%perNode == rank%perNode {
+				out = append(out, c)
+			}
+			i++
+		}
+		return out
+	}
 	n := s.activeThreads
 	if n <= 0 {
 		n = 1

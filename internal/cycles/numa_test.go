@@ -1,0 +1,91 @@
+package cycles
+
+import (
+	"testing"
+
+	"copier/internal/units"
+)
+
+// Property: at the local distance the NUMA cost model reproduces the
+// flat model exactly, for every unit and a sweep of sizes.
+func TestNUMALocalMatchesFlatExactly(t *testing.T) {
+	sizes := []units.Bytes{0, 1, 63, 64, 4 << 10, 4<<10 + 1, 64 << 10, 1 << 20, 7<<20 + 123}
+	for _, u := range []Unit{UnitERMS, UnitAVX, UnitDMA} {
+		for _, n := range sizes {
+			flat := CopyCost(u, n)
+			got := NUMACopyCost(u, n, DistLocal)
+			if got != flat {
+				t.Errorf("NUMACopyCost(%v, %d, local) = %d, want flat %d", u, n, got, flat)
+			}
+		}
+	}
+	if l := NUMAXferLatency(DistLocal); l != 0 {
+		t.Errorf("NUMAXferLatency(local) = %d, want 0", l)
+	}
+}
+
+// Property: cost is monotone non-decreasing in distance, and remote is
+// strictly more expensive than local for non-trivial sizes.
+func TestNUMACostMonotoneInDistance(t *testing.T) {
+	dists := []int{DistLocal, 12, 15, DistRemote, 31}
+	for _, u := range []Unit{UnitERMS, UnitAVX, UnitDMA} {
+		for _, n := range []units.Bytes{4 << 10, 64 << 10, 1 << 20} {
+			prev := NUMACopyCost(u, n, dists[0])
+			for _, d := range dists[1:] {
+				cur := NUMACopyCost(u, n, d)
+				if cur < prev {
+					t.Errorf("NUMACopyCost(%v, %d) decreased from dist %d: %d -> %d", u, n, d, prev, cur)
+				}
+				prev = cur
+			}
+			if remote := NUMACopyCost(u, n, DistRemote); remote <= NUMACopyCost(u, n, DistLocal) {
+				t.Errorf("NUMACopyCost(%v, %d, remote) = %d not above local %d",
+					u, n, remote, NUMACopyCost(u, n, DistLocal))
+			}
+		}
+	}
+	prev := NUMAXferLatency(DistLocal)
+	for _, d := range dists[1:] {
+		cur := NUMAXferLatency(d)
+		if cur < prev {
+			t.Errorf("NUMAXferLatency decreased at dist %d: %d -> %d", d, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// Property: for every distance, cost is monotone non-decreasing in
+// bytes (the flat model is; distance scaling must preserve it).
+func TestNUMACostMonotoneInBytes(t *testing.T) {
+	sizes := []units.Bytes{1, 64, 512, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	for _, u := range []Unit{UnitERMS, UnitAVX, UnitDMA} {
+		for _, d := range []int{DistLocal, DistRemote, 31} {
+			prev := NUMACopyCost(u, sizes[0], d)
+			for _, n := range sizes[1:] {
+				cur := NUMACopyCost(u, n, d)
+				if cur < prev {
+					t.Errorf("NUMACopyCost(%v, dist %d) decreased at %d bytes: %d -> %d", u, d, n, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// Calibration sanity: the default remote distance costs ~2.1x the
+// local cycles (~0.48x bandwidth), per the hybrid-memory-on-NUMA
+// emulation recipe.
+func TestNUMARemotePenaltyCalibration(t *testing.T) {
+	n := units.Bytes(1 << 20)
+	local := NUMACopyCost(UnitDMA, n, DistLocal)
+	remote := NUMACopyCost(UnitDMA, n, DistRemote)
+	ratio := float64(remote) / float64(local)
+	if ratio < 2.0 || ratio > 2.2 {
+		t.Errorf("remote/local cycle ratio = %.3f, want ~2.1", ratio)
+	}
+	// Hop latency ~90ns at the default remote distance.
+	hop := NUMAXferLatency(DistRemote)
+	if ns := ToNanoseconds(hop); ns < 80 || ns > 100 {
+		t.Errorf("remote hop latency = %d cycles (%.0f ns), want ~90 ns", hop, float64(ns))
+	}
+}

@@ -11,12 +11,14 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"copier/internal/cycles"
 	"copier/internal/fault"
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/topo"
 	"copier/internal/units"
 )
 
@@ -210,6 +212,17 @@ type DMAChannel struct {
 	// inj, when non-nil, is consulted once per descriptor at submit
 	// time (nil-safe: a nil injector injects nothing).
 	inj *fault.Injector
+	// BusyCycles accumulates transfer occupancy for utilization
+	// reporting (stall cycles included — the engine is held either
+	// way).
+	BusyCycles int64
+	// node/numa place the engine on a NUMA topology (SetNUMA); numa
+	// nil means the flat machine and the unscaled cost model.
+	node int
+	numa *topo.Topology
+	// track names the engine's timeline row; per-node engines get
+	// distinct rows ("hw:DMA0", "hw:DMA1", ...).
+	track string
 }
 
 // SetFaultInjector attaches a fault injector; nil detaches it.
@@ -236,15 +249,57 @@ func (d *DMAChannel) decideFault(req *DMARequest, n units.Bytes) sim.Time {
 	}
 	if r := d.env.Recorder(); r != nil {
 		r.Emit(obs.Event{T: int64(d.env.Now()), Kind: obs.EvFaultInjected, Layer: obs.LayerHW,
-			Track: "hw:DMA", Name: "fault", A: int64(n), B: code})
+			Track: d.track, Name: "fault", A: int64(n), B: code})
 	}
 	return sim.Time(o.Stall)
 }
 
-// NewDMAChannel creates a DMA channel on the environment.
+// NewDMAChannel creates a DMA channel on the environment (flat: no
+// NUMA placement, the historical "hw:DMA" track).
 func NewDMAChannel(env *sim.Env, pm *mem.PhysMem) *DMAChannel {
-	return &DMAChannel{env: env, pm: pm}
+	return &DMAChannel{env: env, pm: pm, track: "hw:DMA"}
 }
+
+// SetNUMA places the engine on NUMA node node of topology t: transfer
+// costs become distance-scaled (cycles.NUMACopyCost against the worst
+// leg the engine sees) and the engine gets its own per-node timeline
+// track. A single-node topology keeps the flat cost model and track —
+// byte-identical to an unplaced engine.
+func (d *DMAChannel) SetNUMA(node int, t *topo.Topology) {
+	if t == nil || t.Flat() {
+		d.node, d.numa, d.track = 0, nil, "hw:DMA"
+		return
+	}
+	if node < 0 || node >= t.Nodes() {
+		panic(fmt.Sprintf("hw: DMA engine on node %d of %d-node topology", node, t.Nodes()))
+	}
+	d.node = node
+	d.numa = t
+	d.track = "hw:DMA" + strconv.Itoa(node)
+}
+
+// Node returns the engine's NUMA node (0 when flat).
+func (d *DMAChannel) Node() int { return d.node }
+
+// Track returns the engine's timeline row name.
+func (d *DMAChannel) Track() string { return d.track }
+
+// xferDur is the engine occupancy of one descriptor: the flat DMA
+// cost, scaled by the NUMA distance the transfer spans plus the fixed
+// remote-hop latency when the engine is placed on a multi-node
+// topology.
+func (d *DMAChannel) xferDur(dst, src FrameRange) sim.Time {
+	if d.numa == nil {
+		return cycles.CopyCost(cycles.UnitDMA, src.Len)
+	}
+	dist := d.numa.PairDist(d.node, d.pm.NodeOf(src.Frame), d.pm.NodeOf(dst.Frame))
+	return cycles.NUMACopyCost(cycles.UnitDMA, src.Len, dist) + cycles.NUMAXferLatency(dist)
+}
+
+// XferCost reports what one descriptor would occupy the engine for,
+// including any NUMA distance penalty — the quantity the service's
+// engine steering compares across engines.
+func (d *DMAChannel) XferCost(dst, src FrameRange) sim.Time { return d.xferDur(dst, src) }
 
 // Submit enqueues one descriptor, charging the submission cost to p.
 // dst and src must be physically contiguous ranges of equal length.
@@ -314,13 +369,14 @@ func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int, err 
 		*req = DMARequest{dst: dst, src: src}
 		// An injected stall extends the transfer's occupancy of the
 		// engine, so later descriptors in the queue see it too.
-		dur := cycles.CopyCost(cycles.UnitDMA, src.Len) + d.decideFault(req, src.Len)
+		dur := d.xferDur(dst, src) + d.decideFault(req, src.Len)
 		req.CompleteAt = start + dur
+		d.BusyCycles += int64(dur)
 		if r != nil {
 			r.Emit(obs.Event{T: int64(now), Kind: obs.EvDMASubmit, Layer: obs.LayerHW,
-				Track: "hw:DMA", Name: "submit", A: int64(src.Len)})
+				Track: d.track, Name: "submit", A: int64(src.Len)})
 			r.Emit(obs.Event{T: int64(start), Dur: int64(dur), Kind: obs.EvUnitBusyInterval,
-				Layer: obs.LayerHW, Track: "hw:DMA", Name: "xfer", A: int64(src.Len)})
+				Layer: obs.LayerHW, Track: d.track, Name: "xfer", A: int64(src.Len)})
 		}
 		start = req.CompleteAt
 		reqs[i] = req
@@ -351,17 +407,18 @@ func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 		start = now
 	}
 	req := &DMARequest{dst: dst, src: src}
-	dur := cycles.CopyCost(cycles.UnitDMA, src.Len) + d.decideFault(req, src.Len)
+	dur := d.xferDur(dst, src) + d.decideFault(req, src.Len)
 	req.CompleteAt = start + dur
 	d.busyUntil = req.CompleteAt
 	d.Submitted++
+	d.BusyCycles += int64(dur)
 	if r := d.env.Recorder(); r != nil {
 		r.Emit(obs.Event{T: int64(now), Kind: obs.EvDMASubmit, Layer: obs.LayerHW,
-			Track: "hw:DMA", Name: "submit", A: int64(src.Len)})
+			Track: d.track, Name: "submit", A: int64(src.Len)})
 		// The channel drains its queue in order: the transfer occupies
 		// [start, start+dur), possibly beginning in the future.
 		r.Emit(obs.Event{T: int64(start), Dur: int64(dur), Kind: obs.EvUnitBusyInterval,
-			Layer: obs.LayerHW, Track: "hw:DMA", Name: "xfer", A: int64(src.Len)})
+			Layer: obs.LayerHW, Track: d.track, Name: "xfer", A: int64(src.Len)})
 	}
 	d.env.Schedule(req.CompleteAt-now, func() {
 		d.BytesCopied += int64(req.complete(d.pm))

@@ -20,6 +20,7 @@ import (
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
+	"copier/internal/topo"
 )
 
 // Machine is one simulated host: cores, physical memory, processes and
@@ -62,17 +63,32 @@ type Machine struct {
 
 	// net is the machine's loopback network, created lazily.
 	net *Network
+
+	// topo is the machine's NUMA topology (nil: flat).
+	topo *topo.Topology
 }
 
-// Config sizes a machine.
+// Config sizes a machine. Topo, when set, derives Cores and MemBytes
+// from the topology (explicit values win if both are given), pins
+// each core to its node, and partitions physical memory into per-node
+// frame ranges.
 type Config struct {
 	Cores    int
 	MemBytes int64
 	Quantum  sim.Time
+	Topo     *topo.Topology
 }
 
 // NewMachine builds a machine with the given core count and memory.
 func NewMachine(cfg Config) *Machine {
+	if cfg.Topo != nil {
+		if cfg.Cores <= 0 {
+			cfg.Cores = cfg.Topo.TotalCores()
+		}
+		if cfg.MemBytes <= 0 {
+			cfg.MemBytes = cfg.Topo.TotalMem()
+		}
+	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 4
 	}
@@ -90,18 +106,33 @@ func NewMachine(cfg Config) *Machine {
 		nextTID:            1,
 		EnergyPerBusyCycle: 1.0,
 		EnergyPerIdleCycle: 0.05,
+		topo:               cfg.Topo,
+	}
+	if cfg.Topo != nil && cfg.Topo.Nodes() > 1 {
+		if err := m.Phys.ConfigureNodes(cfg.Topo.Nodes()); err != nil {
+			panic(err)
+		}
 	}
 	m.KernelAS = mem.NewAddrSpace(m.Phys)
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, &Core{id: i, track: "kernel:core" + strconv.Itoa(i)})
+		node := 0
+		if cfg.Topo != nil && i < cfg.Topo.TotalCores() {
+			node = cfg.Topo.NodeOfCore(i)
+		}
+		m.cores = append(m.cores, &Core{id: i, node: node, track: "kernel:core" + strconv.Itoa(i)})
 	}
 	return m
 }
 
+// Topo returns the machine's topology (nil on a flat machine).
+func (m *Machine) Topo() *topo.Topology { return m.topo }
+
 // Core is one CPU core.
 type Core struct {
-	id  int
-	cur *Thread
+	id int
+	// node is the NUMA node the core belongs to (0 on a flat machine).
+	node int
+	cur  *Thread
 	// reservedFor, when non-nil, dedicates the core to one thread
 	// (Copier's dedicated copy core, §6: "Copier uses one dedicated
 	// core to copy").
@@ -118,6 +149,9 @@ type Core struct {
 
 // ID returns the core number.
 func (c *Core) ID() int { return c.id }
+
+// Node returns the core's NUMA node (0 on a flat machine).
+func (c *Core) Node() int { return c.node }
 
 // Cores returns the machine's cores.
 func (m *Machine) Cores() []*Core { return m.cores }
@@ -285,6 +319,11 @@ type Process struct {
 	AS   *mem.AddrSpace
 	m    *Machine
 
+	// Node is the process's NUMA home node (NewProcessOn); 0 on a
+	// flat machine. Frame allocations prefer this node and the Copier
+	// attachment inherits it.
+	Node int
+
 	threads []*Thread
 
 	// CGroup the process is accounted to (may be nil).
@@ -299,9 +338,30 @@ func (m *Machine) NewProcess(name string) *Process {
 	return p
 }
 
-// ForkProcess clones p copy-on-write, as fork(2) does.
+// NewProcessOn creates a process homed on a NUMA node: its address
+// space prefers that node's frames and AttachCopier hands the client
+// to that node's service shard. Panics if the node is out of range
+// for the machine's topology.
+func (m *Machine) NewProcessOn(name string, node int) *Process {
+	nn := 1
+	if m.topo != nil {
+		nn = m.topo.Nodes()
+	}
+	if node < 0 || node >= nn {
+		panic("kernel: NewProcessOn node out of range")
+	}
+	p := m.NewProcess(name)
+	p.Node = node
+	if nn > 1 {
+		p.AS.SetHomeNode(node)
+	}
+	return p
+}
+
+// ForkProcess clones p copy-on-write, as fork(2) does. The child
+// inherits p's NUMA home.
 func (m *Machine) ForkProcess(p *Process, name string) *Process {
-	c := &Process{PID: m.nextPID, Name: name, AS: p.AS.Fork(), m: m, CGroup: p.CGroup}
+	c := &Process{PID: m.nextPID, Name: name, AS: p.AS.Fork(), m: m, CGroup: p.CGroup, Node: p.Node}
 	m.nextPID++
 	m.procs = append(m.procs, c)
 	return c

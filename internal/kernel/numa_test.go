@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"copier/internal/core"
+	"copier/internal/mem"
+	"copier/internal/topo"
+)
+
+// TestTopologyDerivedMachineShape: a machine built from a topology
+// descriptor gets its core count, memory size, per-node frame ranges
+// and core→node pinning from the descriptor, not from hand-set config.
+func TestTopologyDerivedMachineShape(t *testing.T) {
+	tp := topo.NUMA(4, 2, 64<<20)
+	m := NewMachine(Config{Topo: tp})
+	if got := m.NumCores(); got != 8 {
+		t.Fatalf("NumCores = %d, want 8", got)
+	}
+	if got := m.Phys.NumNodes(); got != 4 {
+		t.Fatalf("Phys.NumNodes = %d, want 4", got)
+	}
+	if m.Topo() != tp {
+		t.Fatal("Topo() does not return the configured topology")
+	}
+	for i, c := range m.Cores() {
+		if want := i / 2; c.Node() != want {
+			t.Fatalf("core %d on node %d, want %d", i, c.Node(), want)
+		}
+	}
+	// Explicit Cores wins over the topology-derived count.
+	m2 := NewMachine(Config{Topo: tp, Cores: 10})
+	if got := m2.NumCores(); got != 10 {
+		t.Fatalf("explicit Cores: NumCores = %d, want 10", got)
+	}
+	// Cores beyond the topology's range fall back to node 0.
+	if got := m2.Cores()[9].Node(); got != 0 {
+		t.Fatalf("overflow core node = %d, want 0", got)
+	}
+	// A flat machine reports node 0 everywhere.
+	flat := newMachine(2)
+	if flat.Topo() != nil {
+		t.Fatal("flat machine has a topology")
+	}
+	for _, c := range flat.Cores() {
+		if c.Node() != 0 {
+			t.Fatalf("flat core %d on node %d", c.ID(), c.Node())
+		}
+	}
+}
+
+// TestNewProcessOnFramePlacement: a process homed on a node gets its
+// demand-populated frames from that node's range.
+func TestNewProcessOnFramePlacement(t *testing.T) {
+	m := NewMachine(Config{Topo: topo.NUMA(4, 2, 64<<20)})
+	p := m.NewProcessOn("pinned", 2)
+	if p.Node != 2 {
+		t.Fatalf("Node = %d, want 2", p.Node)
+	}
+	const n = 16 * mem.PageSize
+	va := mkbuf(t, p, n, 0x3C)
+	for off := mem.VA(0); off < mem.VA(n); off += mem.PageSize {
+		f, _, err := p.AS.Translate(va + off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Phys.NodeOf(f); got != 2 {
+			t.Fatalf("page %#x landed on node %d, want 2", uint64(va+off), got)
+		}
+	}
+	// The child of a fork inherits the home node.
+	c := m.ForkProcess(p, "child")
+	if c.Node != 2 {
+		t.Fatalf("forked Node = %d, want 2", c.Node)
+	}
+	if got := c.AS.HomeNode(); got != 2 {
+		t.Fatalf("forked HomeNode = %d, want 2", got)
+	}
+
+	for _, bad := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewProcessOn(%d) did not panic", bad)
+				}
+			}()
+			m.NewProcessOn("bad", bad)
+		}()
+	}
+}
+
+// TestAttachCopierInheritsNode: on a NUMA machine InstallCopier picks
+// up the machine topology and AttachCopier hands each client to its
+// process's home-node shard.
+func TestAttachCopierInheritsNode(t *testing.T) {
+	m := NewMachine(Config{Topo: topo.NUMA(2, 3, 128<<20)})
+	svc := m.InstallCopier(core.DefaultConfig(), 2, 4)
+	if got := len(svc.DMAs()); got != 2 {
+		t.Fatalf("service engines = %d, want 2 (topology not inherited)", got)
+	}
+	p1 := m.NewProcessOn("p1", 1)
+	a := m.AttachCopier(p1)
+	if got := a.Client.Node; got != 1 {
+		t.Fatalf("client node = %d, want 1", got)
+	}
+	p0 := m.NewProcess("p0")
+	if got := m.AttachCopier(p0).Client.Node; got != 0 {
+		t.Fatalf("default client node = %d, want 0", got)
+	}
+}
+
+// TestNUMAMachineEndToEndCopy runs real client threads on a 2-node
+// machine: each node's process issues an async copy and syncs it. The
+// copies must complete correctly and the node-1 client's DMA traffic
+// must run on the node-1 engine.
+func TestNUMAMachineEndToEndCopy(t *testing.T) {
+	m := NewMachine(Config{Topo: topo.NUMA(2, 3, 128<<20)})
+	svc := m.InstallCopier(core.DefaultConfig(), 2, 4)
+
+	const n = 64 << 10
+	procs := make([]*Process, 2)
+	srcs := make([]mem.VA, 2)
+	dsts := make([]mem.VA, 2)
+	ths := make([]*Thread, 0, 2)
+	for node := 0; node < 2; node++ {
+		p := m.NewProcessOn("app", node)
+		a := m.AttachCopier(p)
+		procs[node] = p
+		srcs[node] = mkbuf(t, p, n, byte(0x40+node))
+		dsts[node] = mkbuf(t, p, n, 0)
+		src, dst := srcs[node], dsts[node]
+		ths = append(ths, m.Spawn(p, "worker", func(th *Thread) {
+			if err := a.Lib.Amemcpy(th, dst, src, n); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := a.Lib.Csync(th, dst, n); err != nil {
+				t.Error(err)
+			}
+		}))
+	}
+	runApps(t, m, ths...)
+
+	for node := 0; node < 2; node++ {
+		data := make([]byte, n)
+		if err := procs[node].AS.ReadAt(dsts[node], data); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, bytes.Repeat([]byte{byte(0x40 + node)}, n)) {
+			t.Fatalf("node %d copy corrupted", node)
+		}
+	}
+	if got := svc.Stats.TasksExecuted; got < 2 {
+		t.Fatalf("TasksExecuted = %d, want >= 2", got)
+	}
+	// Node-local buffers on both sides: no engine steering spills.
+	engines := svc.DMAs()
+	for node := 0; node < 2; node++ {
+		if engines[node].BytesCopied == 0 {
+			t.Fatalf("node %d engine idle; traffic not steered locally", node)
+		}
+	}
+	if got := svc.Stats.RemoteSpills; got != 0 {
+		t.Fatalf("RemoteSpills = %d for node-local traffic", got)
+	}
+}

@@ -29,6 +29,11 @@ type copierState struct {
 // nthreads service threads on dedicated cores starting at core
 // firstCore (§6: "Copier uses one dedicated core to copy").
 func (m *Machine) InstallCopier(cfg core.Config, nthreads, firstCore int) *core.Service {
+	if cfg.Topo == nil && m.topo != nil && !m.topo.Flat() {
+		// A NUMA machine shards its service to match unless the caller
+		// overrides the topology explicitly.
+		cfg.Topo = m.topo
+	}
 	svc := core.NewService(m.Env, m.Phys, cfg)
 	svc.SetKernelAS(m.KernelAS)
 	m.copier = &copierState{svc: svc, attach: make(map[int]*CopierAttachment)}
@@ -69,7 +74,7 @@ func (m *Machine) AttachCopier(p *Process) *CopierAttachment {
 	if p.CGroup != nil {
 		group = m.copier.svc.Group(p.CGroup.Name, p.CGroup.CopierShares)
 	}
-	client := m.copier.svc.NewClient(p.Name, p.AS, m.KernelAS, group)
+	client := m.copier.svc.NewClientOn(p.Name, p.AS, m.KernelAS, group, p.Node)
 	a := &CopierAttachment{Client: client, Lib: libcopier.New(client)}
 	m.copier.attach[p.PID] = a
 	return a

@@ -26,6 +26,7 @@ var DomainDirs = []string{
 	"internal/apps",
 	"internal/model",
 	"internal/sanitizer",
+	"internal/topo",
 }
 
 // Options configures a copiervet run.

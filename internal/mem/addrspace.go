@@ -104,6 +104,10 @@ type AddrSpace struct {
 	onMappingChange []func(vpn uint64)
 	// Faults counts faults taken by kind, for experiment reporting.
 	Faults map[FaultKind]int
+	// home is the preferred NUMA node for demand-paged frames
+	// (first-touch placement); -1 means no preference (flat
+	// allocation, the historical behavior).
+	home int
 }
 
 // mmapBase is where MMap starts placing VMAs.
@@ -117,7 +121,24 @@ func NewAddrSpace(pm *PhysMem) *AddrSpace {
 		pages:  make(map[uint64]*PTE),
 		next:   mmapBase,
 		Faults: make(map[FaultKind]int),
+		home:   -1,
 	}
+}
+
+// SetHomeNode sets the preferred NUMA node for frames this address
+// space demand-allocates from now on (-1 clears the preference).
+// Existing mappings are not migrated.
+func (as *AddrSpace) SetHomeNode(node int) { as.home = node }
+
+// HomeNode returns the preferred NUMA node, or -1 if none.
+func (as *AddrSpace) HomeNode() int { return as.home }
+
+// allocFrame allocates one frame honoring the home-node preference.
+func (as *AddrSpace) allocFrame() (Frame, error) {
+	if as.home >= 0 && as.pm.NumNodes() > 1 {
+		return as.pm.AllocFrameOn(as.home)
+	}
+	return as.pm.AllocFrame()
 }
 
 // Phys returns the physical memory backing this address space.
@@ -248,7 +269,7 @@ func (as *AddrSpace) HandleFault(a VA, write bool) (FaultKind, units.Bytes, erro
 	case FaultPermission:
 		return kind, 0, fmt.Errorf("mem: %#x: %w", uint64(a), ErrPermission)
 	case FaultDemandZero:
-		f, err := as.pm.AllocFrame()
+		f, err := as.allocFrame()
 		if err != nil {
 			return kind, 0, err
 		}
@@ -266,7 +287,7 @@ func (as *AddrSpace) HandleFault(a VA, write bool) (FaultKind, units.Bytes, erro
 			pte.Writable = true
 			return kind, 0, nil
 		}
-		nf, err := as.pm.AllocFrame()
+		nf, err := as.allocFrame()
 		if err != nil {
 			return kind, 0, err
 		}
@@ -407,7 +428,7 @@ func (as *AddrSpace) PrepareCoWBreak(a VA) (old, new Frame, err error) {
 		pte.Writable = true
 		return NoFrame, NoFrame, nil
 	}
-	nf, err := as.pm.AllocFrame()
+	nf, err := as.allocFrame()
 	if err != nil {
 		return NoFrame, NoFrame, err
 	}
@@ -438,6 +459,7 @@ func (as *AddrSpace) MapCoW(a VA) error {
 func (as *AddrSpace) Fork() *AddrSpace {
 	child := NewAddrSpace(as.pm)
 	child.next = as.next
+	child.home = as.home
 	for _, v := range as.vmas {
 		nv := *v
 		child.vmas = append(child.vmas, &nv)

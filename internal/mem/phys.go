@@ -60,6 +60,9 @@ type PhysMem struct {
 	policy  AllocPolicy
 	// scan position for AllocFragmented striping
 	stripePos int
+	// nnodes > 1 after ConfigureNodes partitions the frame space
+	// into per-NUMA-node ranges (numa.go); 0 means flat.
+	nnodes int
 }
 
 // NewPhysMem creates a physical memory of size bytes (rounded down to

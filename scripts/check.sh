@@ -36,9 +36,17 @@ go test ./...
 # (TestStressPooledHandleReuse) that guards the zero-alloc
 # AMemcpy -> Wait -> Release recycling path. internal/kernel rides
 # along for the process-kill teardown tests (client death must not
-# wedge service threads or leak pins).
+# wedge service threads or leak pins); internal/bench for the fleet
+# smoke (per-core shard rings + per-node engines under load).
 echo "== go test -race (concurrency-bearing packages) =="
 go test -race ./internal/acopy ./internal/core ./internal/kernel
+go test -race -short ./internal/bench
+
+# Fleet smoke: one small open-loop run per topology shape through the
+# sharded service; fails on lost completions, disordered quantiles,
+# or out-of-range utilization.
+echo "== fleet smoke =="
+go test -run 'TestFleetSmoke' ./internal/bench
 
 # Chaos smoke: one seeded fault-injection run over the fig9-style
 # workload; fails on leaked pins/ring slots, backlog drift, or
