@@ -19,6 +19,12 @@
 // acopy runtime) via testing.Benchmark, writing ns/op, allocs/op and
 // bytes-per-second results as JSON — `make bench` uses this to
 // refresh BENCH_results.json.
+//
+// -shards N runs parallelizable experiments (fig9, fig12b, chaos,
+// fleet, fleetpar) on N host worker threads. Output is byte-identical
+// at every value — the conservative-lookahead window and the job
+// pool's index-ordered merge guarantee it, and the TestShardIdentity*
+// goldens enforce it — so the flag changes wall clock only.
 package main
 
 import (
@@ -62,7 +68,10 @@ func main() {
 	trace := flag.String("trace", "", "write Chrome/Perfetto trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print event-count and latency-histogram summary")
 	benchjson := flag.String("benchjson", "", "run hot-path microbenchmarks and write JSON results to this file")
+	shards := flag.Int("shards", 1, "host worker threads for parallelizable experiments (output is byte-identical at any value)")
 	flag.Parse()
+
+	bench.SetWorkers(*shards)
 
 	if *benchjson != "" {
 		runBenchJSON(*benchjson)

@@ -63,6 +63,9 @@ type Config struct {
 	CopierThreads int
 	// CopierConfig overrides the service config (ablations).
 	CopierConfig *core.Config
+	// Env, when set, hosts the run on an existing simulation
+	// environment (pooled experiment cells); nil = fresh environment.
+	Env *sim.Env
 }
 
 // Result carries throughput metrics (Fig. 12-a reports MPS).
@@ -113,7 +116,7 @@ func Run(cfg Config) Result {
 	if svcThreads == 0 {
 		svcThreads = 1
 	}
-	m := kernel.NewMachine(kernel.Config{Cores: cores + svcThreads - 1, MemBytes: 64 << 20})
+	m := kernel.NewMachine(kernel.Config{Cores: cores + svcThreads - 1, MemBytes: 64 << 20, Env: cfg.Env})
 	ccfg := core.DefaultConfig()
 	if cfg.CopierConfig != nil {
 		ccfg = *cfg.CopierConfig

@@ -13,6 +13,7 @@ import (
 	"copier/internal/core"
 	"copier/internal/cycles"
 	"copier/internal/hw"
+	"copier/internal/sim"
 	"copier/internal/units"
 )
 
@@ -167,14 +168,19 @@ func runFig12b(s Scale) []*Table {
 	}
 	t := &Table{ID: "fig12b", Title: "Proxy scalability with Copier (messages/s)",
 		Columns: []string{"threads", "throughput", "vs 1 thread"}}
-	var first float64
-	for _, th := range threads {
+	// Each thread count is an independent machine; run the sweep as a
+	// job pool so the points compute on parWorkers host threads.
+	mps := make([]float64, len(threads))
+	sim.RunJobs(len(threads), parWorkers, func(jc *sim.JobCtx) {
+		th := threads[jc.Index()]
 		res := proxy.Run(proxy.Config{Mode: proxy.ModeCopier, MsgSize: 16 << 10,
-			Flows: th * 2, MsgsPerFlow: 10, Threads: th, CopierThreads: (th + 1) / 2})
-		if th == 1 {
-			first = res.MPS()
-		}
-		t.AddRow(fmt.Sprintf("%d", th), fmt.Sprintf("%.0f", res.MPS()), speedup(res.MPS(), first))
+			Flows: th * 2, MsgsPerFlow: 10, Threads: th, CopierThreads: (th + 1) / 2,
+			Env: jc.NewEnv()})
+		mps[jc.Index()] = res.MPS()
+	})
+	first := mps[0]
+	for i, th := range threads {
+		t.AddRow(fmt.Sprintf("%d", th), fmt.Sprintf("%.0f", mps[i]), speedup(mps[i], first))
 	}
 	t.Note("paper: scales well to 16 threads (>130K tasks/queue/s) thanks to the lock-free queues")
 	return []*Table{t}

@@ -91,6 +91,24 @@ type Experiment struct {
 
 var registry []Experiment
 
+// parWorkers is the host worker-thread count experiments use for
+// independent simulation cells (sim.RunJobs) and sharded runs
+// (sim.ShardSet). Output bytes are identical for every value — only
+// wall clock changes; the shards=1-vs-N identity tests enforce it.
+var parWorkers = 1
+
+// SetWorkers configures how many host threads experiments with
+// parallelizable cells may use. Values < 1 select serial execution.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parWorkers = n
+}
+
+// Workers reports the configured worker-thread count.
+func Workers() int { return parWorkers }
+
 func register(id, paper string, run func(s Scale) []*Table) {
 	registry = append(registry, Experiment{ID: id, Paper: paper, Run: run})
 }

@@ -38,10 +38,10 @@ type chaosResult struct {
 
 // chaosRun drives tasks 64KB copies through a faulty service while a
 // second client dies mid-run. All schedule variation derives from the
-// seed.
-func chaosRun(seed uint64, tasks int) chaosResult {
+// seed; the caller supplies the environment so pooled sweeps can wire
+// each seed's run to its job's private recorder.
+func chaosRun(env *sim.Env, seed uint64, tasks int) chaosResult {
 	const size = 64 << 10
-	env := sim.NewEnv()
 	pm := mem.NewPhysMem(64 << 20)
 	svc := core.NewService(env, pm, core.DefaultConfig())
 	svc.SetFaultInjector(fault.New(seed).
@@ -173,8 +173,12 @@ func runChaos(s Scale) []*Table {
 	}
 	t := &Table{ID: "chaos", Title: "Fault injection + client death over the copy service (deterministic per seed)",
 		Columns: []string{"seed", "tasks", "ok", "failed", "dmaFault", "cpuFault", "retried", "fallbackKB", "teardown", "reclaimed", "leakPins", "ringLeak", "backlog", "verify"}}
-	for _, seed := range seeds {
-		r := chaosRun(seed, tasks)
+	rs := make([]chaosResult, len(seeds))
+	sim.RunJobs(len(seeds), parWorkers, func(jc *sim.JobCtx) {
+		rs[jc.Index()] = chaosRun(jc.NewEnv(), seeds[jc.Index()], tasks)
+	})
+	for i, seed := range seeds {
+		r := rs[i]
 		verify := "ok"
 		if !r.dataOK {
 			verify = "CORRUPT"

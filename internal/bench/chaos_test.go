@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"copier/internal/obs"
+	"copier/internal/sim"
 )
 
 // TestChaosDeterministic is the failure-path repeatability golden:
@@ -72,7 +73,7 @@ func TestChaosDeterministic(t *testing.T) {
 // TestChaosInvariants asserts the leak audit numerically on a direct
 // run (the table only prints the counters).
 func TestChaosInvariants(t *testing.T) {
-	r := chaosRun(2, 24)
+	r := chaosRun(sim.NewEnv(), 2, 24)
 	if r.leakedPins != 0 {
 		t.Errorf("leaked pins: %d", r.leakedPins)
 	}

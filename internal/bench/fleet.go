@@ -52,11 +52,12 @@ type FleetResult struct {
 
 // fleetRun executes one open-loop run: the whole schedule is drawn
 // up front, the driver submits on it regardless of service state, and
-// every completion is timed against its scheduled arrival.
-func fleetRun(fc fleetConfig) *FleetResult {
+// every completion is timed against its scheduled arrival. The caller
+// supplies the environment so pooled sweeps can wire each config's
+// run to its job's private recorder.
+func fleetRun(env *sim.Env, fc fleetConfig) *FleetResult {
 	tp := fc.tp
 	nn := tp.Nodes()
-	env := sim.NewEnv()
 	pm := mem.NewPhysMem(tp.TotalMem())
 	if nn > 1 {
 		if err := pm.ConfigureNodes(nn); err != nil {
@@ -209,22 +210,28 @@ func fleetConfigs(s Scale) []fleetConfig {
 	}
 }
 
+// fleetResults runs the config sweep as a job pool: every config is
+// an independent simulation, so the rows compute on parWorkers host
+// threads with recordings replayed in config order.
+func fleetResults(s Scale) []*FleetResult {
+	configs := fleetConfigs(s)
+	out := make([]*FleetResult, len(configs))
+	sim.RunJobs(len(configs), parWorkers, func(jc *sim.JobCtx) {
+		out[jc.Index()] = fleetRun(jc.NewEnv(), configs[jc.Index()])
+	})
+	return out
+}
+
 // FleetQuickResults runs the Quick-scale sweep and returns the raw
 // results (the microbench JSON export path).
 func FleetQuickResults() []*FleetResult {
-	configs := fleetConfigs(Quick)
-	out := make([]*FleetResult, len(configs))
-	for i, fc := range configs {
-		out[i] = fleetRun(fc)
-	}
-	return out
+	return fleetResults(Quick)
 }
 
 func runFleet(s Scale) []*Table {
 	t := &Table{ID: "fleet", Title: "Open-loop fleet: completion latency vs scheduled arrival (SLO view)",
 		Columns: []string{"topology", "submitted", "shed", "p50 us", "p99 us", "p999 us", "node util", "remote DMA"}}
-	for _, fc := range fleetConfigs(s) {
-		r := fleetRun(fc)
+	for _, r := range fleetResults(s) {
 		utils := make([]string, len(r.NodeUtil))
 		for i, u := range r.NodeUtil {
 			utils[i] = fmt.Sprintf("%.0f%%", u*100)

@@ -28,7 +28,7 @@ func TestFleetSmoke(t *testing.T) {
 		{name: "smoke-1node", tp: topo.SingleNode(4, 128<<20), arrival: arrival, arrivals: 60},
 		{name: "smoke-4node", tp: topo.NUMA(4, 2, 32<<20), arrival: arrival, arrivals: 60},
 	} {
-		r := fleetRun(fc)
+		r := fleetRun(sim.NewEnv(), fc)
 		if r.Submitted+r.Shed != 60 {
 			t.Fatalf("%s: submitted %d + shed %d != 60", fc.name, r.Submitted, r.Shed)
 		}

@@ -166,9 +166,10 @@ func runFig7a(s Scale) []*Table {
 
 // copierThroughput drives the service with back-to-back tasks of one
 // size and measures aggregate copy throughput. repetition selects the
-// fraction of submissions reusing the same buffer pair (ATCache).
-func copierThroughput(size units.Bytes, tasks int, repetition float64, cfg core.Config) float64 {
-	env := sim.NewEnv()
+// fraction of submissions reusing the same buffer pair (ATCache). The
+// caller supplies the environment so pooled sweeps (sim.RunJobs) can
+// wire each cell to its job's private recorder.
+func copierThroughput(env *sim.Env, size units.Bytes, tasks int, repetition float64, cfg core.Config) float64 {
 	pm := mem.NewPhysMem(64 << 20)
 	svc := core.NewService(env, pm, cfg)
 	as := mem.NewAddrSpace(pm)
@@ -267,24 +268,36 @@ func runFig9(s Scale) []*Table {
 	if s == Full {
 		sizes = []units.Bytes{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 	}
-	for _, n := range sizes {
-		full := core.DefaultConfig()
-		noDMA := core.DefaultConfig()
-		noDMA.EnableDMA = false
-		erms := core.DefaultConfig()
-		erms.EnableDMA = false
-		erms.UseERMSEngine = true
-		noATC := core.DefaultConfig()
-		noATC.EnableATCache = false
-		fullV := copierThroughput(n, tasks, 0, full)
-		avxV := copierThroughput(n, tasks, 0, noDMA)
-		ermsV := copierThroughput(n, tasks, 0, erms)
+	full := core.DefaultConfig()
+	noDMA := core.DefaultConfig()
+	noDMA.EnableDMA = false
+	erms := core.DefaultConfig()
+	erms.EnableDMA = false
+	erms.UseERMSEngine = true
+	noATC := core.DefaultConfig()
+	noATC.EnableATCache = false
+	// Every (size, variant) cell is an independent simulation; the
+	// pool runs them on parWorkers host threads and replays their
+	// recordings in index order, so output bytes match a serial run.
+	variants := []struct {
+		rep float64
+		cfg core.Config
+	}{{0, full}, {0.75, full}, {0, noDMA}, {0, erms}, {0, noATC}}
+	vals := make([]float64, len(sizes)*len(variants))
+	sim.RunJobs(len(vals), parWorkers, func(jc *sim.JobCtx) {
+		i := jc.Index()
+		v := variants[i%len(variants)]
+		vals[i] = copierThroughput(jc.NewEnv(), sizes[i/len(variants)], tasks, v.rep, v.cfg)
+	})
+	for si, n := range sizes {
+		row := vals[si*len(variants) : (si+1)*len(variants)]
+		fullV, repV, avxV, ermsV, noATCV := row[0], row[1], row[2], row[3], row[4]
 		t.AddRow(kb(int(n)),
 			fmt.Sprintf("%.2f", fullV),
-			fmt.Sprintf("%.2f", copierThroughput(n, tasks, 0.75, full)),
+			fmt.Sprintf("%.2f", repV),
 			fmt.Sprintf("%.2f", avxV),
 			fmt.Sprintf("%.2f", ermsV),
-			fmt.Sprintf("%.2f", copierThroughput(n, tasks, 0, noATC)),
+			fmt.Sprintf("%.2f", noATCV),
 			pct(fullV, ermsV), pct(fullV, avxV))
 	}
 	t.Note("paper: Copier +158%% over ERMS (+55%% at 4KB) / +38%% over AVX2 (+33%% at 4KB); ATCache adds 2-11%%")

@@ -44,12 +44,30 @@ type FleetSLO struct {
 	RemoteDMAFrac float64   `json:"remote_dma_frac"`
 }
 
+// ParallelResult is one point of the parallel-speedup series: the
+// sharded fleet (fleetpar.go) timed at a host worker count. The
+// simulated work and the output bytes are identical at every point —
+// the shards=1-vs-N identity goldens enforce that — so NsPerOp
+// isolates the wall-clock effect of the conservative parallel event
+// loop. Speedup is relative to the series' serial point on the same
+// host and is bounded above by min(shards, CPUs).
+type ParallelResult struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
 // MicroReport is the top-level BENCH_results.json document.
 type MicroReport struct {
-	Schema  string        `json:"schema"`
-	Go      string        `json:"go"`
-	Results []MicroResult `json:"results"`
-	Fleet   []FleetSLO    `json:"fleet,omitempty"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// CPUs records the host's logical CPU count — the context needed
+	// to judge the parallel series (a single-CPU host cannot speed
+	// up, no matter how well the windows scale).
+	CPUs     int              `json:"cpus"`
+	Results  []MicroResult    `json:"results"`
+	Fleet    []FleetSLO       `json:"fleet,omitempty"`
+	Parallel []ParallelResult `json:"parallel,omitempty"`
 }
 
 func micro(name string, simBytesPerOp int64, fn func(b *testing.B)) MicroResult {
@@ -164,14 +182,19 @@ func RunMicrobenches() MicroReport {
 	// Service end-to-end: one op drives 40 back-to-back 64KB copies
 	// through submit → admit → dispatch → completion on the simulated
 	// machine; SimBytesPerSec is simulated payload per wall second, the
-	// figure of merit for the whole dispatch stack.
+	// figure of merit for the whole dispatch stack. The world (env,
+	// page tables, descriptors, buffers) persists across ops and the
+	// task objects are recycled with Task.Reuse, so AllocsPerOp
+	// measures the steady-state dispatch path, not setup.
 	const svcSize, svcTasks = 64 << 10, 40
 	results = append(results, micro("service/throughput-64k", svcSize*svcTasks, func(b *testing.B) {
+		ss := newSteadyService(svcSize, svcTasks)
+		defer ss.Close()
+		ss.Op() // warm the dispatch-path scratch buffers
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if copierThroughput(svcSize, svcTasks, 0, core.DefaultConfig()) <= 0 {
-				b.Fatal("service moved no bytes")
-			}
+			ss.Op()
 		}
 	}))
 
@@ -227,10 +250,35 @@ func RunMicrobenches() MicroReport {
 		})
 	}
 
+	// Parallel event loop: wall-clock the sharded fleet at increasing
+	// host worker counts. The per-point simulation is identical; only
+	// the host threading changes.
+	var parallel []ParallelResult
+	var serialNs float64
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FleetParRun(w)
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if w == 1 {
+			serialNs = ns
+		}
+		pr := ParallelResult{Workers: w, NsPerOp: ns}
+		if serialNs > 0 {
+			pr.Speedup = serialNs / ns
+		}
+		parallel = append(parallel, pr)
+	}
+
 	return MicroReport{
-		Schema:  "copier-microbench/v1",
-		Go:      runtime.Version(),
-		Results: results,
-		Fleet:   fleet,
+		Schema:   "copier-microbench/v1",
+		Go:       runtime.Version(),
+		CPUs:     runtime.NumCPU(),
+		Results:  results,
+		Fleet:    fleet,
+		Parallel: parallel,
 	}
 }

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The shards=1-vs-N byte-identity goldens: the acceptance bar for the
+// parallel event loop. Each experiment runs once serial and once on 4
+// host worker threads; the printed tables AND the Perfetto export must
+// match byte for byte. Conservative-lookahead windows (sim.ShardSet)
+// and job pools (sim.RunJobs) are both constructed so that host
+// scheduling can never reach the observable stream — these tests are
+// what enforces that construction.
+func testShardIdentity(t *testing.T, id string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skipf("runs %s twice", id)
+	}
+	SetWorkers(1)
+	tbl1, exp1, _ := runTraced(t, id)
+	SetWorkers(4)
+	defer SetWorkers(1)
+	tbl4, exp4, _ := runTraced(t, id)
+
+	if tbl1 != tbl4 {
+		t.Errorf("printed series differ between 1 and 4 workers:\n%s", lineDiff(tbl1, tbl4))
+	}
+	if !bytes.Equal(exp1, exp4) {
+		t.Errorf("obs exports differ between 1 and 4 workers:\n%s",
+			lineDiff(string(exp1), string(exp4)))
+	}
+}
+
+func TestShardIdentityFig9(t *testing.T)     { testShardIdentity(t, "fig9") }
+func TestShardIdentityFig12b(t *testing.T)   { testShardIdentity(t, "fig12b") }
+func TestShardIdentityChaos(t *testing.T)    { testShardIdentity(t, "chaos") }
+func TestShardIdentityFleet(t *testing.T)    { testShardIdentity(t, "fleet") }
+func TestShardIdentityFleetPar(t *testing.T) { testShardIdentity(t, "fleetpar") }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"copier/internal/core"
+	"copier/internal/mem"
+	"copier/internal/sim"
+	"copier/internal/units"
+)
+
+// steadyService is a persistent simulated service world for
+// steady-state measurement: the environment, physical memory, address
+// space, buffers and task objects are built once, and each Op recycles
+// the same tasks through submit → admit → dispatch → completion. This
+// is what the service/throughput-64k microbenchmark and the
+// allocation pin measure — the dispatch path itself, with setup cost
+// (page tables, descriptors, populate faults) priced outside the
+// timed loop.
+type steadyService struct {
+	env    *sim.Env
+	svc    *core.Service
+	client *core.Client
+	tasks  []*core.Task
+	done   int
+}
+
+// steadyQuantum bounds each Env.Run slice so the host loop regains
+// control between slices; the sleeping service thread always keeps a
+// NAPI timer pending, so bounded runs never deadlock. steadyStall is
+// the op deadline: a 40-task batch finishes in well under a virtual
+// millisecond, so ten thousand quanta means the world wedged.
+const (
+	steadyQuantum sim.Time = 1_000_000
+	steadyStall            = 10_000 * steadyQuantum
+)
+
+// newSteadyService builds the world: ntasks independent src/dst buffer
+// pairs (no inter-task dependencies, so the dispatcher can fuse
+// freely) and one long-lived service thread parked in its NAPI sleep.
+func newSteadyService(size units.Bytes, ntasks int) *steadyService {
+	ss := &steadyService{env: sim.NewEnv()}
+	pm := mem.NewPhysMem(64 << 20)
+	ss.svc = core.NewService(ss.env, pm, core.DefaultConfig())
+	as := mem.NewAddrSpace(pm)
+	ss.client = ss.svc.NewClient("steady", as, as, nil)
+	for i := 0; i < ntasks; i++ {
+		src := as.MMap(size, mem.PermRead|mem.PermWrite, "s")
+		dst := as.MMap(size, mem.PermRead|mem.PermWrite, "d")
+		if _, err := as.Populate(src, size, true); err != nil {
+			panic(err)
+		}
+		if _, err := as.Populate(dst, size, true); err != nil {
+			panic(err)
+		}
+		t := &core.Task{Src: src, Dst: dst, SrcAS: as, DstAS: as, Len: size,
+			Handler: &core.Handler{Kernel: true, Fn: func() { ss.done++ }}}
+		ss.tasks = append(ss.tasks, t)
+	}
+	ss.env.Go("copierd", func(p *sim.Proc) { ss.svc.ThreadMain(benchCtx{p}, 0) })
+	ss.step() // let the thread drain its startup sweep and go idle
+	return ss
+}
+
+func (ss *steadyService) step() {
+	if err := ss.env.Run(ss.env.Now() + steadyQuantum); err != nil {
+		panic(err)
+	}
+}
+
+// Op recycles every task in place, resubmits the batch, and runs the
+// simulation until all of them complete. Panics if the world wedges —
+// a benchmark harness has no error channel worth plumbing.
+func (ss *steadyService) Op() {
+	ss.done = 0
+	for _, t := range ss.tasks {
+		t.Reuse()
+		if !ss.client.SubmitCopy(t, false) {
+			panic("bench: steady ring full")
+		}
+	}
+	deadline := ss.env.Now() + steadyStall
+	for ss.done < len(ss.tasks) {
+		if ss.env.Now() >= deadline {
+			panic("bench: steady op stalled")
+		}
+		ss.step()
+	}
+}
+
+// Close stops the service thread so its goroutine exits.
+func (ss *steadyService) Close() {
+	ss.svc.Stop()
+	if err := ss.env.Run(ss.env.Now() + 16*steadyQuantum); err != nil {
+		panic(err)
+	}
+}

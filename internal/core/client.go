@@ -2,6 +2,7 @@ package core
 
 import (
 	"copier/internal/cycles"
+	"copier/internal/hw"
 	"copier/internal/mem"
 	"copier/internal/obs"
 	"copier/internal/sim"
@@ -94,6 +95,21 @@ type Client struct {
 	// handling drains it from inside an iteration over popBuf.
 	popBuf  [drainBatch]*Task
 	uPopBuf [drainBatch]*Task
+
+	// Dispatch-path scratch, reused round over round so the steady
+	// state allocates nothing. Per-client (not per-service) because a
+	// dispatcher round yields (ctx.Exec) with these buffers live, and
+	// during a yield other service threads may be mid-round on other
+	// clients; a given client is only ever served by one thread.
+	batchBuf []*Task
+	reqBuf   []execReq
+	chunkBuf []chunk
+	partsBuf []srcPart
+	dmaMark  []bool
+	pairBuf  [][2]hw.FrameRange
+	pairBuf2 [][2]hw.FrameRange
+	pendBuf  []sim.Time
+	engBuf   []int
 
 	// dying is set by Service.KillClient; the next service sweep runs
 	// the teardown protocol and then sets closed.
@@ -346,8 +362,12 @@ func (c *Client) admitUserUpTo(ctx Ctx, pos uint64) {
 }
 
 func (c *Client) admitTask(t *Task, svc *Service) {
-	svc.trace("admit %s task %d: %#x <- %#x (%d bytes, kmode=%v, lazy=%v)",
-		c.Name, t.ID, uint64(t.Dst), uint64(t.Src), t.Len, t.KMode, t.Lazy)
+	if svc.env.Tracer() != nil {
+		// Guarded at the call site: the variadic args would otherwise
+		// box onto the heap before trace's own nil check runs.
+		svc.trace("admit %s task %d: %#x <- %#x (%d bytes, kmode=%v, lazy=%v)",
+			c.Name, t.ID, uint64(t.Dst), uint64(t.Src), t.Len, t.KMode, t.Lazy)
+	}
 	t.orderIdx = c.nextOrder
 	c.nextOrder++
 	t.enqueuedAt = svc.now()

@@ -31,13 +31,17 @@ type srcPart struct {
 // (it was copied, and may have been legally modified after csync) —
 // read from it. Unmarked ranges are read from the earlier task's own
 // source, resolved recursively (§4.4 layered absorption, Fig. 8-b).
+// The result lives in c.partsBuf and is valid until the next
+// resolution for the same client.
 func (s *Service) resolveSourcesRange(ctx Ctx, c *Client, t *Task, off, n units.Bytes) []srcPart {
 	if !s.cfg.EnableAbsorption {
-		return []srcPart{{as: t.SrcAS, va: t.Src + mem.VA(off), len: n}}
+		c.partsBuf = append(c.partsBuf[:0], srcPart{as: t.SrcAS, va: t.Src + mem.VA(off), len: n})
+		return c.partsBuf
 	}
 	ctx.Exec(cycles.AbsorptionCheck)
-	parts := s.resolveRange(ctx, c, t.SrcAS, t.Src+mem.VA(off), n, t.orderIdx, 0)
-	return coalesceParts(parts)
+	parts := s.resolveRange(ctx, c, t.SrcAS, t.Src+mem.VA(off), n, t.orderIdx, 0, c.partsBuf[:0])
+	c.partsBuf = coalesceParts(parts)
+	return c.partsBuf
 }
 
 // coalesceParts merges adjacent pieces with the same source stream —
@@ -61,12 +65,15 @@ func coalesceParts(parts []srcPart) []srcPart {
 
 const maxAbsorbDepth = 8
 
-func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA, n units.Bytes, before uint64, depth int) []srcPart {
+// resolveRange appends the resolved pieces of [va, va+n) to out and
+// returns the extended slice (an accumulator, so recursion does not
+// allocate intermediate slices).
+func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA, n units.Bytes, before uint64, depth int, out []srcPart) []srcPart {
 	if n <= 0 {
-		return nil
+		return out
 	}
 	if depth >= maxAbsorbDepth {
-		return []srcPart{{as: as, va: va, len: n}}
+		return append(out, srcPart{as: as, va: va, len: n})
 	}
 	// Find the latest earlier pending task writing into [va, va+n).
 	var latest *Task
@@ -82,16 +89,15 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 		}
 	}
 	if latest == nil {
-		return []srcPart{{as: as, va: va, len: n, absorbed: depth > 0}}
+		return append(out, srcPart{as: as, va: va, len: n, absorbed: depth > 0})
 	}
-	var out []srcPart
 	// Piece before the overlap.
 	if va < latest.Dst {
 		pre := units.Bytes(latest.Dst - va)
 		if pre > n {
 			pre = n
 		}
-		out = append(out, s.resolveRange(ctx, c, as, va, pre, latest.orderIdx, depth)...)
+		out = s.resolveRange(ctx, c, as, va, pre, latest.orderIdx, depth, out)
 		va += mem.VA(pre)
 		n -= pre
 	}
@@ -118,12 +124,13 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 				// may have been modified there) — read it directly.
 				out = append(out, srcPart{as: as, va: latest.Dst + mem.VA(cur), len: chunk})
 			} else {
-				// Absorb: read from the earlier task's source.
-				deeper := s.resolveRange(ctx, c, latest.SrcAS, latest.Src+mem.VA(cur), chunk, latest.orderIdx, depth+1)
-				for i := range deeper {
-					deeper[i].absorbed = true
+				// Absorb: read from the earlier task's source. Mark
+				// the appended suffix in place.
+				start := len(out)
+				out = s.resolveRange(ctx, c, latest.SrcAS, latest.Src+mem.VA(cur), chunk, latest.orderIdx, depth+1, out)
+				for i := start; i < len(out); i++ {
+					out[i].absorbed = true
 				}
-				out = append(out, deeper...)
 			}
 			cur += chunk
 			remaining -= chunk
@@ -133,7 +140,7 @@ func (s *Service) resolveRange(ctx Ctx, c *Client, as *mem.AddrSpace, va mem.VA,
 	}
 	// Piece after the overlap.
 	if n > 0 {
-		out = append(out, s.resolveRange(ctx, c, as, va, n, latest.orderIdx, depth)...)
+		out = s.resolveRange(ctx, c, as, va, n, latest.orderIdx, depth, out)
 	}
 	return out
 }
@@ -168,7 +175,8 @@ func (s *Service) executeWithDeps(ctx Ctx, c *Client, t *Task, lo, hi units.Byte
 		// Our write must not race an outstanding DMA of the dep.
 		s.awaitInFlight(ctx, p)
 	}
-	s.executeBatch(ctx, c, []execReq{{t, lo, hi}})
+	reqs := [1]execReq{{t, lo, hi}}
+	s.executeBatch(ctx, c, reqs[:])
 }
 
 // dependsOn reports whether t must wait for earlier pending task p:
@@ -192,55 +200,59 @@ type execReq struct {
 	lo, hi units.Bytes // dst-offset window; clamped to segment boundaries
 }
 
-// plan is one task's execution plan inside a dispatcher round.
-type plan struct {
-	task   *Task
-	chunks []chunk
-}
-
 // chunk is a copy piece not crossing a segment boundary of its task,
-// with resolved physical scatter lists. A chunk is DMA-eligible when
-// both sides are single contiguous runs of sufficient size.
+// with both sides resolved to single physically contiguous runs
+// (prepareRun splits at contiguity breaks). A chunk is DMA-eligible
+// when it is large enough to amortize a descriptor.
 type chunk struct {
 	task     *Task
 	dstOff   units.Bytes // offset within task dst
 	length   units.Bytes
-	dst, src []hw.FrameRange
+	dst, src hw.FrameRange
 	absorbed bool
 }
 
 func (ch *chunk) dmaEligible(minLen units.Bytes) bool {
-	return len(ch.dst) == 1 && len(ch.src) == 1 && ch.length >= minLen
+	return ch.length >= minLen
 }
 
 // executeBatch runs one dispatcher round over the given tasks
 // (i-piggyback when a single large task, e-piggyback when several
-// adjacent small tasks were fused by the caller, §4.3).
+// adjacent small tasks were fused by the caller, §4.3). The round's
+// chunks accumulate in the client's scratch buffer; it is fully
+// dispatched before executeBatch returns, so the buffer is free for
+// the next round.
 func (s *Service) executeBatch(ctx Ctx, c *Client, reqs []execReq) {
-	var plans []plan
+	chunks := c.chunkBuf[:0]
+	prepared := false
 	for _, r := range reqs {
 		if r.t.executed || r.t.aborted || r.t.pendingErr != nil {
 			continue
 		}
-		if rec := s.env.Recorder(); rec != nil && r.t.issued == nil {
+		if rec := s.env.Recorder(); rec != nil && !r.t.dispatched {
 			now := int64(s.now())
 			rec.Emit(obs.Event{T: now, Kind: obs.EvTaskDispatch, Layer: obs.LayerCore,
 				Track: "core:tasks", Name: c.Name, A: int64(r.t.ID), B: now - int64(r.t.enqueuedAt)})
 		}
-		pl, err := s.prepare(ctx, c, r.t, r.lo, r.hi)
+		r.t.dispatched = true
+		mark := len(chunks)
+		out, err := s.prepare(ctx, c, r.t, r.lo, r.hi, chunks)
 		if err != nil {
+			chunks = out[:mark]
 			s.failTask(ctx, c, r.t, err)
 			continue
 		}
-		plans = append(plans, pl)
+		chunks = out
+		prepared = true
 	}
-	if len(plans) == 0 {
+	c.chunkBuf = chunks
+	if !prepared {
 		return
 	}
-	s.dispatch(ctx, c, plans)
-	for _, pl := range plans {
-		if pl.task.segDone >= pl.task.Len {
-			s.finishTask(ctx, c, pl.task)
+	s.dispatch(ctx, c, chunks)
+	for _, r := range reqs {
+		if r.t.segDone >= r.t.Len {
+			s.finishTask(ctx, c, r.t)
 		}
 	}
 	c.removeExecuted()
@@ -290,7 +302,9 @@ func (s *Service) noteFailure(t *Task, err error) {
 	}
 	t.retryAt = s.now() + s.cfg.RetryBackoff<<shift
 	s.Stats.RetriedChunks++
-	s.trace("retry %s task %d (attempt %d, backoff to %d)", t.Client.Name, t.ID, t.retries, t.retryAt)
+	if s.env.Tracer() != nil {
+		s.trace("retry %s task %d (attempt %d, backoff to %d)", t.Client.Name, t.ID, t.retries, t.retryAt)
+	}
 	if rec := s.env.Recorder(); rec != nil {
 		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvTaskRetry, Layer: obs.LayerCore,
 			Track: "core:tasks", Name: t.Client.Name, A: int64(t.ID), B: int64(t.retries)})
@@ -300,15 +314,17 @@ func (s *Service) noteFailure(t *Task, err error) {
 // prepare resolves sources, proactively handles faults, pins pages and
 // splits the [lo, hi) window of the task into chunks, skipping
 // segments that already completed in a prior (promoted) round
-// (§4.5.4, §4.3, §4.1).
-func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes) (plan, error) {
+// (§4.5.4, §4.3, §4.1). New chunks are appended to chunks; the
+// (possibly grown) slice is returned even on error so the caller can
+// truncate back to its mark.
+func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, chunks []chunk) ([]chunk, error) {
 	if t.phys() {
-		return s.preparePhys(t)
+		return s.preparePhys(t, chunks)
 	}
 	// Security checks: user-mode tasks may only address the client's
 	// own user address space (§4.5.4: "illegal kernel addresses").
 	if !t.KMode && (t.SrcAS != c.UAS || t.DstAS != c.UAS) {
-		return plan{}, fmt.Errorf("core: u-mode task %d references foreign address space", t.ID)
+		return chunks, fmt.Errorf("core: u-mode task %d references foreign address space", t.ID)
 	}
 	// Clamp the window to segment boundaries.
 	if lo < 0 {
@@ -326,7 +342,6 @@ func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes) (plan
 	if t.issued == nil {
 		t.issued = NewDescriptor(t.Dst, t.Len, t.SegSize)
 	}
-	pl := plan{task: t}
 	// Walk maximal runs of not-yet-issued segments inside the window.
 	for runLo := lo; runLo < hi; {
 		segLen := t.SegSize
@@ -351,28 +366,30 @@ func (s *Service) prepare(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes) (plan
 		if runHi > t.Len {
 			runHi = t.Len
 		}
-		if err := s.prepareRun(ctx, c, t, runLo, runHi, &pl); err != nil {
+		var err error
+		chunks, err = s.prepareRun(ctx, c, t, runLo, runHi, chunks)
+		if err != nil {
 			s.unpinAll(ctx, t.pins)
-			t.pins = nil
-			return plan{}, err
+			t.pins = t.pins[:0]
+			return chunks, err
 		}
 		runLo = runHi
 	}
-	return pl, nil
+	return chunks, nil
 }
 
 // prepareRun resolves, pins and chunks one contiguous unmarked run
-// [lo, hi) of task t.
-func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, pl *plan) error {
+// [lo, hi) of task t, appending to chunks.
+func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, chunks []chunk) ([]chunk, error) {
 	runLen := hi - lo
 	parts := s.resolveSourcesRange(ctx, c, t, lo, runLen)
 	if err := s.faultAndPin(ctx, t.DstAS, t.Dst+mem.VA(lo), runLen, true); err != nil {
-		return err
+		return chunks, err
 	}
 	t.pins = append(t.pins, pinRec{t.DstAS, t.Dst + mem.VA(lo), runLen})
 	for _, p := range parts {
 		if err := s.faultAndPin(ctx, p.as, p.va, p.len, false); err != nil {
-			return err
+			return chunks, err
 		}
 		t.pins = append(t.pins, pinRec{p.as, p.va, p.len})
 	}
@@ -403,20 +420,20 @@ func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, pl
 		if run := s.contig(p.as, p.va+mem.VA(pOff), n); run < n {
 			n = run
 		}
-		dfr := s.frameRange(t.DstAS, t.Dst+mem.VA(dstOff), n)
-		sfr := s.frameRange(p.as, p.va+mem.VA(pOff), n)
-		pl.chunks = append(pl.chunks, chunk{
+		chunks = append(chunks, chunk{
 			task:     t,
 			dstOff:   dstOff,
 			length:   n,
-			dst:      []hw.FrameRange{dfr},
-			src:      []hw.FrameRange{sfr},
+			dst:      s.frameRange(t.DstAS, t.Dst+mem.VA(dstOff), n),
+			src:      s.frameRange(p.as, p.va+mem.VA(pOff), n),
 			absorbed: p.absorbed,
 		})
 		if p.absorbed {
 			s.Stats.AbsorbedBytes += int64(n)
-			s.trace("absorb %d bytes of %s task %d (read-through to %#x)",
-				n, t.Client.Name, t.ID, uint64(p.va)+uint64(pOff))
+			if s.env.Tracer() != nil {
+				s.trace("absorb %d bytes of %s task %d (read-through to %#x)",
+					n, t.Client.Name, t.ID, uint64(p.va)+uint64(pOff))
+			}
 		}
 		dstOff += n
 		pOff += n
@@ -425,7 +442,7 @@ func (s *Service) prepareRun(ctx Ctx, c *Client, t *Task, lo, hi units.Bytes, pl
 			pOff = 0
 		}
 	}
-	return nil
+	return chunks, nil
 }
 
 // dmaPieceMax caps chunk size so DMA/AVX balancing works at piece
@@ -434,18 +451,18 @@ const dmaPieceMax = 8 << 10
 
 // preparePhys builds the execution plan of a physically-addressed
 // kernel task: no translation, faults or pinning — just zip the
-// source and destination scatter lists into dispatch pieces.
-func (s *Service) preparePhys(t *Task) (plan, error) {
+// source and destination scatter lists into dispatch pieces,
+// appending to chunks.
+func (s *Service) preparePhys(t *Task, chunks []chunk) ([]chunk, error) {
 	if !t.KMode {
-		return plan{}, fmt.Errorf("core: physically-addressed task %d from user mode", t.ID)
+		return chunks, fmt.Errorf("core: physically-addressed task %d from user mode", t.ID)
 	}
 	if hw.TotalLen(t.PhysDst) != t.Len || hw.TotalLen(t.PhysSrc) != t.Len {
-		return plan{}, fmt.Errorf("core: phys task %d scatter lists disagree with length %d", t.ID, t.Len)
+		return chunks, fmt.Errorf("core: phys task %d scatter lists disagree with length %d", t.ID, t.Len)
 	}
 	if t.issued == nil {
 		t.issued = NewDescriptor(0, t.Len, t.SegSize)
 	}
-	pl := plan{task: t}
 	di, si := 0, 0
 	var dOff, sOff, dstOff units.Bytes
 	for dstOff < t.Len {
@@ -457,12 +474,12 @@ func (s *Service) preparePhys(t *Task) (plan, error) {
 		if n > dmaPieceMax {
 			n = dmaPieceMax
 		}
-		pl.chunks = append(pl.chunks, chunk{
+		chunks = append(chunks, chunk{
 			task:   t,
 			dstOff: dstOff,
 			length: n,
-			dst:    []hw.FrameRange{subRange(d, dOff, n)},
-			src:    []hw.FrameRange{subRange(sr, sOff, n)},
+			dst:    subRange(d, dOff, n),
+			src:    subRange(sr, sOff, n),
 		})
 		dstOff += n
 		dOff += n
@@ -476,7 +493,7 @@ func (s *Service) preparePhys(t *Task) (plan, error) {
 			sOff = 0
 		}
 	}
-	return pl, nil
+	return chunks, nil
 }
 
 type pinRec struct {
@@ -516,21 +533,6 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 	pinning := as != s.kernelAS
 	npinned := 0
 	start := va & ^mem.VA(mem.PageSize-1)
-	rollback := func(upto mem.VA) {
-		if !pinning {
-			return
-		}
-		for pva := start; pva < upto; pva += mem.PageSize {
-			as.Unpin(pva, 1)
-		}
-	}
-	pinCost := func() sim.Time {
-		npinned++
-		if npinned == 1 {
-			return cycles.PinPage
-		}
-		return cycles.PinPageBatch
-	}
 	for pva := start; pva < va+mem.VA(n); pva += mem.PageSize {
 		vpn := pva.Page()
 		if s.cfg.EnableATCache {
@@ -546,10 +548,11 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 				ctx.Exec(cycles.ATCacheHit)
 				if pinning {
 					if err := as.Pin(pva, 1); err != nil {
-						rollback(pva)
+						s.rollbackPins(as, start, pva)
 						return err
 					}
-					ctx.Exec(pinCost())
+					npinned++
+					ctx.Exec(pinCost(npinned))
 				}
 				continue
 			}
@@ -567,7 +570,9 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 		case mem.FaultBadAddress, mem.FaultPermission:
 			_, _, err := as.HandleFault(pva, write)
 			s.Stats.DroppedTasks++
-			rollback(pva)
+			if pinning {
+				s.rollbackPins(as, start, pva)
+			}
 			return err
 		default:
 			// Construct exception parameters and invoke the fault
@@ -575,7 +580,9 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 			ctx.Exec(cycles.PageFault)
 			kind, copied, err := as.HandleFault(pva, write)
 			if err != nil {
-				rollback(pva)
+				if pinning {
+					s.rollbackPins(as, start, pva)
+				}
 				return err
 			}
 			if kind == mem.FaultDemandZero {
@@ -590,10 +597,11 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 		}
 		if pinning {
 			if err := as.Pin(pva, 1); err != nil {
-				rollback(pva)
+				s.rollbackPins(as, start, pva)
 				return err
 			}
-			ctx.Exec(pinCost())
+			npinned++
+			ctx.Exec(pinCost(npinned))
 		}
 		if s.cfg.EnableATCache {
 			if f, _, err := as.Translate(pva); err == nil {
@@ -603,6 +611,28 @@ func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Byt
 		}
 	}
 	return nil
+}
+
+// pinCost prices the npinned-th pin of a walk: full cost for the
+// first page, the batched get_user_pages rate after it.
+//
+//copier:noalloc
+func pinCost(npinned int) sim.Time {
+	if npinned == 1 {
+		return cycles.PinPage
+	}
+	return cycles.PinPageBatch
+}
+
+// rollbackPins unpins the already-pinned prefix [start, upto) of a
+// failed faultAndPin walk. A plain method rather than a closure so
+// the hot walk allocates nothing.
+//
+//copier:noalloc
+func (s *Service) rollbackPins(as *mem.AddrSpace, start, upto mem.VA) {
+	for pva := start; pva < upto; pva += mem.PageSize {
+		as.Unpin(pva, 1)
+	}
 }
 
 func (s *Service) unpinAll(ctx Ctx, pins []pinRec) {
@@ -616,22 +646,61 @@ func (s *Service) unpinAll(ctx Ctx, pins []pinRec) {
 	}
 }
 
+// dmaBatch carries one DMA submission's chunks through the
+// asynchronous completion path. Batches are pooled on the service
+// with a pre-bound completion closure, so the steady-state dispatch
+// path reuses them instead of allocating a fresh closure (and chunk
+// slice) per doorbell.
+type dmaBatch struct {
+	s      *Service
+	env    *sim.Env
+	chunks []chunk
+	left   int
+	cb     func(i int, err error)
+}
+
+// getDMABatch pops a pooled batch (or builds one, binding its
+// completion closure once). The batch recycles itself when its last
+// descriptor completes.
+func (s *Service) getDMABatch() *dmaBatch {
+	if n := len(s.dmaBatchPool); n > 0 {
+		b := s.dmaBatchPool[n-1]
+		s.dmaBatchPool[n-1] = nil
+		s.dmaBatchPool = s.dmaBatchPool[:n-1]
+		return b
+	}
+	b := &dmaBatch{s: s}
+	b.cb = func(i int, err error) {
+		b.s.dmaDone(b.env, b.chunks[i], err)
+		b.left--
+		if b.left == 0 {
+			b.chunks = b.chunks[:0]
+			b.env = nil
+			b.s.dmaBatchPool = append(b.s.dmaBatchPool, b)
+		}
+	}
+	return b
+}
+
 // dispatch runs one piggyback round: DMA candidates from the latter
 // part of the batch go to the DMA channel (they have the longest
 // remaining Copy-Use windows), everything else runs on AVX in
 // parallel; the round ends when both finish (§4.3, Fig. 7-c).
-func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
-	// Flatten chunks in batch order.
-	var all []chunk
-	for _, pl := range plans {
-		all = append(all, pl.chunks...)
-	}
+func (s *Service) dispatch(ctx Ctx, c *Client, all []chunk) {
 	var total units.Bytes
 	for _, ch := range all {
 		total += ch.length
 	}
 
-	dmaSet := map[int]bool{}
+	// dmaMark flags this round's DMA assignments, indexed like all.
+	if cap(c.dmaMark) < len(all) {
+		c.dmaMark = make([]bool, len(all))
+	}
+	dmaSet := c.dmaMark[:len(all)]
+	for i := range dmaSet {
+		dmaSet[i] = false
+	}
+	ndma := 0
 	useDMA := s.cfg.EnableDMA && total >= s.cfg.PiggybackThreshold
 	if useDMA && s.now() < s.dmaAvoidUntil {
 		// Graceful degradation: a recent DMA engine fault opened the
@@ -656,15 +725,16 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 			if !ch.dmaEligible(s.cfg.DMACandidateMin) {
 				continue
 			}
-			ndma := dmaBytes + ch.length
+			ndmaBytes := dmaBytes + ch.length
 			navx := avxBytes - ch.length
-			dmaTime := cycles.CopyCost(cycles.UnitDMA, ndma)
+			dmaTime := cycles.CopyCost(cycles.UnitDMA, ndmaBytes)
 			avxTime := cycles.CopyCost(cycles.UnitAVX, navx)
 			if dmaTime > avxTime {
 				break
 			}
 			dmaSet[i] = true
-			dmaBytes = ndma
+			ndma++
+			dmaBytes = ndmaBytes
 			avxBytes = navx
 		}
 	}
@@ -674,26 +744,28 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 	// now and complete asynchronously; the service keeps polling
 	// while transfers are outstanding and finishes tasks as their
 	// descriptors fill in.
-	var dmaPairs [][2]hw.FrameRange
-	var dmaChunks []chunk
-	for i, ch := range all {
-		if dmaSet[i] {
-			dmaPairs = append(dmaPairs, [2]hw.FrameRange{ch.dst[0], ch.src[0]})
-			dmaChunks = append(dmaChunks, ch)
+	if ndma > 0 && len(s.dmas) == 1 {
+		b := s.getDMABatch()
+		pairs := c.pairBuf[:0]
+		for i, ch := range all {
+			if dmaSet[i] {
+				pairs = append(pairs, [2]hw.FrameRange{ch.dst, ch.src})
+				b.chunks = append(b.chunks, ch)
+			}
 		}
-	}
-	if len(dmaPairs) > 0 && len(s.dmas) == 1 {
+		c.pairBuf = pairs
 		// One doorbell for the whole batch: full submit cost for the
 		// first descriptor, a quarter for each further one (§4.3).
-		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(dmaPairs)-1)*cycles.DMASubmit/4
+		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(pairs)-1)*cycles.DMASubmit/4
 		ctx.Exec(cost)
-		env := ctx.Env()
-		for _, ch := range dmaChunks {
+		b.env = ctx.Env()
+		for _, ch := range b.chunks {
 			ch.task.issued.MarkRange(ch.dstOff, ch.length)
 			ch.task.inflight++
 			s.Stats.DMABytes += int64(ch.length)
 		}
-		s.inflightDMA += len(dmaPairs)
+		s.inflightDMA += len(pairs)
+		b.left = len(pairs)
 		// Segments are marked as each transfer lands; the channel
 		// drains FIFO, so one completion walker serves the batch. A
 		// transfer the fault layer failed is rolled back instead: its
@@ -701,11 +773,11 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 		// DMA cooldown window opens, and the task backs off (or, with
 		// retries exhausted, fails). Waiters are woken either way —
 		// awaitInFlight watches the in-flight counter, not the bits.
-		s.dmas[0].EnqueueBatch(dmaPairs, func(i int, err error) {
-			s.dmaDone(env, dmaChunks[i], err)
-		})
-	} else if len(dmaPairs) > 0 {
-		s.dispatchDMASharded(ctx, dmaPairs, dmaChunks)
+		// EnqueueBatch copies pairs into its own arena, so the scratch
+		// buffer is free for the next round.
+		s.dmas[0].EnqueueBatch(pairs, b.cb)
+	} else if ndma > 0 {
+		s.dispatchDMASharded(ctx, c, all, dmaSet)
 	}
 
 	// Execute the CPU side inline, segment by segment, updating
@@ -759,9 +831,7 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 					Layer: obs.LayerHW, Track: cpuTrack, Name: "copy", A: int64(piece)})
 			}
 			ctx.Exec(cost)
-			hw.CopyScatter(s.pm,
-				[]hw.FrameRange{subRange(ch.dst[0], off, piece)},
-				[]hw.FrameRange{subRange(ch.src[0], off, piece)})
+			hw.CopyRange(s.pm, subRange(ch.dst, off, piece), subRange(ch.src, off, piece))
 			s.avxBytes(piece)
 			s.account(ch.task.Client, piece)
 			if rec := s.env.Recorder(); rec != nil {
@@ -788,6 +858,8 @@ func (s *Service) dispatch(ctx Ctx, c *Client, plans []plan) {
 // un-issued for a later round), opens the cooldown window, and backs
 // the task off. Shared by the flat single-batch path and the sharded
 // per-engine path so both have identical failure semantics.
+//
+//copier:noalloc
 func (s *Service) dmaDone(env *sim.Env, ch chunk, err error) {
 	s.inflightDMA--
 	ch.task.inflight--
@@ -811,23 +883,34 @@ func (s *Service) dmaDone(env *sim.Env, ch chunk, err error) {
 	}
 }
 
-// dispatchDMASharded distributes a round's DMA chunks over the
-// per-node engines (NUMA task steering): each chunk prefers the
-// engine local to its destination frames, but spills to a remote
-// engine when that engine — despite the distance-scaled transfer
-// cost — would finish sooner than waiting behind the local queue.
-// Selection is deterministic: engines are scanned in index order and
-// only a strictly earlier finish steals the chunk. Chunks are then
-// submitted engine by engine in index order, one doorbell per engine.
-func (s *Service) dispatchDMASharded(ctx Ctx, dmaPairs [][2]hw.FrameRange, dmaChunks []chunk) {
+// dispatchDMASharded distributes a round's DMA chunks (the dmaSet
+// entries of all) over the per-node engines (NUMA task steering):
+// each chunk prefers the engine local to its destination frames, but
+// spills to a remote engine when that engine — despite the
+// distance-scaled transfer cost — would finish sooner than waiting
+// behind the local queue. Selection is deterministic: engines are
+// scanned in index order and only a strictly earlier finish steals
+// the chunk. Chunks are then submitted engine by engine in index
+// order, one doorbell per engine.
+func (s *Service) dispatchDMASharded(ctx Ctx, c *Client, all []chunk, dmaSet []bool) {
 	env := ctx.Env()
 	now := s.now()
 	// pend accumulates this round's assignments so later chunks see
 	// queue depth the engines will have after earlier ones land.
-	pend := make([]sim.Time, len(s.dmas))
-	engOf := make([]int, len(dmaChunks))
-	for i, ch := range dmaChunks {
-		local := s.pm.NodeOf(ch.dst[0].Frame)
+	pend := c.pendBuf[:0]
+	for range s.dmas {
+		pend = append(pend, 0)
+	}
+	c.pendBuf = pend
+	// eng, indexed like all, assigns each DMA chunk its engine (-1 for
+	// CPU chunks).
+	eng := c.engBuf[:0]
+	for i, ch := range all {
+		if !dmaSet[i] {
+			eng = append(eng, -1)
+			continue
+		}
+		local := s.pm.NodeOf(ch.dst.Frame)
 		best, bestDone := local, s.engineDone(local, now, pend, ch)
 		for e := range s.dmas {
 			if e == local {
@@ -837,49 +920,55 @@ func (s *Service) dispatchDMASharded(ctx Ctx, dmaPairs [][2]hw.FrameRange, dmaCh
 				best, bestDone = e, done
 			}
 		}
-		engOf[i] = best
-		pend[best] += s.dmas[best].XferCost(ch.dst[0], ch.src[0])
+		eng = append(eng, best)
+		pend[best] += s.dmas[best].XferCost(ch.dst, ch.src)
 		if best != local {
 			s.Stats.RemoteSpills++
 			s.Stats.RemoteDMABytes += int64(ch.length)
 		}
 	}
+	c.engBuf = eng
 	for e := range s.dmas {
-		var pairs [][2]hw.FrameRange
-		var chunks []chunk
-		for i := range dmaChunks {
-			if engOf[i] == e {
-				pairs = append(pairs, dmaPairs[i])
-				chunks = append(chunks, dmaChunks[i])
+		var b *dmaBatch
+		pairs := c.pairBuf2[:0]
+		for i, ch := range all {
+			if eng[i] == e {
+				pairs = append(pairs, [2]hw.FrameRange{ch.dst, ch.src})
+				if b == nil {
+					b = s.getDMABatch()
+				}
+				b.chunks = append(b.chunks, ch)
 			}
 		}
-		if len(pairs) == 0 {
+		c.pairBuf2 = pairs
+		if b == nil {
 			continue
 		}
 		cost := sim.Time(cycles.DMASubmit) + sim.Time(len(pairs)-1)*cycles.DMASubmit/4
 		ctx.Exec(cost)
-		for _, ch := range chunks {
+		b.env = env
+		for _, ch := range b.chunks {
 			ch.task.issued.MarkRange(ch.dstOff, ch.length)
 			ch.task.inflight++
 			s.Stats.DMABytes += int64(ch.length)
 		}
 		s.inflightDMA += len(pairs)
-		batch := chunks
-		s.dmas[e].EnqueueBatch(pairs, func(i int, err error) {
-			s.dmaDone(env, batch[i], err)
-		})
+		b.left = len(pairs)
+		s.dmas[e].EnqueueBatch(pairs, b.cb)
 	}
 }
 
 // engineDone estimates when engine e would complete ch: its queue
 // drain time (current busyUntil plus this round's pending
 // assignments) plus the distance-scaled transfer cost.
+//
+//copier:noalloc
 func (s *Service) engineDone(e int, now sim.Time, pend []sim.Time, ch chunk) sim.Time {
 	start := s.dmas[e].BusyUntil()
 	if start < now {
 		start = now
 	}
-	return start + pend[e] + s.dmas[e].XferCost(ch.dst[0], ch.src[0])
+	return start + pend[e] + s.dmas[e].XferCost(ch.dst, ch.src)
 }
 
 // cpuCopyCost prices one CPU copy piece: flat on a single-node
@@ -888,17 +977,21 @@ func (s *Service) engineDone(e int, now sim.Time, pend []sim.Time, ch chunk) sim
 // frames otherwise. A chunk's frames sit on its first frame's node —
 // node ranges are contiguous, so a chunk straddling a boundary is
 // priced by where it starts.
+//
+//copier:noalloc
 func (s *Service) cpuCopyCost(ch chunk, piece units.Bytes) sim.Time {
 	if s.cfg.Topo == nil || len(s.dmas) == 1 {
 		return cycles.CopyCost(s.cpuUnit(), piece)
 	}
 	node := ch.task.Client.Node
-	dist := s.cfg.Topo.PairDist(node, s.pm.NodeOf(ch.src[0].Frame), s.pm.NodeOf(ch.dst[0].Frame))
+	dist := s.cfg.Topo.PairDist(node, s.pm.NodeOf(ch.src.Frame), s.pm.NodeOf(ch.dst.Frame))
 	return cycles.NUMACopyCost(s.cpuUnit(), piece, dist)
 }
 
 // subRange offsets a contiguous frame range by delta bytes and
 // truncates it to n bytes.
+//
+//copier:noalloc
 func subRange(fr hw.FrameRange, delta, n units.Bytes) hw.FrameRange {
 	abs := fr.Off + delta
 	return hw.FrameRange{
@@ -909,6 +1002,8 @@ func subRange(fr hw.FrameRange, delta, n units.Bytes) hw.FrameRange {
 }
 
 // account charges n copied bytes to the client's CFS key (§4.5.3).
+//
+//copier:noalloc
 func (s *Service) account(c *Client, n units.Bytes) {
 	c.TotalCopied += int64(n)
 	shares := int64(100)
@@ -930,6 +1025,8 @@ func (s *Service) avxBytes(n units.Bytes) {
 }
 
 // markChunk sets the descriptor bits covered by a completed chunk.
+//
+//copier:noalloc
 func (s *Service) markChunk(ch chunk) {
 	t := ch.task
 	if t.Desc != nil {
@@ -951,7 +1048,9 @@ func (s *Service) finishTask(ctx Ctx, c *Client, t *Task) {
 	// (ctx.Exec): a csync_all caller observing executed==true must
 	// also find the FUNC already delegated.
 	t.executed = true
-	s.trace("finish %s task %d (%d bytes)", c.Name, t.ID, t.Len)
+	if s.env.Tracer() != nil {
+		s.trace("finish %s task %d (%d bytes)", c.Name, t.ID, t.Len)
+	}
 	if rec := s.env.Recorder(); rec != nil {
 		now := int64(s.now())
 		rec.Emit(obs.Event{T: now, Kind: obs.EvTaskComplete, Layer: obs.LayerCore,
@@ -976,7 +1075,7 @@ func (s *Service) finishTask(ctx Ctx, c *Client, t *Task) {
 	c.Progress.Broadcast(ctx.Env())
 	ctx.Exec(deferredCost)
 	s.unpinAll(ctx, t.pins)
-	t.pins = nil
+	t.pins = t.pins[:0]
 }
 
 // failTask drops a task that failed security checks or faulted
@@ -987,7 +1086,7 @@ func (s *Service) failTask(ctx Ctx, c *Client, t *Task, err error) {
 	t.err = err
 	s.awaitInFlight(ctx, t)
 	s.unpinAll(ctx, t.pins)
-	t.pins = nil
+	t.pins = t.pins[:0]
 	if t.Desc != nil {
 		t.Desc.Err = err
 		t.Desc.NotifyProgress(ctx.Env())
@@ -995,7 +1094,9 @@ func (s *Service) failTask(ctx Ctx, c *Client, t *Task, err error) {
 	c.backlogBytes -= int64(t.Len)
 	s.backlogBytes -= int64(t.Len)
 	s.Stats.FailedTasks++
-	s.trace("fail %s task %d: %v", c.Name, t.ID, err)
+	if s.env.Tracer() != nil {
+		s.trace("fail %s task %d: %v", c.Name, t.ID, err)
+	}
 	if rec := s.env.Recorder(); rec != nil {
 		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvTaskFailed, Layer: obs.LayerCore,
 			Track: "core:tasks", Name: c.Name, A: int64(t.ID), B: int64(t.retries)})

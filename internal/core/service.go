@@ -237,6 +237,11 @@ type Service struct {
 	// study).
 	cache *hw.Cache
 
+	// dmaBatchPool recycles dmaBatch carriers (and their pre-bound
+	// completion closures) between dispatch rounds. Safe without
+	// locking: pool operations never span a yield.
+	dmaBatchPool []*dmaBatch
+
 	// kernelAS, when set, identifies the kernel address space: its
 	// pages are unswappable and need no pinning.
 	kernelAS *mem.AddrSpace
@@ -491,7 +496,9 @@ func (s *Service) teardownClient(ctx Ctx, c *Client) {
 	c.U.handlers = nil
 	s.Stats.ClientTeardowns++
 	s.Stats.ReclaimedTasks += int64(reclaimed)
-	s.trace("teardown %s: reclaimed %d tasks", c.Name, reclaimed)
+	if s.env.Tracer() != nil {
+		s.trace("teardown %s: reclaimed %d tasks", c.Name, reclaimed)
+	}
 	if rec := s.env.Recorder(); rec != nil {
 		rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvClientTeardown, Layer: obs.LayerCore,
 			Track: "core:clients", Name: c.Name, A: int64(c.ID), B: int64(reclaimed)})
@@ -770,30 +777,25 @@ func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 }
 
 // pickClient implements the two-level CFS-by-copy-length policy.
+//
+//copier:noalloc
 func (s *Service) pickClient(ctx Ctx, mine []*Client) *Client {
 	ctx.Exec(cycles.SchedulePick)
-	// Collect groups with runnable clients.
-	type cand struct {
-		g *CGroupAccount
-		c *Client
-	}
 	now := s.now()
-	var best *cand
+	var bestG *CGroupAccount
+	var bestC *Client
 	for _, c := range mine {
 		if c.closed || !c.runnable(now) {
 			continue
 		}
 		g := c.Group
-		if best == nil ||
-			g.vruntime < best.g.vruntime ||
-			(g == best.g && c.vruntime < best.c.vruntime) {
-			best = &cand{g, c}
+		if bestC == nil ||
+			g.vruntime < bestG.vruntime ||
+			(g == bestG && c.vruntime < bestC.vruntime) {
+			bestG, bestC = g, c
 		}
 	}
-	if best == nil {
-		return nil
-	}
-	return best.c
+	return bestC
 }
 
 // runnable reports whether the client has non-lazy pending work that
@@ -848,8 +850,10 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget units.Bytes) bool {
 				roundCap = budget
 			}
 		}
-		// Fuse adjacent dependency-free tasks into the round.
-		batch := []*Task{head}
+		// Fuse adjacent dependency-free tasks into the round. The batch
+		// lives in the client's scratch buffer; executeBatch consumes it
+		// fully before the next iteration reuses it.
+		batch := append(c.batchBuf[:0], head)
 		fused := head.Len
 		for _, t := range c.pending {
 			if t == head || !t.dispatchable(now) {
@@ -867,12 +871,14 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget units.Bytes) bool {
 			batch = append(batch, t)
 			fused += t.Len
 		}
+		c.batchBuf = batch
 		// Dependencies of the head must still run first.
 		s.resolveHeadDeps(ctx, c, head)
-		reqs := make([]execReq, len(batch))
-		for i, b := range batch {
-			reqs[i] = execReq{b, 0, b.Len}
+		reqs := c.reqBuf[:0]
+		for _, b := range batch {
+			reqs = append(reqs, execReq{b, 0, b.Len})
 		}
+		c.reqBuf = reqs
 		s.executeBatch(ctx, c, reqs)
 		budget -= fused
 	}
@@ -894,17 +900,15 @@ func (s *Service) dependsOnAny(ctx Ctx, c *Client, t *Task, batch []*Task) bool 
 	}
 	// Earlier pending tasks not in the batch (e.g. lazy) conflict the
 	// same way.
-	inBatch := func(x *Task) bool {
-		for _, b := range batch {
-			if b == x {
-				return true
-			}
-		}
-		return false
-	}
+outer:
 	for _, p := range c.pending {
-		if p.orderIdx >= t.orderIdx || p.executed || p.aborted || inBatch(p) {
+		if p.orderIdx >= t.orderIdx || p.executed || p.aborted {
 			continue
+		}
+		for _, b := range batch {
+			if b == p {
+				continue outer
+			}
 		}
 		ctx.Exec(cycles.DependencyCheck)
 		if s.dependsOn(p, t) {
@@ -956,12 +960,16 @@ func (s *Service) serveSyncQueue(ctx Ctx, c *Client, kmode bool) bool {
 		switch st.Kind {
 		case KindSync:
 			s.Stats.SyncsServed++
-			s.trace("sync %s [%#x,+%d): promote", c.Name, uint64(st.Addr), st.SyncLen)
+			if s.env.Tracer() != nil {
+				s.trace("sync %s [%#x,+%d): promote", c.Name, uint64(st.Addr), st.SyncLen)
+			}
 			s.promote(ctx, c, st.Addr, st.SyncLen)
 		case KindAbort:
 			if st.AbortDesc != nil {
-				s.trace("abort %s desc [%#x,+%d)", c.Name, uint64(st.AbortDesc.Base), st.AbortDesc.Len)
-			} else {
+				if s.env.Tracer() != nil {
+					s.trace("abort %s desc [%#x,+%d)", c.Name, uint64(st.AbortDesc.Base), st.AbortDesc.Len)
+				}
+			} else if s.env.Tracer() != nil {
 				s.trace("abort %s [%#x,+%d)", c.Name, uint64(st.Addr), st.SyncLen)
 			}
 			s.abort(ctx, c, st)

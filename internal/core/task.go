@@ -97,9 +97,13 @@ type Task struct {
 	AbortDesc *Descriptor
 
 	// Runtime state owned by the service.
-	orderIdx   uint64 // merged admission order (§4.2.1)
-	executed   bool
-	aborted    bool
+	orderIdx uint64 // merged admission order (§4.2.1)
+	executed bool
+	aborted  bool
+	// dispatched is set on the task's first dispatcher round; it gates
+	// the one-shot EvTaskDispatch emission and survives descriptor
+	// reuse, unlike `issued == nil`.
+	dispatched bool
 	enqueuedAt sim.Time
 	// segDone counts completed bytes, to detect full completion
 	// without rescanning the descriptor (descriptor may be shared).
@@ -125,6 +129,40 @@ type Task struct {
 	// pendingErr is set when retries are exhausted: the next service
 	// sweep finalizes the task via failTask once inflight drains.
 	pendingErr error
+}
+
+// Reuse resets the runtime state the service stamped on a completed
+// (or failed) task so the identical request can be resubmitted.
+// Steady-state drivers recycle their task objects this way instead of
+// allocating fresh ones per operation. The request fields (Src, Dst,
+// Len, ...) and the task ID are kept; Desc and the issued tracker are
+// cleared in place. Reuse of a task with work still in flight is a
+// caller bug.
+func (t *Task) Reuse() {
+	if t.inflight != 0 {
+		panic("core: Reuse of task with in-flight DMA")
+	}
+	t.orderIdx = 0
+	t.executed = false
+	t.aborted = false
+	t.dispatched = false
+	t.enqueuedAt = 0
+	t.segDone = 0
+	base := t.Dst
+	if t.phys() {
+		base = 0
+	}
+	if t.issued != nil {
+		t.issued.Reset(base, t.Len)
+	}
+	if t.Desc != nil {
+		t.Desc.Reset(base, t.Len)
+	}
+	t.pins = t.pins[:0]
+	t.err = nil
+	t.retries = 0
+	t.retryAt = 0
+	t.pendingErr = nil
 }
 
 // Err returns the failure recorded when the service dropped the task.

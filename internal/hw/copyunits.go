@@ -81,6 +81,18 @@ func CopyScatter(pm *mem.PhysMem, dst, src []FrameRange) units.Bytes {
 	return total
 }
 
+// CopyRange moves bytes between two physically contiguous ranges —
+// the single-run fast path of CopyScatter. The one-element lists live
+// on the stack (CopyScatter does not retain its arguments), so the
+// call is allocation-free.
+//
+//copier:noalloc
+func CopyRange(pm *mem.PhysMem, dst, src FrameRange) units.Bytes {
+	d := [1]FrameRange{dst}
+	s := [1]FrameRange{src}
+	return CopyScatter(pm, d[:], s[:])
+}
+
 // TotalLen sums the lengths of a range list.
 func TotalLen(rs []FrameRange) units.Bytes {
 	var n units.Bytes
@@ -223,6 +235,11 @@ type DMAChannel struct {
 	// track names the engine's timeline row; per-node engines get
 	// distinct rows ("hw:DMA0", "hw:DMA1", ...).
 	track string
+	// batchPool recycles EnqueueBatch carriers (descriptor arena +
+	// completion-walk closure), so a steady stream of batches
+	// allocates nothing. Safe without locking: the simulation is
+	// single-threaded per environment.
+	batchPool []*dmaBatch
 }
 
 // SetFaultInjector attaches a fault injector; nil detaches it.
@@ -339,6 +356,49 @@ func (d *DMAChannel) Enqueue(dst, src FrameRange) *DMARequest {
 	return d.submitAt(dst, src)
 }
 
+// dmaBatch carries one EnqueueBatch submission through its completion
+// walk: the descriptor arena, the cursor, and the pre-bound step
+// closure. Carriers are recycled through the channel's pool once the
+// walk finishes.
+type dmaBatch struct {
+	d      *DMAChannel
+	reqs   []DMARequest
+	i      int
+	onDone func(i int, err error)
+	step   func()
+}
+
+// getBatch pops a recycled carrier or builds one with its step
+// closure bound once.
+func (d *DMAChannel) getBatch() *dmaBatch {
+	if n := len(d.batchPool); n > 0 {
+		b := d.batchPool[n-1]
+		d.batchPool[n-1] = nil
+		d.batchPool = d.batchPool[:n-1]
+		return b
+	}
+	b := &dmaBatch{d: d}
+	b.step = func() {
+		req := &b.reqs[b.i]
+		b.d.BytesCopied += int64(req.complete(b.d.pm))
+		if b.onDone != nil {
+			b.onDone(b.i, req.Err)
+		}
+		b.i++
+		if b.i < len(b.reqs) {
+			b.d.env.Schedule(b.reqs[b.i].CompleteAt-b.d.env.Now(), b.step)
+			return
+		}
+		// Walk done: recycle. The onDone callback may already have
+		// enqueued a follow-up batch; it drew a different carrier
+		// because this one is only pushed back here.
+		b.onDone = nil
+		b.reqs = b.reqs[:0]
+		b.d.batchPool = append(b.d.batchPool, b)
+	}
+	return b
+}
+
 // EnqueueBatch enqueues all pairs back to back without charging any
 // submission cost (callers Exec the amortized batch cost themselves).
 // The channel drains its queue FIFO, so completion is driven by a
@@ -347,26 +407,30 @@ func (d *DMAChannel) Enqueue(dst, src FrameRange) *DMARequest {
 // fault), marks the request done, invokes onDone(i, err) and
 // reschedules itself for the next descriptor — one event in the heap
 // per batch instead of one per descriptor. err is nil on success and
-// ErrEngine when the fault layer failed the descriptor.
-func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int, err error)) []*DMARequest {
+// ErrEngine when the fault layer failed the descriptor. pairs is
+// copied into the carrier's arena during the call; the caller may
+// reuse it immediately.
+func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int, err error)) {
 	if len(pairs) == 0 {
-		return nil
+		return
 	}
 	now := d.env.Now()
 	start := d.busyUntil
 	if start < now {
 		start = now
 	}
-	arena := make([]DMARequest, len(pairs))
-	reqs := make([]*DMARequest, len(pairs))
+	b := d.getBatch()
+	b.onDone = onDone
+	b.i = 0
+	reqs := b.reqs[:0]
 	r := d.env.Recorder()
-	for i, pr := range pairs {
+	for _, pr := range pairs {
 		dst, src := pr[0], pr[1]
 		if dst.Len != src.Len {
 			panic(fmt.Sprintf("hw: DMA length mismatch %d != %d", dst.Len, src.Len))
 		}
-		req := &arena[i]
-		*req = DMARequest{dst: dst, src: src}
+		reqs = append(reqs, DMARequest{dst: dst, src: src})
+		req := &reqs[len(reqs)-1]
 		// An injected stall extends the transfer's occupancy of the
 		// engine, so later descriptors in the queue see it too.
 		dur := d.xferDur(dst, src) + d.decideFault(req, src.Len)
@@ -379,25 +443,11 @@ func (d *DMAChannel) EnqueueBatch(pairs [][2]FrameRange, onDone func(i int, err 
 				Layer: obs.LayerHW, Track: d.track, Name: "xfer", A: int64(src.Len)})
 		}
 		start = req.CompleteAt
-		reqs[i] = req
 	}
+	b.reqs = reqs
 	d.busyUntil = start
 	d.Submitted += int64(len(pairs))
-	i := 0
-	var step func()
-	step = func() {
-		req := reqs[i]
-		d.BytesCopied += int64(req.complete(d.pm))
-		if onDone != nil {
-			onDone(i, req.Err)
-		}
-		i++
-		if i < len(reqs) {
-			d.env.Schedule(reqs[i].CompleteAt-d.env.Now(), step)
-		}
-	}
-	d.env.Schedule(reqs[0].CompleteAt-now, step)
-	return reqs
+	d.env.Schedule(reqs[0].CompleteAt-now, b.step)
 }
 
 func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {

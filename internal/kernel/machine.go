@@ -77,6 +77,11 @@ type Config struct {
 	MemBytes int64
 	Quantum  sim.Time
 	Topo     *topo.Topology
+	// Env, when set, hosts the machine on an existing simulation
+	// environment instead of a fresh sim.NewEnv. Pooled experiment
+	// cells (sim.RunJobs) use this to wire the machine to a job's
+	// private recorder.
+	Env *sim.Env
 }
 
 // NewMachine builds a machine with the given core count and memory.
@@ -98,8 +103,12 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 200_000 // ~70us at 2.9GHz
 	}
+	env := cfg.Env
+	if env == nil {
+		env = sim.NewEnv()
+	}
 	m := &Machine{
-		Env:                sim.NewEnv(),
+		Env:                env,
 		Phys:               mem.NewPhysMem(cfg.MemBytes),
 		Quantum:            cfg.Quantum,
 		nextPID:            1,

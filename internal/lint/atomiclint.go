@@ -43,12 +43,15 @@ type AtomicConfig struct {
 }
 
 // DefaultAtomicConfig matches this repository: the native background
-// copier, the rings it shares with the core service, and the
-// observability counters both sides bump.
+// copier, the rings it shares with the core service, the
+// observability counters both sides bump, and the simulator now that
+// its shard runtime executes lookahead windows on real worker
+// threads.
 var DefaultAtomicConfig = AtomicConfig{Packages: []string{
 	"copier/internal/acopy",
 	"copier/internal/core",
 	"copier/internal/obs",
+	"copier/internal/sim",
 }}
 
 const serializedMarker = "//copier:serialized"

@@ -360,17 +360,19 @@ func (as *AddrSpace) ContigRun(a VA, max units.Bytes) units.Bytes {
 // handling locks mappings until the copy completes, §4.5.4). All pages
 // must be present.
 func (as *AddrSpace) Pin(a VA, length units.Bytes) error {
-	var pinned []*PTE
-	for va := a & ^VA(PageSize-1); va < a+VA(length); va += PageSize {
+	start := a & ^VA(PageSize-1)
+	for va := start; va < a+VA(length); va += PageSize {
 		pte, ok := as.pages[va.Page()]
 		if !ok || !pte.Present {
-			for _, p := range pinned {
-				p.Pinned--
+			// Roll back by re-walking the pages already pinned: the
+			// walk is cheap and keeps the success path allocation-free
+			// (the service pins page-by-page on every fault).
+			for u := start; u < va; u += PageSize {
+				as.pages[u.Page()].Pinned--
 			}
 			return fmt.Errorf("mem: pin of non-present page %#x: %w", uint64(va), ErrBadAddress)
 		}
 		pte.Pinned++
-		pinned = append(pinned, pte)
 	}
 	return nil
 }

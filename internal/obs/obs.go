@@ -177,6 +177,20 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Merge folds o's observations into h, bucket-wise. Merging per-shard
+// histograms in a fixed order is deterministic because the buckets are
+// plain sums.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
@@ -308,6 +322,9 @@ func (r *Recorder) Emit(e Event) {
 		}
 	}
 }
+
+// Cap returns the ring capacity in events.
+func (r *Recorder) Cap() int { return len(r.ring) }
 
 // Total returns the number of events ever emitted.
 func (r *Recorder) Total() uint64 { return r.n }

@@ -37,10 +37,20 @@ go test ./...
 # AMemcpy -> Wait -> Release recycling path. internal/kernel rides
 # along for the process-kill teardown tests (client death must not
 # wedge service threads or leak pins); internal/bench for the fleet
-# smoke (per-core shard rings + per-node engines under load).
+# smoke (per-core shard rings + per-node engines under load);
+# internal/sim for the parallel event loop (cross-shard handoff
+# stress across worker threads).
 echo "== go test -race (concurrency-bearing packages) =="
-go test -race ./internal/acopy ./internal/core ./internal/kernel
+go test -race ./internal/acopy ./internal/core ./internal/kernel ./internal/sim
 go test -race -short ./internal/bench
+
+# Parallel-loop identity smoke: the sharded fleet must print the same
+# bytes (tables AND trace export) at 1 and 4 host workers. The full
+# matrix (fig9/fig12b/chaos/fleet/fleetpar) runs in `go test ./...`
+# above; this re-runs the cheapest golden explicitly so a broken
+# conservative window fails with its own banner.
+echo "== shards=1 vs 4 identity smoke =="
+go test -run 'TestShardIdentityFleetPar' ./internal/bench
 
 # Fleet smoke: one small open-loop run per topology shape through the
 # sharded service; fails on lost completions, disordered quantiles,
