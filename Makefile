@@ -29,6 +29,7 @@ bench:
 fuzz:
 	go test ./internal/core -run=^$$ -fuzz=FuzzRing -fuzztime=30s
 	go test ./internal/core -run=^$$ -fuzz=FuzzFaultSchedule -fuzztime=30s
+	go test ./internal/core -run=^$$ -fuzz=FuzzHealthTransitions -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s
 	go test ./internal/lint -run=^$$ -fuzz=FuzzSuppress -fuzztime=30s

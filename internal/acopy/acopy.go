@@ -333,6 +333,11 @@ func (h *Handle) Done() bool { return h.completed.Load() == 1 }
 // outcome (nil, or ErrShutdown for a copy failed by Shutdown). A
 // ctx-abandoned copy keeps running — the handle must not be Released
 // until Done reports true; a watcher goroutine lingers until then.
+//
+// When completion and ctx expiry race — e.g. Shutdown fails the copy
+// at the same moment the caller's deadline fires — completion wins:
+// the copy reached a terminal state, so its own outcome (ErrShutdown,
+// not ctx.Err()) is what the caller must see.
 func (h *Handle) WaitContext(ctx context.Context) error {
 	if h.completed.Load() == 1 {
 		return h.err
@@ -346,6 +351,9 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 	case <-done:
 		return h.err
 	case <-ctx.Done():
+		if h.completed.Load() == 1 {
+			return h.err
+		}
 		return ctx.Err()
 	}
 }

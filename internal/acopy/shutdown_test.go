@@ -142,6 +142,47 @@ func TestSubmitAfterShutdown(t *testing.T) {
 	}
 }
 
+// TestWaitContextShutdownRace pins the completion-vs-expiry race in
+// WaitContext: when a copy reaches a terminal state (here: failed by
+// Shutdown) while a waiter is parked in the select and the context is
+// cancelled in the same instant, the waiter must see the copy's own
+// outcome — nil or ErrShutdown — never ctx.Err(). Without the
+// completed recheck in the ctx branch, the select's random choice
+// returned context.Canceled for a finished copy about half the time.
+func TestWaitContextShutdownRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		c := New(1)
+		gate := make(chan struct{})
+		blocker := c.AMemcpyH(buf(SegSize, 0), buf(SegSize, 1), func() { <-gate })
+		h := c.AMemcpy(buf(SegSize, 0), buf(SegSize, 2))
+
+		ctx, cancel := context.WithCancel(context.Background())
+		res := make(chan error, 1)
+		go func() { res <- h.WaitContext(ctx) }()
+
+		shutdownErr := make(chan error, 1)
+		go func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer scancel()
+			shutdownErr <- c.Shutdown(sctx)
+		}()
+		// Free the worker so the drain resolves h, then expire the
+		// waiter's context right as the watcher goroutine wakes up.
+		close(gate)
+		for !h.Done() {
+			runtime.Gosched()
+		}
+		cancel()
+		if err := <-res; err != nil && !errors.Is(err, ErrShutdown) {
+			t.Fatalf("iter %d: WaitContext = %v, want handle outcome", i, err)
+		}
+		if err := <-shutdownErr; err != nil {
+			t.Fatalf("iter %d: Shutdown: %v", i, err)
+		}
+		blocker.Wait()
+	}
+}
+
 // TestShutdownUnderLoad hammers a small Copier from several submitters
 // while Shutdown races with them; every handle must resolve and the
 // pending count must return to zero. Run with -race.

@@ -44,6 +44,29 @@ type FleetSLO struct {
 	RemoteDMAFrac float64   `json:"remote_dma_frac"`
 }
 
+// ChaosSLO is the chaosfleet experiment's degraded-mode summary for
+// one configuration: terminal-state accounting (the zero-loss
+// invariant), shed counts by reason, tail latency of accepted work,
+// and time-to-recover after the permanent engine death. Emitted
+// alongside the microbenchmarks so resilience regressions (loss,
+// unbounded degradation, slower recovery) show up in trend tracking.
+type ChaosSLO struct {
+	Config        string  `json:"config"`
+	Accepted      int     `json:"accepted"`
+	Completed     int     `json:"completed"`
+	Rejected      int     `json:"rejected"`
+	DeadlineShed  int     `json:"deadline_shed"`
+	Failed        int     `json:"failed"`
+	Lost          int     `json:"lost"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	DegradedP99Us float64 `json:"degraded_p99_us,omitempty"`
+	EngineDeaths  int64   `json:"engine_deaths"`
+	Resteered     int64   `json:"resteered"`
+	Quarantines   int64   `json:"quarantines"`
+	RecoverUs     float64 `json:"recover_us,omitempty"`
+}
+
 // ParallelResult is one point of the parallel-speedup series: the
 // sharded fleet (fleetpar.go) timed at a host worker count. The
 // simulated work and the output bytes are identical at every point —
@@ -67,6 +90,7 @@ type MicroReport struct {
 	CPUs     int              `json:"cpus"`
 	Results  []MicroResult    `json:"results"`
 	Fleet    []FleetSLO       `json:"fleet,omitempty"`
+	Chaos    []ChaosSLO       `json:"chaos,omitempty"`
 	Parallel []ParallelResult `json:"parallel,omitempty"`
 }
 
@@ -250,6 +274,28 @@ func RunMicrobenches() MicroReport {
 		})
 	}
 
+	// Chaosfleet degraded-mode SLO summary: the Quick-scale worst-day
+	// sweep (chaosfleet.go). Simulated time, byte-stable run to run.
+	var chaos []ChaosSLO
+	for _, r := range ChaosFleetQuickResults() {
+		chaos = append(chaos, ChaosSLO{
+			Config:        r.Name,
+			Accepted:      r.Accepted,
+			Completed:     r.Completed,
+			Rejected:      r.Rejected,
+			DeadlineShed:  r.DeadlineShed,
+			Failed:        r.Failed,
+			Lost:          r.Lost,
+			P50Us:         cycles.ToMicroseconds(sim.Time(r.P50)),
+			P99Us:         cycles.ToMicroseconds(sim.Time(r.P99)),
+			DegradedP99Us: cycles.ToMicroseconds(sim.Time(r.DegradedP99)),
+			EngineDeaths:  r.EngineDeaths,
+			Resteered:     r.Resteered,
+			Quarantines:   r.Quarantines,
+			RecoverUs:     cycles.ToMicroseconds(r.TimeToRecover),
+		})
+	}
+
 	// Parallel event loop: wall-clock the sharded fleet at increasing
 	// host worker counts. The per-point simulation is identical; only
 	// the host threading changes.
@@ -279,6 +325,7 @@ func RunMicrobenches() MicroReport {
 		CPUs:     runtime.NumCPU(),
 		Results:  results,
 		Fleet:    fleet,
+		Chaos:    chaos,
 		Parallel: parallel,
 	}
 }

@@ -362,6 +362,9 @@ func (c *Client) admitUserUpTo(ctx Ctx, pos uint64) {
 }
 
 func (c *Client) admitTask(t *Task, svc *Service) {
+	if t.Kind == KindCopy && svc.rejectAdmission(c, t) {
+		return
+	}
 	if svc.env.Tracer() != nil {
 		// Guarded at the call site: the variadic args would otherwise
 		// box onto the heap before trace's own nil check runs.

@@ -287,12 +287,33 @@ func (s *Service) awaitInFlight(ctx Ctx, t *Task) {
 // noteFailure records one transient engine failure on t: bounded
 // exponential backoff while retries remain, otherwise a pending
 // permanent failure the next service sweep finalizes via failTask.
+// Granted retries draw from the global retry budget so a correlated
+// failure burst cannot amplify into a retry storm; chunks whose engine
+// died permanently are re-steers, exempt from the budget (replacing
+// lost hardware is not load amplification) but still bounded by
+// MaxRetries so a fleet with no surviving route converges to a
+// definite error.
 func (s *Service) noteFailure(t *Task, err error) {
+	resteer := err == hw.ErrEngineDead
 	t.retries++
 	if t.retries > s.cfg.MaxRetries {
 		if t.pendingErr == nil {
 			t.pendingErr = fmt.Errorf("core: task %d gave up after %d transient failures: %w",
 				t.ID, t.retries-1, err)
+		}
+		return
+	}
+	if resteer {
+		s.Stats.ResteeredChunks++
+	} else if !s.takeRetryToken(s.now()) {
+		// Budget dry: the failure becomes definite instead of retrying.
+		s.Stats.RetryDenied++
+		if t.pendingErr == nil {
+			t.pendingErr = fmt.Errorf("core: task %d retry denied by budget: %w", t.ID, err)
+		}
+		if rec := s.env.Recorder(); rec != nil {
+			rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvTaskShed, Layer: obs.LayerCore,
+				Track: "core:tasks", Name: t.Client.Name, A: int64(t.ID), B: shedRetryBudget})
 		}
 		return
 	}
@@ -655,8 +676,11 @@ type dmaBatch struct {
 	s      *Service
 	env    *sim.Env
 	chunks []chunk
-	left   int
-	cb     func(i int, err error)
+	// eng is the engine the batch was submitted to, fed back to the
+	// health state machine on each completion.
+	eng  int
+	left int
+	cb   func(i int, err error)
 }
 
 // getDMABatch pops a pooled batch (or builds one, binding its
@@ -671,7 +695,7 @@ func (s *Service) getDMABatch() *dmaBatch {
 	}
 	b := &dmaBatch{s: s}
 	b.cb = func(i int, err error) {
-		b.s.dmaDone(b.env, b.chunks[i], err)
+		b.s.dmaDone(b.env, b.eng, b.chunks[i], err)
 		b.left--
 		if b.left == 0 {
 			b.chunks = b.chunks[:0]
@@ -714,6 +738,23 @@ func (s *Service) dispatch(ctx Ctx, c *Client, all []chunk) {
 				A: int64(all[0].task.ID), B: int64(total)})
 		}
 	}
+	flatProbe := false
+	if useDMA && len(s.dmas) == 1 {
+		// Health gate for the flat machine's only engine: quarantined or
+		// dead, the round runs entirely on the CPU engines (the sharded
+		// path filters per engine instead).
+		ok, probe := s.engineAvailable(0, s.now())
+		if !ok {
+			useDMA = false
+			s.Stats.FallbackBytes += int64(total)
+			if rec := s.env.Recorder(); rec != nil {
+				rec.Emit(obs.Event{T: int64(s.now()), Kind: obs.EvEngineFallback, Layer: obs.LayerCore,
+					Track: "core:tasks", Name: all[0].task.Client.Name,
+					A: int64(all[0].task.ID), B: int64(total)})
+			}
+		}
+		flatProbe = probe
+	}
 	if useDMA {
 		// Walk from the back, greedily moving DMA-eligible chunks to
 		// the DMA engine while its estimated finish time stays below
@@ -745,7 +786,15 @@ func (s *Service) dispatch(ctx Ctx, c *Client, all []chunk) {
 	// while transfers are outstanding and finishes tasks as their
 	// descriptors fill in.
 	if ndma > 0 && len(s.dmas) == 1 {
+		if flatProbe {
+			// Work is actually reaching the quarantined engine: mark the
+			// half-open probe in flight so re-admission waits for its
+			// outcome (marking at availability-check time would wedge the
+			// engine if no chunk were ever submitted).
+			s.markProbe(0)
+		}
 		b := s.getDMABatch()
+		b.eng = 0
 		pairs := c.pairBuf[:0]
 		for i, ch := range all {
 			if dmaSet[i] {
@@ -860,14 +909,21 @@ func (s *Service) dispatch(ctx Ctx, c *Client, all []chunk) {
 // per-engine path so both have identical failure semantics.
 //
 //copier:noalloc
-func (s *Service) dmaDone(env *sim.Env, ch chunk, err error) {
+func (s *Service) dmaDone(env *sim.Env, eng int, ch chunk, err error) {
 	s.inflightDMA--
 	ch.task.inflight--
+	perm := err == hw.ErrEngineDead
+	s.noteEngineOutcome(eng, err != nil, perm, env.Now())
 	if err != nil {
 		s.Stats.DMAFaults++
 		s.Stats.DMABytes -= int64(ch.length)
 		ch.task.issued.ClearRange(ch.dstOff, ch.length)
-		s.dmaAvoidUntil = env.Now() + s.cfg.DMACooldown
+		if !perm {
+			// A permanent death is the health machine's problem — the
+			// engine is already out of rotation, and the global cooldown
+			// would wrongly divert work from surviving engines too.
+			s.dmaAvoidUntil = env.Now() + s.cfg.DMACooldown
+		}
 		s.noteFailure(ch.task, err)
 	} else {
 		s.account(ch.task.Client, ch.length)
@@ -895,6 +951,13 @@ func (s *Service) dmaDone(env *sim.Env, ch chunk, err error) {
 func (s *Service) dispatchDMASharded(ctx Ctx, c *Client, all []chunk, dmaSet []bool) {
 	env := ctx.Env()
 	now := s.now()
+	// Availability snapshot for the round: quarantined engines admit at
+	// most one half-open probe chunk, dead ones nothing. The scratch is
+	// safe on the Service — the assignment loop never yields.
+	avail, probe := s.availBuf, s.probeBuf
+	for e := range s.dmas {
+		avail[e], probe[e] = s.engineAvailable(e, now)
+	}
 	// pend accumulates this round's assignments so later chunks see
 	// queue depth the engines will have after earlier ones land.
 	pend := c.pendBuf[:0]
@@ -905,29 +968,60 @@ func (s *Service) dispatchDMASharded(ctx Ctx, c *Client, all []chunk, dmaSet []b
 	// eng, indexed like all, assigns each DMA chunk its engine (-1 for
 	// CPU chunks).
 	eng := c.engBuf[:0]
+	fellBack := units.Bytes(0)
 	for i, ch := range all {
 		if !dmaSet[i] {
 			eng = append(eng, -1)
 			continue
 		}
 		local := s.pm.NodeOf(ch.dst.Frame)
-		best, bestDone := local, s.engineDone(local, now, pend, ch)
-		for e := range s.dmas {
-			if e == local {
-				continue
+		best := -1
+		var bestDone sim.Time
+		if avail[local] {
+			best, bestDone = local, s.engineEstimate(local, now, pend, ch)
+		}
+		if !s.brownout {
+			// Brownout steers local-only: remote spills buy latency with
+			// interconnect bandwidth the saturated fleet does not have.
+			for e := range s.dmas {
+				if e == local || !avail[e] {
+					continue
+				}
+				if done := s.engineEstimate(e, now, pend, ch); best < 0 || done < bestDone {
+					best, bestDone = e, done
+				}
 			}
-			if done := s.engineDone(e, now, pend, ch); done < bestDone {
-				best, bestDone = e, done
-			}
+		}
+		if best < 0 {
+			// No engine may take the chunk (local one quarantined or dead
+			// and no available sibling): revert it to the CPU side.
+			eng = append(eng, -1)
+			dmaSet[i] = false
+			fellBack += ch.length
+			continue
 		}
 		eng = append(eng, best)
 		pend[best] += s.dmas[best].XferCost(ch.dst, ch.src)
+		if probe[best] {
+			// One probe chunk per quarantined engine per round; close the
+			// engine for further assignments until the outcome lands.
+			s.markProbe(best)
+			avail[best], probe[best] = false, false
+		}
 		if best != local {
 			s.Stats.RemoteSpills++
 			s.Stats.RemoteDMABytes += int64(ch.length)
 		}
 	}
 	c.engBuf = eng
+	if fellBack > 0 {
+		s.Stats.FallbackBytes += int64(fellBack)
+		if rec := s.env.Recorder(); rec != nil {
+			rec.Emit(obs.Event{T: int64(now), Kind: obs.EvEngineFallback, Layer: obs.LayerCore,
+				Track: "core:tasks", Name: all[0].task.Client.Name,
+				A: int64(all[0].task.ID), B: int64(fellBack)})
+		}
+	}
 	for e := range s.dmas {
 		var b *dmaBatch
 		pairs := c.pairBuf2[:0]
@@ -936,6 +1030,7 @@ func (s *Service) dispatchDMASharded(ctx Ctx, c *Client, all []chunk, dmaSet []b
 				pairs = append(pairs, [2]hw.FrameRange{ch.dst, ch.src})
 				if b == nil {
 					b = s.getDMABatch()
+					b.eng = e
 				}
 				b.chunks = append(b.chunks, ch)
 			}
@@ -969,6 +1064,20 @@ func (s *Service) engineDone(e int, now sim.Time, pend []sim.Time, ch chunk) sim
 		start = now
 	}
 	return start + pend[e] + s.dmas[e].XferCost(ch.dst, ch.src)
+}
+
+// engineEstimate is engineDone with the health penalty applied: a
+// degraded engine's retry risk is priced as one extra transfer cost,
+// steering marginal chunks toward healthy siblings without abandoning
+// the engine outright.
+//
+//copier:noalloc
+func (s *Service) engineEstimate(e int, now sim.Time, pend []sim.Time, ch chunk) sim.Time {
+	done := s.engineDone(e, now, pend, ch)
+	if s.health[e].state == EngineDegraded {
+		done += s.dmas[e].XferCost(ch.dst, ch.src)
+	}
+	return done
 }
 
 // cpuCopyCost prices one CPU copy piece: flat on a single-node

@@ -99,6 +99,79 @@ func TestPermanentFaultFailsTask(t *testing.T) {
 	}
 }
 
+// TestNoRetriesSentinel pins the Config.MaxRetries encoding: the zero
+// value means the default budget of 8 (a single transient fault is
+// absorbed and the task recovers), while the NoRetries sentinel means
+// zero retries — the first transient failure is the task's final
+// answer.
+func TestNoRetriesSentinel(t *testing.T) {
+	if got := DefaultConfig().withDefaults().MaxRetries; got != 8 {
+		t.Fatalf("default MaxRetries = %d, want 8", got)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxRetries = NoRetries
+	if got := cfg.withDefaults().MaxRetries; got != 0 {
+		t.Fatalf("NoRetries MaxRetries = %d, want 0", got)
+	}
+
+	run := func(t *testing.T, cfg Config) (*Task, *harness) {
+		h := newHarness(t, cfg)
+		// Exactly the first DMA descriptor fails; all later attempts
+		// (on any engine) succeed, so the outcome is decided purely by
+		// whether a retry is allowed.
+		h.svc.SetFaultInjector(fault.New(7).AddRule(fault.Rule{
+			Site: fault.SiteDMA, Nth: 1, Outcome: fault.Outcome{Fail: true},
+		}))
+		const n = 64 << 10
+		src := h.alloc(t, h.uas, n, 0x5A)
+		dst := h.alloc(t, h.uas, n, 0)
+		task := &Task{Src: src, Dst: dst, SrcAS: h.uas, DstAS: h.uas, Len: n}
+		if !h.c.SubmitCopy(task, false) {
+			t.Fatal("submit failed")
+		}
+		h.start()
+		h.run(t, 500_000_000)
+		if !task.Executed() {
+			t.Fatal("task never finalized")
+		}
+		if h.svc.Stats.DMAFaults != 1 {
+			t.Fatalf("DMAFaults = %d, want exactly the pinned one", h.svc.Stats.DMAFaults)
+		}
+		if r := h.uas.AuditLeaks(); !r.Clean() {
+			t.Fatalf("leaked pins: %+v", r)
+		}
+		return task, h
+	}
+
+	t.Run("default-retries", func(t *testing.T) {
+		task, h := run(t, DefaultConfig())
+		if task.Err() != nil {
+			t.Fatalf("task failed despite retry budget: %v", task.Err())
+		}
+		if h.svc.Stats.RetriedChunks == 0 {
+			t.Fatal("fault absorbed without a retry")
+		}
+		got := h.read(t, h.uas, task.Dst, 64<<10)
+		if !bytes.Equal(got, bytes.Repeat([]byte{0x5A}, 64<<10)) {
+			t.Fatal("data corrupted after retry")
+		}
+	})
+	t.Run("no-retries", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.MaxRetries = NoRetries
+		task, h := run(t, cfg)
+		if task.Err() == nil {
+			t.Fatal("first transient failure not final under NoRetries")
+		}
+		if h.svc.Stats.RetriedChunks != 0 {
+			t.Fatalf("RetriedChunks = %d under NoRetries", h.svc.Stats.RetriedChunks)
+		}
+		if h.svc.Stats.FailedTasks != 1 {
+			t.Fatalf("FailedTasks = %d, want 1", h.svc.Stats.FailedTasks)
+		}
+	})
+}
+
 // TestEngineFallbackCooldown: after a DMA fault the dispatcher must
 // divert DMA-eligible tasks to the CPU engines for the cooldown
 // window.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"copier/internal/mem"
+	"copier/internal/sim"
+)
+
+// FuzzHealthTransitions feeds an arbitrary completion-outcome schedule
+// (transient failures, permanent failures, successes, arbitrary gaps)
+// through one engine's health state machine, interleaved with the
+// dispatcher's availability/probe protocol, and checks the structural
+// invariants no schedule may violate:
+//
+//   - the state is always one of the four named states;
+//   - Dead is absorbing;
+//   - a probe can be in flight only while Quarantined, and a
+//     quarantined engine with a probe in flight is never offered work;
+//   - a dead engine is never offered work;
+//   - the sample window never claims more samples than it holds.
+func FuzzHealthTransitions(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x01, 0x01}, uint16(100))
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x00, 0xf1}, uint16(1))
+	f.Add([]byte{0xf1, 0x00, 0x01, 0xf1}, uint16(60000))
+	f.Add([]byte{0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01, 0x00}, uint16(580))
+	f.Fuzz(func(t *testing.T, schedule []byte, gapU uint16) {
+		env := sim.NewEnv()
+		pm := mem.NewPhysMem(1 << 20)
+		svc := NewService(env, pm, DefaultConfig())
+		gap := sim.Time(gapU) + 1
+		now := sim.Time(0)
+		wasDead := false
+		for i, b := range schedule {
+			now += gap
+			failed := b&1 != 0
+			perm := b&0xf0 == 0xf0 // rare: high nibble all set
+
+			// The dispatcher contract: ask for availability, and mark
+			// the probe before "submitting" when one is offered.
+			ok, probe := svc.engineAvailable(0, now)
+			st := svc.EngineHealth(0)
+			if ok && st == EngineDead {
+				t.Fatalf("step %d: dead engine offered work", i)
+			}
+			if st == EngineQuarantined && svc.health[0].probeInflight && ok {
+				t.Fatalf("step %d: second probe offered while one is in flight", i)
+			}
+			if probe {
+				if st != EngineQuarantined {
+					t.Fatalf("step %d: probe offered in state %v", i, st)
+				}
+				svc.markProbe(0)
+			}
+
+			svc.noteEngineOutcome(0, failed || perm, perm, now)
+
+			st = svc.EngineHealth(0)
+			if st >= numEngineStates {
+				t.Fatalf("step %d: invalid state %d", i, st)
+			}
+			if wasDead && st != EngineDead {
+				t.Fatalf("step %d: Dead was not absorbing (now %v)", i, st)
+			}
+			wasDead = wasDead || st == EngineDead
+			h := &svc.health[0]
+			if h.probeInflight && st != EngineQuarantined {
+				t.Fatalf("step %d: probe in flight in state %v", i, st)
+			}
+			if h.wn > healthWindow {
+				t.Fatalf("step %d: window claims %d samples, capacity %d", i, h.wn, healthWindow)
+			}
+		}
+	})
+}

@@ -57,15 +57,56 @@ type Config struct {
 	LazyPeriod sim.Time
 
 	// MaxRetries bounds transient engine failures absorbed per task
-	// before the task completes with an error.
+	// before the task completes with an error. Zero selects the
+	// default (8); NoRetries (or any negative value) disables retries
+	// entirely — the first transient failure is final.
 	MaxRetries int
 	// RetryBackoff is the base re-dispatch delay after a transient
-	// engine failure; it doubles per retry (capped at 64x).
+	// engine failure; it doubles per retry (capped at 64x). Zero
+	// selects the default; negative selects no backoff.
 	RetryBackoff sim.Time
 	// DMACooldown is how long after a DMA engine fault the dispatcher
 	// diverts DMA-eligible work to the CPU engines (graceful
-	// degradation).
+	// degradation). Zero selects the default; negative disables the
+	// cooldown window.
 	DMACooldown sim.Time
+
+	// MaxPending bounds each client's admitted-but-unexecuted copy
+	// tasks: an admission beyond the bound is rejected deterministically
+	// with ErrOverload instead of growing the queue without bound.
+	// Zero selects QueueLen; negative removes the bound.
+	MaxPending int
+	// RetryBudget is the capacity of the global retry token bucket:
+	// every granted transient retry consumes a token, and tokens
+	// refill at one per RetryRefill of virtual time. When the bucket
+	// runs dry, further failures become definite errors instead of
+	// amplifying overload with a retry storm. Zero selects the default
+	// (256); negative disables the budget. Re-steers after a permanent
+	// engine death are exempt — denying those would turn hardware loss
+	// into task loss.
+	RetryBudget int
+	// RetryRefill is the virtual time to earn one retry token back.
+	RetryRefill sim.Time
+	// QuarantineProbe is how long a quarantined engine sits out before
+	// the steering layer offers it one half-open probe chunk; a clean
+	// completion readmits the engine, a failure re-arms the clock.
+	QuarantineProbe sim.Time
+
+	// BrownoutHigh/BrownoutLow are service-backlog watermarks (bytes)
+	// for the brownout controller: backlog above High for a full
+	// BrownoutDwell enters brownout (double copy slices and fuse
+	// windows, local-node-only steering, lowest-priority admissions
+	// shed); backlog below Low for a full dwell exits it. Zero
+	// BrownoutHigh disables the controller (the default — brownout is
+	// an operator opt-in).
+	BrownoutHigh int64
+	BrownoutLow  int64
+	// BrownoutDwell is the hysteresis dwell on both edges.
+	BrownoutDwell sim.Time
+	// BrownoutShedBelow, when positive, sheds new admissions from
+	// clients whose cgroup shares are strictly below it while brownout
+	// is active — lowest-priority clients are dropped first.
+	BrownoutShedBelow int64
 
 	EnableDMA        bool
 	EnableAbsorption bool
@@ -121,12 +162,42 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0 // NoRetries: first transient failure is final
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 20 * cycles.CyclesPerMicrosecond
+	} else if c.RetryBackoff < 0 {
+		c.RetryBackoff = 0
 	}
 	if c.DMACooldown == 0 {
 		c.DMACooldown = 100 * cycles.CyclesPerMicrosecond
+	} else if c.DMACooldown < 0 {
+		c.DMACooldown = 0
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = c.QueueLen
+	} else if c.MaxPending < 0 {
+		c.MaxPending = 0 // unbounded
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 256
+	} else if c.RetryBudget < 0 {
+		c.RetryBudget = 0 // unbounded
+	}
+	if c.RetryRefill == 0 {
+		c.RetryRefill = 5 * cycles.CyclesPerMicrosecond
+	}
+	if c.QuarantineProbe == 0 {
+		c.QuarantineProbe = 200 * cycles.CyclesPerMicrosecond
+	}
+	if c.BrownoutHigh > 0 {
+		if c.BrownoutLow == 0 {
+			c.BrownoutLow = c.BrownoutHigh / 8
+		}
+		if c.BrownoutDwell == 0 {
+			c.BrownoutDwell = 50 * cycles.CyclesPerMicrosecond
+		}
 	}
 	if c.NAPIBudget == 0 {
 		// ~100us of busy polling before sleeping, like io_uring
@@ -147,6 +218,13 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// NoRetries is the Config.MaxRetries sentinel for "retry nothing":
+// the zero value selects the default retry count, so disabling retries
+// needs an explicit negative. The same convention holds for the other
+// defaulted knobs — a negative RetryBackoff, DMACooldown, MaxPending
+// or RetryBudget selects zero/unbounded rather than the default.
+const NoRetries = -1
 
 // DefaultConfig returns the full-featured configuration used by the
 // end-to-end experiments.
@@ -184,6 +262,23 @@ type Stats struct {
 	// NUMA steering counters (always zero on the flat machine).
 	RemoteSpills   int64 // DMA chunks steered off their destination's node
 	RemoteDMABytes int64 // bytes those spilled chunks moved
+
+	// Engine-health counters (the worst-day machinery).
+	EngineDeaths     int64 // engines that failed permanently
+	Degradations     int64 // Healthy -> Degraded transitions
+	Quarantines      int64 // Degraded -> Quarantined transitions
+	ProbeRecoveries  int64 // quarantined engines readmitted by a clean probe
+	ProbeFailures    int64 // probes that failed and re-armed the quarantine
+	QuarantineCycles int64 // total virtual time engines spent quarantined
+	ResteeredChunks  int64 // chunks re-dispatched after a permanent engine death
+
+	// Admission control and shedding counters.
+	OverloadShed    int64 // admissions rejected at the MaxPending bound
+	DeadlineShed    int64 // admitted tasks dropped past their SLO deadline
+	BrownoutShed    int64 // low-priority admissions rejected during brownout
+	RetryDenied     int64 // transient retries denied by the retry budget
+	BrownoutEntries int64 // times the brownout controller engaged
+	BrownoutCycles  int64 // total virtual time spent in brownout
 }
 
 // Service is the Copier OS service instance.
@@ -224,6 +319,24 @@ type Service struct {
 	// DMA-eligible chunks run on the CPU engines instead (graceful
 	// degradation; §4.3's piggybacking in reverse).
 	dmaAvoidUntil sim.Time
+
+	// health tracks each DMA engine's failure-rate state machine
+	// (index == engine == node).
+	health []engineHealth
+	// retryTokens/retryRefillAt implement the global retry budget: a
+	// token bucket refilled in virtual time (see takeRetryToken).
+	retryTokens   int
+	retryRefillAt sim.Time
+	// Brownout controller state (see brownoutEval). pressureSince and
+	// calmSince are dwell anchors; zero means "no edge pending".
+	brownout      bool
+	brownoutAt    sim.Time
+	pressureSince sim.Time
+	calmSince     sim.Time
+	// availBuf/probeBuf are per-dispatch-round engine availability
+	// scratch (no yields between fill and use, so Service-level is safe).
+	availBuf []bool
+	probeBuf []bool
 
 	// threads active (for auto-scaling and client partitioning).
 	activeThreads int
@@ -281,6 +394,10 @@ func NewService(env *sim.Env, pm *mem.PhysMem, cfg Config) *Service {
 		}
 		s.dmas[i] = d
 	}
+	s.health = make([]engineHealth, nn)
+	s.retryTokens = cfg.RetryBudget
+	s.availBuf = make([]bool, nn)
+	s.probeBuf = make([]bool, nn)
 	return s
 }
 
@@ -337,6 +454,12 @@ func (s *Service) ActiveThreads() int { return s.activeThreads }
 // Stop makes all service threads exit their loops.
 func (s *Service) Stop() {
 	s.stopped = true
+	if s.brownout {
+		// Close the brownout accounting so BrownoutCycles covers a
+		// run that ends mid-brownout.
+		s.Stats.BrownoutCycles += int64(s.now() - s.brownoutAt)
+		s.brownout = false
+	}
 	s.workSig.Broadcast(s.env)
 	s.activateSig.Broadcast(s.env)
 	s.parkSig.Broadcast(s.env)
@@ -690,6 +813,7 @@ func (s *Service) clientsOf(slot int) []*Client {
 // and executes one CFS-picked client's slice. Reports whether any work
 // was done.
 func (s *Service) serveOnce(ctx Ctx, slot int) bool {
+	s.brownoutEval(s.now())
 	mine := s.clientsOf(slot)
 	worked := false
 	// Dead clients first: reclaim their state before serving anything
@@ -727,16 +851,27 @@ func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 		}
 	}
 	// Finish tasks whose outstanding DMA completed since last sweep,
-	// and finalize tasks whose retries are exhausted (failTask mutates
-	// the pending list, so failures are collected first).
+	// finalize tasks whose retries are exhausted, and shed admitted
+	// tasks already past their SLO deadline before any engine touches
+	// them (failTask/shedTask mutate the pending list, so both sets
+	// are collected first).
+	dnow := s.now()
 	for _, c := range mine {
-		var failed []*Task
+		var failed, late []*Task
 		for _, t := range c.pending {
 			if t.executed || t.aborted || t.Kind != KindCopy {
 				continue
 			}
 			if t.pendingErr != nil && t.inflight == 0 {
 				failed = append(failed, t)
+				continue
+			}
+			if t.Deadline != 0 && !t.dispatched && t.inflight == 0 &&
+				t.pendingErr == nil && dnow >= t.Deadline {
+				// Dead-on-arrival work: nothing has run yet, so dropping
+				// it costs nothing and frees the slice for live tasks.
+				// Partially dispatched tasks run to completion instead.
+				late = append(late, t)
 				continue
 			}
 			if t.segDone >= t.Len {
@@ -746,6 +881,10 @@ func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 		}
 		for _, t := range failed {
 			s.failTask(ctx, c, t, t.pendingErr)
+			worked = true
+		}
+		for _, t := range late {
+			s.shedTask(ctx, c, t, ErrDeadline, shedDeadline)
 			worked = true
 		}
 		c.removeExecuted()
@@ -772,7 +911,14 @@ func (s *Service) serveOnce(ctx Ctx, slot int) bool {
 	if c == nil {
 		return worked || s.inflightDMA > 0
 	}
-	served := s.serveClient(ctx, c, s.cfg.CopySlice)
+	budget := s.cfg.CopySlice
+	if s.brownout {
+		// Brownout batches more aggressively: a doubled copy slice
+		// amortizes scheduling and submission costs while the service
+		// digs out of the backlog.
+		budget *= 2
+	}
+	served := s.serveClient(ctx, c, budget)
 	return worked || served || s.inflightDMA > 0
 }
 
@@ -811,10 +957,14 @@ func (c *Client) runnable(now sim.Time) bool {
 }
 
 // dispatchable reports whether the scheduler may hand t to the copy
-// units right now.
+// units right now. A task past its deadline is never started (the
+// serveOnce sweep sheds it), but once dispatch begins the deadline no
+// longer gates: a partially-copied task runs to completion so its pins
+// and progress accounting stay coherent.
 func (t *Task) dispatchable(now sim.Time) bool {
 	return !t.executed && !t.aborted && !t.Lazy &&
-		t.pendingErr == nil && t.retryAt <= now
+		t.pendingErr == nil && t.retryAt <= now &&
+		(t.Deadline == 0 || t.dispatched || now < t.Deadline)
 }
 
 // serveClient executes pending tasks FIFO up to budget bytes, fusing
@@ -844,6 +994,9 @@ func (s *Service) serveClient(ctx Ctx, c *Client, budget units.Bytes) bool {
 		// Round byte cap: e-piggyback fuse for a small head; the
 		// remaining slice for a large head (cross-task coalescing).
 		roundCap := s.cfg.EPiggybackFuse
+		if s.brownout {
+			roundCap *= 2
+		}
 		if head.Len >= s.cfg.PiggybackThreshold {
 			roundCap = head.Len
 			if budget > roundCap {

@@ -82,6 +82,11 @@ type Task struct {
 	// only when depended upon or when LazyDeadline passes.
 	Lazy         bool
 	LazyDeadline sim.Time
+	// Deadline, when nonzero, is the task's SLO deadline (absolute
+	// virtual time): the service sheds the task with ErrDeadline
+	// instead of starting it after the deadline passes. A task already
+	// dispatched runs to completion regardless.
+	Deadline sim.Time
 
 	// Barrier fields: the paired user Copy Queue's acquire position
 	// at trap/return, and whether this is the return-side barrier.

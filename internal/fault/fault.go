@@ -59,6 +59,11 @@ type Outcome struct {
 	// Stall is extra virtual cycles added to the operation's latency
 	// (an engine stall). Stall composes with Fail.
 	Stall int64
+	// Perm marks the failure permanent: the engine that drew it dies
+	// and every queued or future descriptor on it completes with a
+	// permanent error until the operator replaces it. Perm implies
+	// Fail (At normalizes a rule that sets Perm alone).
+	Perm bool
 }
 
 // Faulty reports whether the outcome perturbs the operation at all.
@@ -77,6 +82,11 @@ type Rates struct {
 	// StallCycles: stall length; the drawn stall is in
 	// [StallCycles/2, StallCycles].
 	StallCycles int64
+	// PermPpm: among failures, probability the failure is permanent
+	// (engine death). Drawn from an independent hash lane so enabling
+	// it does not perturb the Fail/Partial/Stall streams existing
+	// goldens pinned.
+	PermPpm uint32
 }
 
 // Rule pins the Outcome of one exact consultation: the Nth time
@@ -94,6 +104,7 @@ type Stats struct {
 	Fails     uint64
 	Partials  uint64
 	Stalls    uint64
+	Perms     uint64
 }
 
 // Injector decides fault outcomes. The zero value and the nil pointer
@@ -157,11 +168,19 @@ func (in *Injector) At(site Site) Outcome {
 	} else {
 		o = in.draw(site, n)
 	}
+	if o.Perm {
+		// A permanent failure is a failure: normalize rules that set
+		// Perm alone so call sites only branch on Fail+Perm.
+		o.Fail = true
+	}
 	if o.Fail {
 		st.Fails++
 		if o.Partial > 0 {
 			st.Partials++
 		}
+	}
+	if o.Perm {
+		st.Perms++
 	}
 	if o.Stall > 0 {
 		st.Stalls++
@@ -194,6 +213,15 @@ func (in *Injector) draw(site Site, n uint64) Outcome {
 		h = splitmix64(h)
 		half := r.StallCycles / 2
 		o.Stall = half + int64(h%uint64(r.StallCycles-half+1))
+	}
+	if o.Fail && r.PermPpm > 0 {
+		// Independent lane keyed on the same (seed, site, n) triple:
+		// a run with PermPpm == 0 draws byte-identical outcomes to a
+		// build that predates the field.
+		hp := splitmix64(splitmix64(in.seed^uint64(site)*0x9e3779b97f4a7c15) ^ n ^ 0x7065726d)
+		if uint32(hp%1_000_000) < r.PermPpm {
+			o.Perm = true
+		}
 	}
 	return o
 }
@@ -229,8 +257,8 @@ func (in *Injector) String() string {
 		if st.Consulted == 0 {
 			continue
 		}
-		s += fmt.Sprintf(" %s:{n=%d fail=%d partial=%d stall=%d}",
-			site, st.Consulted, st.Fails, st.Partials, st.Stalls)
+		s += fmt.Sprintf(" %s:{n=%d fail=%d partial=%d stall=%d perm=%d}",
+			site, st.Consulted, st.Fails, st.Partials, st.Stalls, st.Perms)
 	}
 	return s
 }

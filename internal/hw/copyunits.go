@@ -27,6 +27,13 @@ import (
 // retryable.
 var ErrEngine = errors.New("hw: transient copy-engine failure")
 
+// ErrEngineDead is the permanent engine failure: the channel died
+// (injected Outcome.Perm or an explicit Kill) and will never move
+// another byte. Every queued and future descriptor completes with this
+// error; callers must re-steer the work to a sibling engine or the CPU
+// path rather than retry on this channel.
+var ErrEngineDead = errors.New("hw: copy engine permanently dead")
+
 // FrameRange addresses a byte range in physical memory starting inside
 // frame Frame at offset Off and extending Len bytes across physically
 // contiguous frames.
@@ -179,10 +186,12 @@ type DMARequest struct {
 	Err error
 	// Copied is how many bytes actually moved (== Len on success).
 	Copied units.Bytes
-	// fail/partial hold the injected outcome decided at submit time;
-	// applied when the transfer completes.
+	// fail/partial/perm hold the injected outcome decided at submit
+	// time; applied when the transfer completes. perm kills the owning
+	// channel at completion.
 	fail    bool
 	partial int
+	perm    bool
 }
 
 // Done reports whether the transfer has completed (data visible).
@@ -205,6 +214,46 @@ func (r *DMARequest) complete(pm *mem.PhysMem) units.Bytes {
 	r.Copied = n
 	r.done = true
 	return n
+}
+
+// completeOn finalizes a descriptor against its owning channel. A
+// descriptor carrying an injected permanent failure kills the channel;
+// on a dead channel every descriptor — including the one that killed
+// it and anything queued behind it — completes with ErrEngineDead and
+// zero bytes moved. Live channels defer to the transient path.
+func (d *DMAChannel) completeOn(r *DMARequest) units.Bytes {
+	if r.perm && !d.dead {
+		d.dead = true
+		d.diedAt = d.env.Now()
+	}
+	if d.dead {
+		r.Err = ErrEngineDead
+		r.Copied = 0
+		r.done = true
+		return 0
+	}
+	return r.complete(d.pm)
+}
+
+// Kill marks the engine permanently dead, as if the next completion
+// had drawn Outcome.Perm: no further bytes move and every outstanding
+// or future descriptor completes with ErrEngineDead. Idempotent.
+func (d *DMAChannel) Kill() {
+	if !d.dead {
+		d.dead = true
+		d.diedAt = d.env.Now()
+	}
+}
+
+// Dead reports whether the engine has permanently failed.
+func (d *DMAChannel) Dead() bool { return d.dead }
+
+// DiedAt reports when the engine died (0 if alive).
+func (d *DMAChannel) DiedAt() sim.Time {
+	if !d.dead {
+		return 0
+	}
+	return d.diedAt
 }
 
 // DMAChannel is an on-chip DMA engine. Transfers proceed in background
@@ -240,6 +289,12 @@ type DMAChannel struct {
 	// allocates nothing. Safe without locking: the simulation is
 	// single-threaded per environment.
 	batchPool []*dmaBatch
+	// dead marks a permanent engine failure (injected Outcome.Perm or
+	// Kill). A dead engine moves no bytes: every queued or future
+	// descriptor completes with ErrEngineDead at its scheduled time
+	// (the detection latency a real completion interrupt would have).
+	dead   bool
+	diedAt sim.Time
 }
 
 // SetFaultInjector attaches a fault injector; nil detaches it.
@@ -257,12 +312,16 @@ func (d *DMAChannel) decideFault(req *DMARequest, n units.Bytes) sim.Time {
 	d.Faults++
 	req.fail = o.Fail
 	req.partial = o.Partial
+	req.perm = o.Perm
 	code := int64(0)
 	if o.Fail {
 		code |= 1
 	}
 	if o.Stall > 0 {
 		code |= 2
+	}
+	if o.Perm {
+		code |= 4
 	}
 	if r := d.env.Recorder(); r != nil {
 		r.Emit(obs.Event{T: int64(d.env.Now()), Kind: obs.EvFaultInjected, Layer: obs.LayerHW,
@@ -380,7 +439,7 @@ func (d *DMAChannel) getBatch() *dmaBatch {
 	b := &dmaBatch{d: d}
 	b.step = func() {
 		req := &b.reqs[b.i]
-		b.d.BytesCopied += int64(req.complete(b.d.pm))
+		b.d.BytesCopied += int64(b.d.completeOn(req))
 		if b.onDone != nil {
 			b.onDone(b.i, req.Err)
 		}
@@ -471,7 +530,7 @@ func (d *DMAChannel) submitAt(dst, src FrameRange) *DMARequest {
 			Layer: obs.LayerHW, Track: d.track, Name: "xfer", A: int64(src.Len)})
 	}
 	d.env.Schedule(req.CompleteAt-now, func() {
-		d.BytesCopied += int64(req.complete(d.pm))
+		d.BytesCopied += int64(d.completeOn(req))
 	})
 	return req
 }

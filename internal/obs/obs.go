@@ -85,6 +85,20 @@ const (
 	// service. A = client ID, B = tasks reclaimed (queued + pending).
 	EvClientTeardown
 
+	// EvTaskShed: admission control or the dispatcher dropped a task
+	// with a definite error instead of copying it. A = task ID,
+	// B = reason (1 = queue overload, 2 = deadline passed,
+	// 3 = brownout priority shed, 4 = retry budget exhausted).
+	EvTaskShed
+	// EvEngineHealth: a DMA engine's health state changed.
+	// A = engine (node) index, B = new state (0 = healthy,
+	// 1 = degraded, 2 = quarantined, 3 = dead).
+	EvEngineHealth
+	// EvBrownout: the service brownout controller toggled.
+	// A = 1 entering / 0 exiting, B = service backlog bytes at the
+	// toggle.
+	EvBrownout
+
 	numEventKinds
 )
 
@@ -95,6 +109,7 @@ var kindNames = [numEventKinds]string{
 	"ATCacheHit", "ATCacheMiss",
 	"FaultInjected", "TaskRetry", "TaskFailed", "EngineFallback",
 	"ClientTeardown",
+	"TaskShed", "EngineHealth", "Brownout",
 }
 
 func (k EventKind) String() string {

@@ -64,4 +64,12 @@ go test -run 'TestFleetSmoke' ./internal/bench
 echo "== chaos smoke =="
 go test -run 'TestChaosInvariants' ./internal/bench
 
+# Worst-day smoke: the chaosfleet run (permanent engine death inside
+# a 6x overload window) plus its determinism golden; fails on lost
+# accepted tasks, unbounded p99/backlog, leaked pins, a dead-engine
+# recovery that never happened, or any byte of nondeterminism in the
+# recovery/shedding decisions.
+echo "== chaosfleet smoke =="
+go test -run 'TestChaosFleetInvariants|TestChaosFleetDeterministic' ./internal/bench
+
 echo "ALL CHECKS PASSED"
