@@ -6,15 +6,15 @@
 check:
 	./scripts/check.sh
 
-# Project-invariant static analysis (see internal/lint): five
+# Project-invariant static analysis (see internal/lint): six
 # analyzers over one shared package load — determinism hygiene
 # (detlint), //copier:noalloc contracts (alloclint), cost-model
 # hygiene (cyclelint), dimensional safety of units.Bytes/units.Pages/
-# sim.Time (unitlint), and all-or-nothing sync/atomic field access in
-# the real-concurrency packages (atomiclint). Add -v for per-analyzer
-# timing.
+# sim.Time (unitlint), all-or-nothing sync/atomic field access in
+# the real-concurrency packages (atomiclint), and handle/task/pin
+# lifecycle typestate (lifelint). Add -v for per-analyzer timing.
 lint:
-	go run ./cmd/copiervet ./...
+	go run ./cmd/copiervet . ./cmd/... ./internal/... ./examples/...
 
 test:
 	go test ./...

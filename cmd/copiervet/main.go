@@ -8,14 +8,17 @@
 //
 // Usage:
 //
-//	copiervet [-rules det-time,unit-conv,...] [-v] [packages]
+//	copiervet [-rules det-time,unit-conv,...] [-json] [-v] [packages]
 //
 // With no packages it walks ./... from the current directory. Each
 // finding prints as file:line:col: rule: message (fix: hint), sorted
 // by (file, line, column, rule) so output is byte-stable; a per-rule
-// count summary is printed on failure. -v reports how long the shared
-// package load and each analyzer took. See internal/lint for the rule
-// inventory and the //copiervet:ignore suppression syntax.
+// count summary is printed on failure. -json replaces the text lines
+// with one JSON array of {file,line,col,rule,msg,hint} objects (same
+// order, same exit codes) for editor and CI integration. -v reports
+// how long the shared package load and each analyzer took. See
+// internal/lint for the rule inventory and the //copiervet:ignore
+// suppression syntax.
 //
 // Exit status is part of the contract scripts build on:
 //
@@ -25,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +37,17 @@ import (
 
 	"copier/internal/lint"
 )
+
+// jsonFinding is the -json record shape; the field set mirrors the
+// text format so either stream carries the full finding.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+	Hint string `json:"hint,omitempty"`
+}
 
 func main() {
 	os.Exit(vetMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -45,9 +60,10 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule IDs to check (default: all)")
 	list := fs.Bool("list", false, "list known rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	verbose := fs.Bool("v", false, "print per-analyzer timing to stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: copiervet [-rules r1,r2] [-list] [-v] [packages]\n")
+		fmt.Fprintf(stderr, "usage: copiervet [-rules r1,r2] [-list] [-json] [-v] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -86,9 +102,26 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cwd, _ := os.Getwd()
-	for _, f := range res.Findings {
-		f.Pos.Filename = lint.RelPath(cwd, f.Pos.Filename)
-		fmt.Fprintln(stdout, f.String())
+	if *jsonOut {
+		recs := make([]jsonFinding, 0, len(res.Findings))
+		for _, f := range res.Findings {
+			recs = append(recs, jsonFinding{
+				File: lint.RelPath(cwd, f.Pos.Filename),
+				Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintf(stderr, "copiervet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			f.Pos.Filename = lint.RelPath(cwd, f.Pos.Filename)
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if n := len(res.Findings); n > 0 {
 		fmt.Fprintf(stderr, "copiervet: %d finding(s): %s\n", n, lint.FormatCounts(res.Counts))

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"regexp"
 	"sort"
@@ -85,6 +87,55 @@ func findingLess(t *testing.T, a, b string) bool {
 	return ma[4] < mb[4]
 }
 
+// TestJSONOutput pins the -json contract: one array of
+// {file,line,col,rule,msg,hint} records in the same sorted order as
+// the text format, with the same exit codes.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runVet(t, "-json", "./testdata/src/broken")
+	if code != 1 {
+		t.Fatalf("exit = %d on broken corpus, want 1", code)
+	}
+	var recs []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+		Rule string `json:"rule"`
+		Msg  string `json:"msg"`
+		Hint string `json:"hint"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &recs); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("want >= 4 findings, got %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.File == "" || r.Line <= 0 || r.Col <= 0 || r.Rule == "" || r.Msg == "" {
+			t.Errorf("record %d incomplete: %+v", i, r)
+		}
+	}
+	// Same findings, same order as the text stream.
+	_, text, _ := runVet(t, "./testdata/src/broken")
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != len(recs) {
+		t.Fatalf("json has %d records, text has %d lines", len(recs), len(lines))
+	}
+	for i, r := range recs {
+		prefix := fmt.Sprintf("%s:%d:%d: %s: ", r.File, r.Line, r.Col, r.Rule)
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("record %d (%s) does not match text line %q", i, prefix, lines[i])
+		}
+	}
+	// A clean package still emits a (possibly empty) array.
+	code, stdout, _ = runVet(t, "-json", ".")
+	if code != 0 {
+		t.Fatalf("exit = %d on clean package, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json run should print an empty array, got %q", stdout)
+	}
+}
+
 func TestExitLoadErrorIsTwo(t *testing.T) {
 	// Outside any module the loader cannot even start.
 	tmp := t.TempDir()
@@ -132,7 +183,7 @@ func TestVerboseTimings(t *testing.T) {
 		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr)
 	}
 	// The load happens once and every analyzer reports a phase.
-	for _, phase := range []string{"load", "detlint", "cyclelint", "unitlint", "atomiclint", "alloclint"} {
+	for _, phase := range []string{"load", "detlint", "cyclelint", "unitlint", "atomiclint", "alloclint", "lifelint"} {
 		if !strings.Contains(stderr, phase) {
 			t.Errorf("-v output missing phase %q:\n%s", phase, stderr)
 		}

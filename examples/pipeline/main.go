@@ -58,6 +58,7 @@ func main() {
 			sink ^= consume(dst[off:end])
 		}
 		h.Wait()
+		h.Release()
 	}
 	asyncD := time.Since(start)
 

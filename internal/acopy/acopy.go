@@ -54,6 +54,27 @@ const SegSize = 4096
 
 // Handle tracks one asynchronous copy. The zero value is invalid;
 // handles come from AMemcpy (and, recycled, from Release).
+//
+// The lifecycle below is machine-checked by copiervet's lifelint
+// (internal/lint): a handle is born live, completion must be observed
+// (Wait, WaitContext, Err, or branching on Done) before Release, and
+// every handle must reach Release or TryRelease on every path —
+// dropping one keeps it out of the pool and regresses the zero-alloc
+// recycling contract.
+//
+//copier:lifecycle type Handle states=live,done,released accept=released dead=released
+//copier:lifecycle new Copier.AMemcpy -> live
+//copier:lifecycle new Copier.AMemcpyH -> live
+//copier:lifecycle op Wait live,done -> done
+//copier:lifecycle op WaitContext live,done -> done
+//copier:lifecycle op Err live,done -> done
+//copier:lifecycle op CSync live,done -> same
+//copier:lifecycle op Ready live,done -> same
+//copier:lifecycle op Done live,done -> same
+//copier:lifecycle test Done done
+//copier:lifecycle op Len live,done -> same
+//copier:lifecycle op Release done -> released
+//copier:lifecycle op TryRelease live,done -> released
 type Handle struct {
 	dst, src []byte
 	// bits[i/64]>>(i%64) is segment i's completion bit. For copies of
@@ -143,8 +164,9 @@ func badLen(d, s int) {
 // returned, or Done reported true), and only when no other goroutine
 // still holds the handle. Using a handle after Release is a
 // use-after-free class error: a concurrent AMemcpy may have already
-// handed it out again. Releasing is optional — an un-Released handle
-// is simply garbage collected.
+// handed it out again. Every handle must be released: an un-Released
+// handle is only garbage collected, never recycled, and lifelint
+// reports the dropped obligation.
 //
 //copier:noalloc
 func (h *Handle) Release() {
@@ -730,7 +752,15 @@ func sliceDistance(dst, src []byte) int {
 	return 1 << 30
 }
 
-// MoveHandle aggregates the chunk handles of one AMemmove.
+// MoveHandle aggregates the chunk handles of one AMemmove. Its
+// lifecycle mirrors Handle's (lifelint-checked): Wait, then Release,
+// on every path.
+//
+//copier:lifecycle type MoveHandle states=live,done,released accept=released dead=released
+//copier:lifecycle new Copier.AMemmove -> live
+//copier:lifecycle op Wait live,done -> done
+//copier:lifecycle op Release done -> released
+//copier:lifecycle op Chunks live,done -> same
 type MoveHandle struct {
 	handles []*Handle
 }

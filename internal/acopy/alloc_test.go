@@ -1,6 +1,10 @@
 package acopy
 
-import "testing"
+import (
+	"testing"
+
+	"copier/internal/units"
+)
 
 // TestAMemcpyCycleAllocFree pins the //copier:noalloc contract on the
 // pooled fast path dynamically: once the handle pool and the worker's
@@ -31,5 +35,37 @@ func TestAMemcpyCycleAllocFree(t *testing.T) {
 	// sync.Pool mid-measurement) shows up fractionally.
 	if avg >= 1 {
 		t.Errorf("warm AMemcpy/Wait/Release cycle allocates %.2f per op; want < 1", avg)
+	}
+}
+
+// TestPipelinedChunkConsumeAllocFree mirrors examples/pipeline's inner
+// loop: one AMemcpy whose destination is consumed chunk by chunk
+// behind CSync, then Wait and Release. The cycle stays allocation-free
+// only while every handle returns to the pool — dropping the Release
+// (the life-leak lifelint caught in the example) costs a fresh handle
+// allocation per iteration and fails this test.
+func TestPipelinedChunkConsumeAllocFree(t *testing.T) {
+	c := New(1)
+	defer c.Close()
+	const n = 64 << 10
+	const chunk = 16 << 10
+	src := make([]byte, n)
+	dst := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	cycle := func() {
+		h := c.AMemcpy(dst, src)
+		for off := 0; off < n; off += chunk {
+			h.CSync(units.Bytes(off), chunk)
+		}
+		h.Wait()
+		h.Release()
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg >= 1 {
+		t.Errorf("warm chunked AMemcpy cycle allocates %.2f per op; want < 1", avg)
 	}
 }

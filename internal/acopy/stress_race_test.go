@@ -9,6 +9,7 @@ package acopy
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -195,6 +196,76 @@ func TestStressPooledHandleReuse(t *testing.T) {
 					return
 				}
 				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStressTryReleaseWaitContextCancel races context cancellation
+// against copy completion on the pooled-handle path: each round arms
+// a cancel that fires concurrently with a small, fast-completing
+// copy, so WaitContext's completion-beats-ctx recheck, the lingering
+// watcher goroutine of an abandoned wait, and the TryRelease reclaim
+// all overlap with pool recycling by the next round. The contract
+// under test: WaitContext returns either the copy's outcome (nil) or
+// ctx.Err(), never anything else; TryRelease refuses with
+// ErrIncomplete until Done; and once it succeeds the handle can be
+// recycled even while an abandoned watcher is still parked on it.
+func TestStressTryReleaseWaitContextCancel(t *testing.T) {
+	cp := New(2)
+	defer cp.Close()
+
+	const (
+		loopers = 8
+		rounds  = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < loopers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			size := 4096 + (g%4)*SegSize
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			for i := 0; i < rounds; i++ {
+				src[0], src[size-1] = byte(i), byte(i>>7)
+				h := cp.AMemcpy(dst, src)
+				ctx, cancel := context.WithCancel(context.Background())
+				fired := make(chan struct{})
+				go func() {
+					if i%3 == 0 {
+						runtime.Gosched() // let completion get ahead sometimes
+					}
+					cancel()
+					close(fired)
+				}()
+				err := h.WaitContext(ctx)
+				switch err {
+				case nil:
+					// Completion won (possibly against a concurrent
+					// cancel): the handle must already be terminal.
+					if !h.Done() {
+						t.Errorf("looper %d round %d: WaitContext returned nil before completion", g, i)
+						return
+					}
+				case context.Canceled:
+					// Abandoned: the copy keeps running; the reclaim
+					// loop below must be refused until it lands.
+				default:
+					t.Errorf("looper %d round %d: WaitContext = %v", g, i, err)
+					return
+				}
+				for h.TryRelease() == ErrIncomplete {
+					runtime.Gosched()
+				}
+				// TryRelease succeeding proves completion, so the
+				// destination must be fully written and stable.
+				if dst[0] != byte(i) || dst[size-1] != byte(i>>7) {
+					t.Errorf("looper %d round %d: destination stale after release", g, i)
+					return
+				}
+				<-fired
 			}
 		}(g)
 	}

@@ -517,6 +517,11 @@ func (s *Service) preparePhys(t *Task, chunks []chunk) ([]chunk, error) {
 	return chunks, nil
 }
 
+// pinRec records one pinned range on a task; unpinAll balances it.
+// Building a pinRec transfers the open pin obligation into the task's
+// pin list (lifelint tracks it no further).
+//
+//copier:lifecycle transfer pin pinRec
 type pinRec struct {
 	as *mem.AddrSpace
 	va mem.VA
@@ -546,7 +551,11 @@ func (s *Service) frameRange(as *mem.AddrSpace, va mem.VA, n units.Bytes) hw.Fra
 // ATCache, proactively resolving faults in Copier's own context, and
 // pinning the mappings (§4.5.4). Costs: ATCacheHit on hits; PageWalk +
 // fault handling on misses; batched get_user_pages-style pinning
-// (kernel pages are unswappable and are not pinned).
+// (kernel pages are unswappable and are not pinned). On success the
+// caller owns the pins (and must record or release them); on error the
+// walk rolled everything back.
+//
+//copier:lifecycle holds pin
 func (s *Service) faultAndPin(ctx Ctx, as *mem.AddrSpace, va mem.VA, n units.Bytes, write bool) error {
 	if n <= 0 {
 		return nil

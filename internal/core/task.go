@@ -57,6 +57,24 @@ type Handler struct {
 }
 
 // Task is one entry in a Copy or Sync Queue.
+//
+// Lifecycle (lifelint-checked): a task built by a composite literal
+// may be submitted once; resubmission requires Reuse, and Reuse is
+// legal only before the first submit or after completion was observed
+// (Executed/Aborted branched on) — reusing a task with work in flight
+// corrupts the descriptor tracking. Dropping a task is always legal
+// (the service owns completion), so every state accepts.
+//
+//copier:lifecycle type Task states=built,submitted,done accept=built,submitted,done
+//copier:lifecycle lit -> built
+//copier:lifecycle op Client.SubmitCopy built -> submitted
+//copier:lifecycle op Client.SubmitCopyOn built -> submitted
+//copier:lifecycle op Reuse built,done -> built
+//copier:lifecycle op Executed built,submitted,done -> same
+//copier:lifecycle test Executed done
+//copier:lifecycle op Aborted built,submitted,done -> same
+//copier:lifecycle test Aborted done
+//copier:lifecycle op Err built,submitted,done -> same
 type Task struct {
 	ID     uint64
 	Kind   Kind

@@ -281,9 +281,11 @@ func (s *Socket) SendZeroCopy(t *Thread, buf mem.VA, n units.Bytes) (*ZeroCopyCo
 		skb := s.net.pool.alloc(t, n)
 		data := make([]byte, n)
 		if err = as.ReadAt(buf, data); err != nil {
+			as.Unpin(buf, n)
 			return
 		}
 		if err = t.m.KernelAS.WriteAt(skb.VA, data); err != nil {
+			as.Unpin(buf, n)
 			return
 		}
 		env := t.m.Env

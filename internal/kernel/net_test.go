@@ -138,6 +138,44 @@ func TestZeroCopyOwnershipReturnsBeforeDelivery(t *testing.T) {
 	}
 }
 
+// TestZeroCopyPinBalance pins SendZeroCopy's pin/unpin invariant: once
+// buffer ownership has returned to the sender, the address space holds
+// no pins, so teardown audits clean. The in-syscall error returns after
+// a successful Pin (copy-in/copy-out of the skb staging buffer) are
+// defensively unreachable — resolveRange has already mapped the user
+// range and the skb VA comes from the kernel pool — but they carry
+// explicit Unpin rollbacks so the balance holds on every path lifelint
+// can see; this test regresses if the success-path Unpin (scheduled at
+// NIC DMA completion) is lost.
+func TestZeroCopyPinBalance(t *testing.T) {
+	m := newMachine(2)
+	snd := m.NewProcess("s")
+	rcv := m.NewProcess("r")
+	sa, sb := m.Net().SocketPair("a", "b")
+	const n = 64 << 10
+	sbuf := mkbuf(t, snd, n, 0x21)
+	rbuf := mkbuf(t, rcv, n, 0)
+	tx := m.Spawn(snd, "tx", func(th *Thread) {
+		z, err := sa.SendZeroCopy(th, sbuf, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		z.Wait(th)
+		if r := snd.AS.AuditLeaks(); !r.Clean() {
+			t.Errorf("pins outstanding after ownership returned: %d pages (%d pins)", r.PinnedPages, r.PinCount)
+		}
+	})
+	rx := m.Spawn(rcv, "rx", func(th *Thread) {
+		if _, err := sb.Recv(th, rbuf, n); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.RunApps(tx, rx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRecvCopierFallsBackWithoutAttachment(t *testing.T) {
 	m := newMachine(3)
 	m.InstallCopier(core.DefaultConfig(), 1, 2)

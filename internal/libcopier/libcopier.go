@@ -394,6 +394,16 @@ func (l *Lib) ActiveDescriptors() int { return len(l.active) }
 // ShmBinding associates a shared-memory region with a descriptor
 // living on a dedicated shared buffer (Dshm), so csync on shm
 // addresses resolves by offset (§5.1.1 "Shared memory").
+//
+// Lifecycle (lifelint-checked): a binding stays registered — and its
+// descriptor pinned to the region — until UnbindShm; dropping one
+// leaks the registration for the process lifetime. ROADMAP item 3's
+// Asubmit ticket (COWAIT/COSTATUS) will be specified the same way,
+// with one more annotation block and no analyzer changes.
+//
+//copier:lifecycle type ShmBinding states=bound,unbound accept=unbound dead=unbound
+//copier:lifecycle new Lib.ShmDescrBind -> bound
+//copier:lifecycle op Lib.UnbindShm bound -> unbound
 type ShmBinding struct {
 	Base mem.VA
 	Len  units.Bytes

@@ -122,11 +122,24 @@ func TestAlloclintGolden(t *testing.T) {
 	})
 }
 
+// TestLifelintGolden runs the lifecycle typestate checker over its
+// corpus: the specs live as //copier:lifecycle annotations inside the
+// resx stand-in package, exactly as the real ones do in acopy and mem.
+func TestLifelintGolden(t *testing.T) {
+	runGolden(t, "lifesnip.golden", Options{
+		Dir: ".",
+		Patterns: []string{
+			"./testdata/src/lifesnip",
+			"./testdata/src/lifesnip/resx",
+		},
+	})
+}
+
 // TestTreeIsClean is the acceptance criterion in executable form:
-// the real tree must produce zero findings from all five analyzers —
-// detlint, alloclint, cyclelint, unitlint and atomiclint run under
-// their default configurations (every violation fixed or carrying a
-// justified, used suppression).
+// the real tree must produce zero findings from all six analyzers —
+// detlint, alloclint, cyclelint, unitlint, atomiclint and lifelint
+// run under their default configurations (every violation fixed or
+// carrying a justified, used suppression).
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and escape-compiles the whole module")

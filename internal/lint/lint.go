@@ -8,7 +8,7 @@
 // checks *this implementation* against the rules that make the
 // reproduction trustworthy.
 //
-// Five analyzers (see their files for the rule inventories):
+// Six analyzers (see their files for the rule inventories):
 //
 //   - detlint    — determinism hygiene in simulator-domain packages:
 //     no wall-clock time, no global math/rand, no real goroutines or
@@ -31,6 +31,12 @@
 //     packages: a struct field accessed via sync/atomic anywhere must
 //     be accessed that way everywhere, outside documented
 //     //copier:serialized spans.
+//   - lifelint   — interprocedural typestate checking of the protocol
+//     objects (acopy.Handle, core.Task, mem pin/unpin pairing,
+//     libcopier bindings) against //copier:lifecycle specs declared
+//     next to the types: every obligation released exactly once on
+//     every path, no use-after-release, ops only from their declared
+//     states.
 //
 // Everything is stdlib-only (go/ast, go/parser, go/token, go/types);
 // type information comes from export data produced by `go list
@@ -80,6 +86,13 @@ const (
 	// atomiclint rule.
 	RuleAtomicPlain = "atomic-plain" // plain access to a sync/atomic field
 
+	// lifelint rules.
+	RuleLifeLeak            = "life-leak"              // obligation live at scope exit
+	RuleLifeDoubleRelease   = "life-double-release"    // second release of the same value
+	RuleLifeUseAfterRelease = "life-use-after-release" // op on a released value
+	RuleLifeState           = "life-state"             // op from a state outside its sources
+	RuleLifeSpec            = "life-spec"              // malformed //copier:lifecycle directive
+
 	// Suppression hygiene (emitted by the driver, not an analyzer).
 	RuleSuppressBare   = "suppress-bare"   // //copiervet:ignore without a reason
 	RuleSuppressUnused = "suppress-unused" // suppression that matched no finding
@@ -92,6 +105,7 @@ var AllRules = []string{
 	RuleCyclesDead, RuleCyclesLiteral,
 	RuleUnitConv, RuleUnitMix, RuleUnitArg,
 	RuleAtomicPlain,
+	RuleLifeLeak, RuleLifeDoubleRelease, RuleLifeUseAfterRelease, RuleLifeState, RuleLifeSpec,
 	RuleSuppressBare, RuleSuppressUnused,
 }
 

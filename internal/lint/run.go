@@ -147,6 +147,12 @@ func Run(opts Options) (*Result, error) {
 		findings = append(findings, AtomicLint(pkgs, opts.Atomic)...)
 		phase("atomiclint", t0)
 	}
+	if enabled(RuleLifeLeak) || enabled(RuleLifeDoubleRelease) ||
+		enabled(RuleLifeUseAfterRelease) || enabled(RuleLifeState) || enabled(RuleLifeSpec) {
+		t0 := time.Now()
+		findings = append(findings, LifeLint(pkgs)...)
+		phase("lifelint", t0)
+	}
 	if enabled(RuleNoallocEscape) || enabled(RuleNoallocMisplaced) {
 		t0 := time.Now()
 		fns, misplaced := CollectNoalloc(pkgs)

@@ -1,0 +1,54 @@
+// Package resx provides stand-in governed types for the lifelint
+// golden corpus: Res mirrors the pooled completion-handle lifecycle
+// (acopy.Handle) and Arena carries a pin-style pair obligation
+// (mem.AddrSpace.Pin/Unpin). The defining package is exempt from its
+// own specs, so the method bodies here stay unchecked — exactly as
+// acopy and mem are on the real tree.
+package resx
+
+// Res is a pooled async-completion handle: acquire with New, observe
+// completion (Wait, or a Done poll that returned true), then give it
+// back exactly once.
+//
+//copier:lifecycle type Res states=live,done,released accept=released dead=released
+//copier:lifecycle new New -> live
+//copier:lifecycle op Wait live,done -> done
+//copier:lifecycle op Done live,done -> same
+//copier:lifecycle test Done done
+//copier:lifecycle op Release done -> released
+//copier:lifecycle op TryRelease live,done -> released
+type Res struct {
+	done bool
+}
+
+// New acquires a handle.
+func New() *Res { return &Res{} }
+
+// Wait blocks until completion.
+func (r *Res) Wait() { r.done = true }
+
+// Done polls completion.
+func (r *Res) Done() bool { return r.done }
+
+// Release recycles a completed handle.
+func (r *Res) Release() { r.done = false }
+
+// TryRelease recycles the handle if it completed.
+func (r *Res) TryRelease() bool { return r.done }
+
+// Arena hands out pin-style counted obligations: every successful Grab
+// must be matched by a Drop on every path, including error returns.
+//
+//copier:lifecycle pair grab open=Arena.Grab close=Arena.Drop
+type Arena struct {
+	pins int
+}
+
+// Grab opens an obligation; on error none is held.
+func (a *Arena) Grab(n int) error {
+	a.pins += n
+	return nil
+}
+
+// Drop closes one Grab.
+func (a *Arena) Drop(n int) { a.pins -= n }

@@ -358,7 +358,11 @@ func (as *AddrSpace) ContigRun(a VA, max units.Bytes) units.Bytes {
 // Pin increments the pin count of every page in [a, a+length),
 // guaranteeing the mapping is stable for the duration (proactive fault
 // handling locks mappings until the copy completes, §4.5.4). All pages
-// must be present.
+// must be present. On error no pins are held (the already-pinned
+// prefix is rolled back in place), so the obligation to Unpin exists
+// exactly when Pin returned nil — which is how lifelint checks it:
+//
+//copier:lifecycle pair pin open=AddrSpace.Pin close=AddrSpace.Unpin
 func (as *AddrSpace) Pin(a VA, length units.Bytes) error {
 	start := a & ^VA(PageSize-1)
 	for va := start; va < a+VA(length); va += PageSize {

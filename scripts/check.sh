@@ -18,12 +18,18 @@ go vet ./...
 # copiervet (cmd/copiervet, internal/lint) machine-checks the project
 # invariants: determinism hygiene in simulator-domain packages,
 # //copier:noalloc escape-analysis contracts, cost-model hygiene,
-# dimensional safety of units.Bytes/units.Pages/sim.Time, and
+# dimensional safety of units.Bytes/units.Pages/sim.Time,
 # all-or-nothing sync/atomic field access in the real-concurrency
-# packages. It prints every finding plus a per-rule count summary and
+# packages, and handle/task/pin lifecycle typestate (lifelint: no
+# leaked, double-released, or used-after-release obligation on any
+# path). It prints every finding plus a per-rule count summary and
 # exits 1 on any unsuppressed finding (2 if the run itself fails).
-echo "== copiervet ./... =="
-go run ./cmd/copiervet ./...
+# The patterns spell out every tree the gate owns — internal, the
+# commands, and the examples — so a future default-pattern change
+# cannot silently drop the demo code from the lifecycle gate; -v
+# prints per-analyzer timing so a slow analyzer is visible in CI.
+echo "== copiervet (six analyzers) =="
+go run ./cmd/copiervet -v . ./cmd/... ./internal/... ./examples/...
 
 echo "== go build ./... =="
 go build ./...
