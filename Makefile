@@ -6,13 +6,16 @@
 check:
 	./scripts/check.sh
 
-# Project-invariant static analysis (see internal/lint): six
+# Project-invariant static analysis (see internal/lint): seven
 # analyzers over one shared package load — determinism hygiene
 # (detlint), //copier:noalloc contracts (alloclint), cost-model
 # hygiene (cyclelint), dimensional safety of units.Bytes/units.Pages/
 # sim.Time (unitlint), all-or-nothing sync/atomic field access in
-# the real-concurrency packages (atomiclint), and handle/task/pin
-# lifecycle typestate (lifelint). Add -v for per-analyzer timing.
+# the real-concurrency packages (atomiclint), handle/task/pin
+# lifecycle typestate (lifelint), and happens-before publication
+# order per //copier:ordered contracts (ordlint). The analyzer
+# registry in internal/lint/run.go is the authoritative list. Add -v
+# for per-analyzer timing.
 lint:
 	go run ./cmd/copiervet . ./cmd/... ./internal/... ./examples/...
 
@@ -33,6 +36,7 @@ fuzz:
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortSemantics -fuzztime=30s
 	go test ./internal/copiergen -run=^$$ -fuzz=FuzzPortIdempotent -fuzztime=30s
 	go test ./internal/lint -run=^$$ -fuzz=FuzzSuppress -fuzztime=30s
+	go test ./internal/lint -run=^$$ -fuzz=FuzzOrdSpec -fuzztime=30s
 	go test ./internal/bench -run=^$$ -fuzz=FuzzArrivalSchedule -fuzztime=30s
 
 # Full chaos sweep: seeded fault injection + client death over the

@@ -2,9 +2,11 @@
 // it machine-checks the properties that make this reproduction
 // trustworthy — byte-determinism of the simulator domain, zero-alloc
 // hot paths, cost-model hygiene, dimensional safety of the typed
-// quantities, and all-or-nothing atomicity on the real-concurrency
-// fast paths — the way the paper's own CopierSanitizer (§5.1.2)
-// checks programs against the Copier model.
+// quantities, all-or-nothing atomicity on the real-concurrency fast
+// paths, lifecycle typestate of the protocol objects, and
+// happens-before publication order of the lock-free structures — the
+// way the paper's own CopierSanitizer (§5.1.2) checks programs
+// against the Copier model.
 //
 // Usage:
 //
@@ -15,8 +17,10 @@
 // by (file, line, column, rule) so output is byte-stable; a per-rule
 // count summary is printed on failure. -json replaces the text lines
 // with one JSON array of {file,line,col,rule,msg,hint} objects (same
-// order, same exit codes) for editor and CI integration. -v reports
-// how long the shared package load and each analyzer took. See
+// order, same exit codes) for editor and CI integration; the analyzer
+// inventory behind both streams is lint.Analyzers, the one registry
+// in internal/lint/run.go. -v reports how long the shared package
+// load and each analyzer took, one phase per registry entry. See
 // internal/lint for the rule inventory and the //copiervet:ignore
 // suppression syntax.
 //
@@ -71,9 +75,15 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, r := range lint.AllRules {
-			fmt.Fprintln(stdout, r)
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(stdout, "# %s — %s\n", a.Name, a.Doc)
+			for _, r := range a.Rules {
+				fmt.Fprintln(stdout, r)
+			}
 		}
+		fmt.Fprintf(stdout, "# driver — suppression hygiene\n")
+		fmt.Fprintln(stdout, lint.RuleSuppressBare)
+		fmt.Fprintln(stdout, lint.RuleSuppressUnused)
 		return 0
 	}
 

@@ -182,8 +182,17 @@ func TestVerboseTimings(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr)
 	}
-	// The load happens once and every analyzer reports a phase.
-	for _, phase := range []string{"load", "detlint", "cyclelint", "unitlint", "atomiclint", "alloclint", "lifelint"} {
+	// The load happens once and every registered analyzer reports a
+	// phase — iterating the registry keeps this test honest when an
+	// eighth analyzer lands.
+	phases := []string{"load"}
+	for _, a := range lint.Analyzers {
+		phases = append(phases, a.Name)
+	}
+	if len(phases) < 8 {
+		t.Fatalf("registry lists %d analyzers, want >= 7", len(phases)-1)
+	}
+	for _, phase := range phases {
 		if !strings.Contains(stderr, phase) {
 			t.Errorf("-v output missing phase %q:\n%s", phase, stderr)
 		}

@@ -62,6 +62,12 @@ const SegSize = 4096
 // dropping one keeps it out of the pool and regresses the zero-alloc
 // recycling contract.
 //
+// The completion protocol's memory ordering is machine-checked by
+// copiervet's ordlint: the completed flip is the publish point for
+// err (written strictly before, read without the lock after), so the
+// contract below declares completed a synchronization word guarding
+// err.
+//
 //copier:lifecycle type Handle states=live,done,released accept=released dead=released
 //copier:lifecycle new Copier.AMemcpy -> live
 //copier:lifecycle new Copier.AMemcpyH -> live
@@ -75,6 +81,8 @@ const SegSize = 4096
 //copier:lifecycle op Len live,done -> same
 //copier:lifecycle op Release done -> released
 //copier:lifecycle op TryRelease live,done -> released
+//copier:ordered type Handle
+//copier:ordered word completed guards=err
 type Handle struct {
 	dst, src []byte
 	// bits[i/64]>>(i%64) is segment i's completion bit. For copies of
@@ -303,6 +311,7 @@ func (h *Handle) CSync(off, n units.Bytes) {
 	}
 	// Task promotion: ask the worker to copy from this segment on.
 	h.promote(int(off / SegSize))
+	//copier:spin bounded by copy progress: the promoted worker is advancing toward this range; yields every iteration
 	for spins := 0; !h.Ready(off, n); spins++ {
 		if h.completed.Load() == 1 {
 			// Completed without the range landing: the copy failed
@@ -341,6 +350,7 @@ func (h *Handle) Wait() {
 		return
 	}
 	h.mu.Lock()
+	//copier:spin not a busy-wait: cond.Wait parks under mu until complete() broadcasts
 	for h.completed.Load() == 0 {
 		h.cond.Wait()
 	}
@@ -384,11 +394,22 @@ func (h *Handle) WaitContext(ctx context.Context) error {
 // with a fetch-and-add on the head and publish it by storing the task
 // pointer (the "valid bit"); the single consumer (worker) clears slots
 // at the tail.
+//
+// Ordering contract (machine-checked by ordlint): the tail store is
+// the consumer's release point — it publishes the cleared slots back
+// to producers, so every slot clear must happen before it, and the
+// producers' full check loads tail first. head carries no guards: a
+// slot is handed to exactly one producer by the head CAS, and the
+// task pointer store itself is the valid bit that publishes it.
+//
+//copier:ordered type ring
+//copier:ordered word head
+//copier:ordered word tail guards=slots
 type ring struct {
 	slots []atomic.Pointer[Handle]
 	mask  uint64
 	head  atomic.Uint64
-	tail  uint64 // worker-private
+	tail  atomic.Uint64 // advanced only by the single consumer
 }
 
 func newRing(capacity int) *ring {
@@ -405,7 +426,7 @@ func newRing(capacity int) *ring {
 func (r *ring) push(h *Handle) bool {
 	for {
 		head := r.head.Load()
-		if head-atomic.LoadUint64(&r.tail) >= uint64(len(r.slots)) {
+		if head-r.tail.Load() >= uint64(len(r.slots)) {
 			return false
 		}
 		if !r.head.CompareAndSwap(head, head+1) {
@@ -422,7 +443,7 @@ func (r *ring) push(h *Handle) bool {
 //
 //copier:noalloc
 func (r *ring) pop() *Handle {
-	tail := atomic.LoadUint64(&r.tail)
+	tail := r.tail.Load()
 	if tail == r.head.Load() {
 		return nil
 	}
@@ -431,7 +452,7 @@ func (r *ring) pop() *Handle {
 		return nil // acquired but not yet published
 	}
 	r.slots[tail&r.mask].Store(nil)
-	atomic.StoreUint64(&r.tail, tail+1)
+	r.tail.Store(tail + 1)
 	return h
 }
 
@@ -442,7 +463,7 @@ func (r *ring) pop() *Handle {
 //
 //copier:noalloc
 func (r *ring) popN(buf []*Handle) int {
-	tail := atomic.LoadUint64(&r.tail)
+	tail := r.tail.Load()
 	head := r.head.Load()
 	n := 0
 	for n < len(buf) && tail+uint64(n) != head {
@@ -456,7 +477,7 @@ func (r *ring) popN(buf []*Handle) int {
 		n++
 	}
 	if n > 0 {
-		atomic.StoreUint64(&r.tail, tail+uint64(n))
+		r.tail.Store(tail + uint64(n))
 	}
 	return n
 }
@@ -539,6 +560,7 @@ func (c *Copier) submitTo(i int, h *Handle) {
 		return
 	}
 	c.pending.Add(1)
+	//copier:spin ring-full backpressure: bounded by the worker draining its ring; yields every iteration, exits on shutdown
 	for !c.rings[i].push(h) {
 		if c.down.Load() {
 			// Shutting down mid-spin: the worker may never drain this
@@ -574,6 +596,7 @@ func (c *Copier) worker(r *ring, wake chan struct{}) {
 	var buf [16]*Handle
 	spin := spinMin
 	idle := 0
+	//copier:spin adaptive spinMin..spinMax Gosched budget, then parks on the wake doorbell / stop channel
 	for {
 		n := r.popN(buf[:])
 		if n == 0 {
@@ -791,6 +814,7 @@ func (c *Copier) Pending() int64 { return c.pending.Load() }
 // Close stops the workers after draining all pending copies.
 func (c *Copier) Close() {
 	// Drain: wait for pending to reach zero.
+	//copier:spin bounded by workers draining pending copies; yields every iteration
 	for c.pending.Load() > 0 {
 		runtime.Gosched()
 	}
@@ -836,6 +860,7 @@ func (c *Copier) Shutdown(ctx context.Context) error {
 	// Stragglers: a submitter that passed the down check before it was
 	// set may publish after the workers exited. We are the only
 	// consumer now; pop and fail until the pending count settles.
+	//copier:spin straggler reap: bounded by in-flight submitters publishing; yields when no progress, exits on ctx deadline
 	for c.pending.Load() > 0 {
 		if err := ctx.Err(); err != nil {
 			return err

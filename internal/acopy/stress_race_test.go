@@ -302,3 +302,65 @@ func TestStressAMemmoveOverlap(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestStressRingTailPublish hammers the tail word's release/acquire
+// pairing that ordlint's //copier:ordered contract on ring declares
+// (and that the typed atomic.Uint64 normalization of tail fixed from
+// mixed raw/typed access): the consumer's batched popN clears slots
+// and then publishes them back to producers with one tail store, and
+// producers must only reuse a slot after acquiring that store via the
+// full-check load in push. A tiny ring forces constant wraparound so
+// every slot is recycled thousands of times; the race detector
+// verifies the happens-before edge on each clear/reuse pair.
+func TestStressRingTailPublish(t *testing.T) {
+	const (
+		producers   = 8
+		perProducer = 4000
+		ringSize    = 8 // tiny: maximize slot reuse across the tail edge
+	)
+	r := newRing(ringSize)
+	handles := make([]Handle, producers*perProducer)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				h := &handles[p*perProducer+i]
+				h.nseg = p*perProducer + i + 1 // payload checked at pop
+				for !r.push(h) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	var buf [4]*Handle // smaller than the ring: drains interleave with pushes
+	got := make(map[*Handle]bool, len(handles))
+	for len(got) < len(handles) {
+		n := r.popN(buf[:])
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < n; i++ {
+			h := buf[i]
+			if h == nil {
+				t.Fatal("popN returned a nil handle inside the batch")
+			}
+			if got[h] {
+				t.Fatal("handle delivered twice across a tail publish")
+			}
+			if h.nseg == 0 {
+				t.Fatal("handle observed before its payload write")
+			}
+			got[h] = true
+			buf[i] = nil
+		}
+	}
+	wg.Wait()
+	if n := r.popN(buf[:]); n != 0 {
+		t.Fatalf("ring not empty after all handles delivered: %d extra", n)
+	}
+}

@@ -135,11 +135,22 @@ func TestLifelintGolden(t *testing.T) {
 	})
 }
 
+// TestOrdlintGolden runs the happens-before publication checker over
+// its corpus: the //copier:ordered contract lives inside the snippet
+// package, exactly as the real one does in acopy.
+func TestOrdlintGolden(t *testing.T) {
+	runGolden(t, "ordsnip.golden", Options{
+		Dir:      ".",
+		Patterns: []string{"./testdata/src/ordsnip"},
+		Ord:      OrdConfig{Packages: []string{"copier/internal/lint/testdata/src/ordsnip"}},
+	})
+}
+
 // TestTreeIsClean is the acceptance criterion in executable form:
-// the real tree must produce zero findings from all six analyzers —
-// detlint, alloclint, cyclelint, unitlint, atomiclint and lifelint
-// run under their default configurations (every violation fixed or
-// carrying a justified, used suppression).
+// the real tree must produce zero findings from all seven analyzers —
+// detlint, alloclint, cyclelint, unitlint, atomiclint, lifelint and
+// ordlint run under their default configurations (every violation
+// fixed or carrying a justified, used suppression).
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and escape-compiles the whole module")

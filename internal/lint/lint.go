@@ -8,7 +8,8 @@
 // checks *this implementation* against the rules that make the
 // reproduction trustworthy.
 //
-// Six analyzers (see their files for the rule inventories):
+// Seven analyzers (the registry in run.go is the authoritative table;
+// see each analyzer's file for its rule inventory):
 //
 //   - detlint    — determinism hygiene in simulator-domain packages:
 //     no wall-clock time, no global math/rand, no real goroutines or
@@ -37,6 +38,13 @@
 //     next to the types: every obligation released exactly once on
 //     every path, no use-after-release, ops only from their declared
 //     states.
+//   - ordlint    — happens-before publication order in the
+//     real-concurrency packages, against //copier:ordered contracts
+//     declared next to the types: every write to a guarded field
+//     happens before the publish store of its word, every
+//     cross-goroutine read is dominated by the matching consume load,
+//     no raw sync/atomic calls on governed fields, and every atomic
+//     poll loop is a documented //copier:spin site with an escape.
 //
 // Everything is stdlib-only (go/ast, go/parser, go/token, go/types);
 // type information comes from export data produced by `go list
@@ -93,21 +101,20 @@ const (
 	RuleLifeState           = "life-state"             // op from a state outside its sources
 	RuleLifeSpec            = "life-spec"              // malformed //copier:lifecycle directive
 
+	// ordlint rules.
+	RuleOrdPubBeforeInit = "pub-before-init" // write to a guarded field after its word published
+	RuleOrdUnorderedRead = "unordered-read"  // guarded read not dominated by a consume load
+	RuleOrdMixedAtomics  = "mixed-atomics"   // raw atomic.* call on a field of a governed type
+	RuleOrdSpinUnbounded = "spin-unbounded"  // atomic poll loop without a //copier:spin site
+	RuleOrdSpec          = "ord-spec"        // malformed //copier:ordered or //copier:spin directive
+
 	// Suppression hygiene (emitted by the driver, not an analyzer).
 	RuleSuppressBare   = "suppress-bare"   // //copiervet:ignore without a reason
 	RuleSuppressUnused = "suppress-unused" // suppression that matched no finding
 )
 
-// AllRules lists every rule identifier, in report order.
-var AllRules = []string{
-	RuleDetTime, RuleDetRand, RuleDetGo, RuleDetSync, RuleDetMapOrder,
-	RuleNoallocEscape, RuleNoallocMisplaced,
-	RuleCyclesDead, RuleCyclesLiteral,
-	RuleUnitConv, RuleUnitMix, RuleUnitArg,
-	RuleAtomicPlain,
-	RuleLifeLeak, RuleLifeDoubleRelease, RuleLifeUseAfterRelease, RuleLifeState, RuleLifeSpec,
-	RuleSuppressBare, RuleSuppressUnused,
-}
+// AllRules (run.go) lists every rule identifier, derived from the
+// analyzer registry so it can never drift from what actually runs.
 
 // KnownRule reports whether id names a rule copiervet implements.
 func KnownRule(id string) bool {

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzOrdSpec holds the //copier:ordered and //copier:spin parsers to
+// their contract over arbitrary comment text: they never panic, a
+// non-directive returns nothing, a directive with problems is never
+// returned as usable, and a clean clause survives a
+// canonicalize-and-reparse round trip. The seed corpus covers the
+// real in-tree specs plus every malformed shape the ord-spec rule
+// reports.
+func FuzzOrdSpec(f *testing.F) {
+	seeds := []string{
+		"//copier:ordered type ring",
+		"//copier:ordered word head",
+		"//copier:ordered word tail guards=slots",
+		"//copier:ordered type Handle",
+		"//copier:ordered word completed guards=err",
+		"//copier:ordered word ready guards=payload,count",
+		"//copier:ordered",
+		"//copier:ordered ",
+		"//copier:ordered knob Box",
+		"//copier:ordered type",
+		"//copier:ordered type Box extra tokens",
+		"//copier:ordered word",
+		"//copier:ordered word seq guards=",
+		"//copier:ordered word seq guards=a,,b",
+		"//copier:ordered word seq guards=a,a",
+		"//copier:ordered word seq flavor=fast",
+		"//copier:ordered word seq guards=a guards=b",
+		"//copier:orderedx not a directive",
+		"// ordinary comment",
+		"//copier:spin bounded by the worker draining",
+		"//copier:spin",
+		"//copier:spin \t ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if reason, ok := parseSpinText(text); ok && reason != strings.TrimSpace(reason) {
+			t.Fatalf("spin reason not trimmed: %q -> %q", text, reason)
+		}
+		c, problems, ok := parseOrderedText(text)
+		if !ok {
+			if len(problems) != 0 || c.Kind != "" || c.Name != "" || c.Guards != nil {
+				t.Fatalf("non-directive %q returned clause/problems", text)
+			}
+			return
+		}
+		if len(problems) > 0 {
+			// A problematic directive never doubles as a usable clause;
+			// every problem carries a message for the ord-spec finding.
+			for _, p := range problems {
+				if p == "" {
+					t.Fatalf("empty problem message for %q", text)
+				}
+			}
+			return
+		}
+		// Accepted clause: well-formed by definition.
+		if c.Kind != "type" && c.Kind != "word" {
+			t.Fatalf("accepted clause %q with kind %q", text, c.Kind)
+		}
+		if c.Name == "" {
+			t.Fatalf("accepted clause %q with empty name", text)
+		}
+		if c.Kind == "type" && len(c.Guards) != 0 {
+			t.Fatalf("type clause %q carries guards", text)
+		}
+		for _, g := range c.Guards {
+			if g == "" || strings.ContainsAny(g, " \t,") {
+				t.Fatalf("accepted clause %q with malformed guard %q", text, g)
+			}
+		}
+		// Canonical re-serialization parses back to the same clause.
+		canon := orderedMarker + " " + c.Kind + " " + c.Name
+		if len(c.Guards) > 0 {
+			canon += " guards=" + strings.Join(c.Guards, ",")
+		}
+		c2, problems2, ok2 := parseOrderedText(canon)
+		if !ok2 || len(problems2) != 0 {
+			t.Fatalf("canonical form %q of %q did not reparse cleanly (problems: %v)", canon, text, problems2)
+		}
+		if c2.Kind != c.Kind || c2.Name != c.Name ||
+			strings.Join(c2.Guards, ",") != strings.Join(c.Guards, ",") {
+			t.Fatalf("round trip changed clause: %q -> %q", text, canon)
+		}
+	})
+}

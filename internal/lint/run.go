@@ -43,10 +43,122 @@ type Options struct {
 	Units UnitConfig
 	// Atomic configures atomiclint; zero value selects the defaults.
 	Atomic AtomicConfig
+	// Ord configures ordlint; zero value selects the defaults.
+	Ord OrdConfig
 	// DomainAll treats every target package as simulator-domain
 	// (used by tests over snippet packages).
 	DomainAll bool
 }
+
+// runInput is the shared state every analyzer run function receives:
+// the resolved options and the one package load of the run.
+type runInput struct {
+	opts Options
+	pkgs []*Package
+	ld   *Loader
+}
+
+// Analyzer is one registered copiervet analyzer. This table is the
+// single source of truth the driver derives everything from — the
+// dispatch loop, the -v phase timings, the -list inventory, AllRules,
+// and the -json schema docs. Adding an analyzer is one entry here
+// (plus its rule constants), not six parallel edits.
+type Analyzer struct {
+	Name  string
+	Doc   string   // one-line description, shown by copiervet -list
+	Rules []string // every rule ID the analyzer can emit
+	run   func(in *runInput) ([]Finding, error)
+}
+
+// Analyzers lists every analyzer in execution (and -v timing) order.
+// alloclint runs last: it is the only one that shells out to the go
+// tool instead of reusing the shared load.
+var Analyzers = []Analyzer{
+	{
+		Name:  "detlint",
+		Doc:   "determinism hygiene in simulator-domain packages",
+		Rules: []string{RuleDetTime, RuleDetRand, RuleDetGo, RuleDetSync, RuleDetMapOrder},
+		run: func(in *runInput) ([]Finding, error) {
+			var out []Finding
+			for _, p := range in.pkgs {
+				if in.opts.DomainAll || inDomain(in.ld.ModulePath, p.Path) {
+					out = append(out, Detlint(p)...)
+				}
+			}
+			return out, nil
+		},
+	},
+	{
+		Name:  "cyclelint",
+		Doc:   "cost-model hygiene: named cycles consts, no dead ones",
+		Rules: []string{RuleCyclesDead, RuleCyclesLiteral},
+		run: func(in *runInput) ([]Finding, error) {
+			var out []Finding
+			for _, p := range in.pkgs {
+				if in.opts.DomainAll || inDomain(in.ld.ModulePath, p.Path) {
+					out = append(out, CycleLiterals(p, in.opts.Cycles)...)
+				}
+			}
+			return append(out, DeadCycleConsts(in.pkgs, in.opts.Cycles)...), nil
+		},
+	},
+	{
+		Name:  "unitlint",
+		Doc:   "dimensional safety for Bytes/Pages/Time quantities",
+		Rules: []string{RuleUnitConv, RuleUnitMix, RuleUnitArg},
+		run: func(in *runInput) ([]Finding, error) {
+			return UnitLint(in.pkgs, in.opts.Units), nil
+		},
+	},
+	{
+		Name:  "atomiclint",
+		Doc:   "all-or-nothing atomic access to shared fields",
+		Rules: []string{RuleAtomicPlain},
+		run: func(in *runInput) ([]Finding, error) {
+			return AtomicLint(in.pkgs, in.opts.Atomic), nil
+		},
+	},
+	{
+		Name:  "lifelint",
+		Doc:   "lifecycle typestate of protocol objects (//copier:lifecycle)",
+		Rules: []string{RuleLifeLeak, RuleLifeDoubleRelease, RuleLifeUseAfterRelease, RuleLifeState, RuleLifeSpec},
+		run: func(in *runInput) ([]Finding, error) {
+			return LifeLint(in.pkgs), nil
+		},
+	},
+	{
+		Name:  "ordlint",
+		Doc:   "happens-before publication order (//copier:ordered, //copier:spin)",
+		Rules: []string{RuleOrdPubBeforeInit, RuleOrdUnorderedRead, RuleOrdMixedAtomics, RuleOrdSpinUnbounded, RuleOrdSpec},
+		run: func(in *runInput) ([]Finding, error) {
+			return OrdLint(in.pkgs, in.opts.Ord), nil
+		},
+	},
+	{
+		Name:  "alloclint",
+		Doc:   "//copier:noalloc functions checked against escape analysis",
+		Rules: []string{RuleNoallocEscape, RuleNoallocMisplaced},
+		run: func(in *runInput) ([]Finding, error) {
+			fns, misplaced := CollectNoalloc(in.pkgs)
+			escapes, err := AllocLint(in.ld.ModuleRoot, fns)
+			if err != nil {
+				return nil, err
+			}
+			return append(misplaced, escapes...), nil
+		},
+	},
+}
+
+// AllRules lists every rule identifier, in report order: each
+// analyzer's rules in registry order, then the driver-level
+// suppression-hygiene rules.
+var AllRules = func() []string {
+	var all []string
+	for _, a := range Analyzers {
+		all = append(all, a.Rules...)
+	}
+	return append(all, RuleSuppressBare, RuleSuppressUnused)
+}()
 
 // PhaseTime is one timed phase of a run (the shared package load,
 // then each analyzer), surfaced by `copiervet -v`.
@@ -68,9 +180,9 @@ type Result struct {
 	Timings []PhaseTime
 }
 
-// Run loads the packages once and executes every analyzer over the
-// shared load, returning the surviving (unsuppressed) findings sorted
-// by position.
+// Run loads the packages once and executes every registered analyzer
+// over the shared load, returning the surviving (unsuppressed)
+// findings sorted by position.
 func Run(opts Options) (*Result, error) {
 	if len(opts.Patterns) == 0 {
 		opts.Patterns = []string{"./..."}
@@ -84,19 +196,24 @@ func Run(opts Options) (*Result, error) {
 	if len(opts.Atomic.Packages) == 0 {
 		opts.Atomic = DefaultAtomicConfig
 	}
+	if len(opts.Ord.Packages) == 0 {
+		opts.Ord = DefaultOrdConfig
+	}
 
 	res := &Result{}
-	phase := func(name string, start time.Time) {
-		res.Timings = append(res.Timings, PhaseTime{name, time.Since(start)})
-	}
 
 	start := time.Now()
 	pkgs, ld, err := Load(opts.Dir, opts.Patterns...)
 	if err != nil {
 		return nil, err
 	}
-	phase("load", start)
+	res.Timings = append(res.Timings, PhaseTime{"load", time.Since(start)})
 	res.ModuleRoot = ld.ModuleRoot
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			res.TypeErrorCount++
+		}
+	}
 
 	enabled := func(rule string) bool {
 		if len(opts.Rules) == 0 {
@@ -109,60 +226,28 @@ func Run(opts Options) (*Result, error) {
 		}
 		return false
 	}
+	anyEnabled := func(rules []string) bool {
+		for _, r := range rules {
+			if enabled(r) {
+				return true
+			}
+		}
+		return false
+	}
 
+	in := &runInput{opts: opts, pkgs: pkgs, ld: ld}
 	var findings []Finding
-	var detD, cycD time.Duration
-	for _, p := range pkgs {
-		if len(p.TypeErrors) > 0 {
-			res.TypeErrorCount++
+	for _, a := range Analyzers {
+		if !anyEnabled(a.Rules) {
+			continue
 		}
-		if opts.DomainAll || inDomain(ld.ModulePath, p.Path) {
-			if enabled(RuleDetTime) || enabled(RuleDetRand) || enabled(RuleDetGo) ||
-				enabled(RuleDetSync) || enabled(RuleDetMapOrder) {
-				t0 := time.Now()
-				findings = append(findings, Detlint(p)...)
-				detD += time.Since(t0)
-			}
-			if enabled(RuleCyclesLiteral) {
-				t0 := time.Now()
-				findings = append(findings, CycleLiterals(p, opts.Cycles)...)
-				cycD += time.Since(t0)
-			}
-		}
-	}
-	if enabled(RuleCyclesDead) {
 		t0 := time.Now()
-		findings = append(findings, DeadCycleConsts(pkgs, opts.Cycles)...)
-		cycD += time.Since(t0)
-	}
-	res.Timings = append(res.Timings,
-		PhaseTime{"detlint", detD}, PhaseTime{"cyclelint", cycD})
-	if enabled(RuleUnitConv) || enabled(RuleUnitMix) || enabled(RuleUnitArg) {
-		t0 := time.Now()
-		findings = append(findings, UnitLint(pkgs, opts.Units)...)
-		phase("unitlint", t0)
-	}
-	if enabled(RuleAtomicPlain) {
-		t0 := time.Now()
-		findings = append(findings, AtomicLint(pkgs, opts.Atomic)...)
-		phase("atomiclint", t0)
-	}
-	if enabled(RuleLifeLeak) || enabled(RuleLifeDoubleRelease) ||
-		enabled(RuleLifeUseAfterRelease) || enabled(RuleLifeState) || enabled(RuleLifeSpec) {
-		t0 := time.Now()
-		findings = append(findings, LifeLint(pkgs)...)
-		phase("lifelint", t0)
-	}
-	if enabled(RuleNoallocEscape) || enabled(RuleNoallocMisplaced) {
-		t0 := time.Now()
-		fns, misplaced := CollectNoalloc(pkgs)
-		findings = append(findings, misplaced...)
-		escapes, err := AllocLint(ld.ModuleRoot, fns)
+		fs, err := a.run(in)
 		if err != nil {
 			return nil, err
 		}
-		findings = append(findings, escapes...)
-		phase("alloclint", t0)
+		findings = append(findings, fs...)
+		res.Timings = append(res.Timings, PhaseTime{a.Name, time.Since(t0)})
 	}
 
 	// Drop findings for disabled rules (analyzers may bundle rules).

@@ -1,0 +1,24 @@
+// ordspecbad exercises the ord-spec rule: every way a
+// //copier:ordered or //copier:spin directive can be malformed must
+// surface as a finding, never silently weaken the analysis.
+package ordsnip
+
+import "sync/atomic"
+
+//copier:ordered
+//copier:ordered knob Box
+//copier:ordered type NoSuchType
+//copier:ordered word ready
+//copier:ordered type Box
+//copier:ordered type Box2
+//copier:ordered word missing
+//copier:ordered word payload
+//copier:ordered word seq guards=seq
+//copier:ordered word seq guards=ghost
+//copier:ordered word seq guards=
+//copier:ordered word seq flavor=fast
+//copier:spin
+type Box2 struct {
+	seq     atomic.Uint32
+	payload []byte
+}
